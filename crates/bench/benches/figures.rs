@@ -1,0 +1,49 @@
+//! Figure-regeneration benches: one Criterion benchmark per Figure 2 cell
+//! (strategy), each running a scaled-down but structurally complete
+//! simulation (all 18 clients, 9 servers, credits/model machinery). The
+//! measured quantity is wall-clock per simulated run; the *output* —
+//! printed once per strategy — is the latency triple the figure plots.
+//!
+//! `cargo bench -p brb-bench --bench figures` therefore both exercises the
+//! end-to-end engine and regenerates the figure's data at reduced scale.
+//! Full scale: `cargo run --release -p brb-bench --bin figure2`.
+
+use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::experiment::run_experiment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_figure2_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_cell");
+    g.sample_size(10);
+    for strategy in Strategy::figure2_set() {
+        let name = strategy.name();
+        // Print the cell's data once so `cargo bench` output contains the
+        // regenerated figure values.
+        let r = run_experiment(ExperimentConfig::figure2_small(strategy.clone(), 1, 8_000));
+        println!(
+            "figure2[{name}]: p50={:.2}ms p95={:.2}ms p99={:.2}ms (8k tasks, seed 1)",
+            r.task_latency_ms.p50, r.task_latency_ms.p95, r.task_latency_ms.p99
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&name),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    run_experiment(ExperimentConfig::figure2_small(strategy.clone(), 1, 2_000))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    // Figure 1 is a 5-op schedule; benching it documents that the policy
+    // machinery itself is nanosecond-scale.
+    c.bench_function("figure1_schedule", |b| {
+        b.iter(|| brb_bench::figure1::run_figure1(brb_sched::PolicyKind::UnifIncr));
+    });
+}
+
+criterion_group!(figures, bench_figure2_cells, bench_figure1);
+criterion_main!(figures);

@@ -1,0 +1,144 @@
+//! Microbenchmarks for the hot-path substrates: the calendar, the stable
+//! priority queue, the samplers, the histogram and priority assignment.
+//! These are the operations executed millions of times per Figure 2 cell.
+
+use brb_metrics::Histogram;
+use brb_sched::{PolicyKind, Priority, PriorityPolicy, PriorityQueue, RequestQueue, TaskView};
+use brb_sim::{Calendar, SimTime};
+use brb_workload::{FanoutDist, GeneralizedPareto, PoissonProcess, Zipf};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_1k_window", |b| {
+        let mut cal = Calendar::new();
+        // Keep a steady-state window of 1k events, as the engine does.
+        for i in 0..1_000u64 {
+            cal.push(SimTime::from_nanos(i * 100), i);
+        }
+        let mut t = 100_000u64;
+        b.iter(|| {
+            let (when, _) = cal.pop().unwrap();
+            t += 137;
+            cal.push(SimTime::from_nanos(when.as_nanos() + t % 10_000), 0);
+        });
+    });
+    g.finish();
+}
+
+fn bench_priority_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_1k_window", |b| {
+        let mut q = PriorityQueue::new();
+        for i in 0..1_000u64 {
+            q.push(Priority(i % 100), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let _ = q.pop().unwrap();
+            i += 1;
+            q.push(Priority(i % 100), i);
+        });
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplers");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("pareto_etc", |b| {
+        let d = GeneralizedPareto::facebook_etc();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(d.sample_bytes(&mut rng, 1 << 20)));
+    });
+
+    g.bench_function("zipf_100k", |b| {
+        let z = Zipf::new(100_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+
+    g.bench_function("poisson_gap", |b| {
+        let p = PoissonProcess::new(10_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(p.sample_gap_ns(&mut rng)));
+    });
+
+    g.bench_function("fanout_soundcloud", |b| {
+        let f = FanoutDist::soundcloud_like();
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(f.sample(&mut rng)));
+    });
+
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record_latency", |b| {
+        let mut h = Histogram::for_latency_ns();
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(black_box(50_000 + x % 10_000_000));
+        });
+    });
+    g.bench_function("p99_query_1m_samples", |b| {
+        let mut h = Histogram::for_latency_ns();
+        let mut x = 1u64;
+        for _ in 0..1_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(50_000 + x % 10_000_000);
+        }
+        b.iter(|| black_box(h.value_at_percentile(99.0)));
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_assignment");
+    // A representative task: fan-out 9 over 5 sub-tasks.
+    let costs = [
+        120_000u64, 250_000, 90_000, 400_000, 310_000, 150_000, 95_000, 280_000, 60_000,
+    ];
+    let subtask = [0usize, 0, 1, 2, 2, 3, 3, 4, 4];
+    let subtask_costs = [370_000u64, 90_000, 710_000, 245_000, 340_000];
+    let view = TaskView {
+        arrival_ns: 1_000_000,
+        request_costs: &costs,
+        request_subtask: &subtask,
+        subtask_costs: &subtask_costs,
+    };
+    g.throughput(Throughput::Elements(costs.len() as u64));
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::EqualMax,
+        PolicyKind::UnifIncr,
+        PolicyKind::Edf,
+    ] {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(policy.assign(black_box(&view))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_priority_queue,
+    bench_samplers,
+    bench_histogram,
+    bench_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 1: the worked scheduling example.
+//!
+//! ```text
+//! cargo run --release -p brb-bench --bin figure1
+//! ```
+
+use brb_bench::figure1::{render_figure1, verify_figure1};
+
+fn main() {
+    print!("{}", render_figure1());
+    match verify_figure1() {
+        Ok(()) => println!("\nSelf-check: PASS (oblivious T2=2, task-aware T2=1, T1=2 in both)"),
+        Err(e) => {
+            eprintln!("\nSelf-check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

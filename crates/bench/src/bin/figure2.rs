@@ -1,0 +1,62 @@
+//! Regenerates Figure 2: task read latencies (median/95th/99th) for C3,
+//! EqualMax-{Credits,Model} and UniformIncr-{Credits,Model}, averaged
+//! over seeds, plus the paper's claim checks.
+//!
+//! ```text
+//! cargo run --release -p brb-bench --bin figure2              # full scale (500k tasks x 6 seeds)
+//! cargo run --release -p brb-bench --bin figure2 -- --quick   # 20k tasks x 2 seeds
+//! cargo run --release -p brb-bench --bin figure2 -- --tasks 100000 --seeds 1,2,3
+//! cargo run --release -p brb-bench --bin figure2 -- --json figure2.json
+//! ```
+
+use brb_bench::figure2::{check_claims, render_claims, render_figure2, run_figure2, Figure2Options};
+
+fn main() {
+    let mut opts = Figure2Options::default();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts = Figure2Options::quick(),
+            "--tasks" => {
+                opts.num_tasks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tasks needs a number");
+            }
+            "--seeds" => {
+                let spec = args.next().expect("--seeds needs a,b,c");
+                opts.seeds = spec
+                    .split(',')
+                    .map(|s| s.parse().expect("seed must be a number"))
+                    .collect();
+            }
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figure2 [--quick] [--tasks N] [--seeds a,b,c] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "Figure 2: {} tasks x {} seeds (18 clients, 9 servers x 4 cores @3500 req/s, \
+         50us one-way, fan-out ~8.6, ETC sizes, 70% load)",
+        opts.num_tasks,
+        opts.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let summaries = run_figure2(&opts);
+    eprintln!("completed in {:.1?}\n", t0.elapsed());
+
+    println!("{}", render_figure2(&summaries));
+    let checks = check_claims(&summaries);
+    println!("{}", render_claims(&checks));
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&summaries).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation B: fan-out sweep — gains should grow with fan-out (the
+//! paper's motivating claim: large fan-outs make workloads tail-bound).
+//!
+//! ```text
+//! cargo run --release -p brb-bench --bin sweep_fanout -- [--tasks N] [--seeds a,b]
+//! ```
+
+use brb_bench::sweeps::{fanout_sweep, render_sweep};
+use brb_core::config::Strategy;
+
+fn main() {
+    let mut num_tasks = 40_000usize;
+    let mut seeds = vec![1u64, 2];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tasks" => num_tasks = args.next().unwrap().parse().expect("--tasks N"),
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .unwrap()
+                    .split(',')
+                    .map(|s| s.parse().expect("seed"))
+                    .collect()
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let fanouts = [1u32, 4, 8, 16, 32, 64];
+    let strategies = [
+        Strategy::c3(),
+        Strategy::equal_max_credits(),
+        Strategy::unif_incr_credits(),
+        Strategy::equal_max_model(),
+    ];
+    eprintln!(
+        "mean fan-out sweep {fanouts:?} (geometric mix) — {num_tasks} tasks x {} seeds",
+        seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let pts = fanout_sweep(&fanouts, &strategies, num_tasks, &seeds);
+    eprintln!("completed in {:.1?}\n", t0.elapsed());
+    println!("{}", render_sweep(&pts, "mean-fanout"));
+
+    println!("C3/BRB(EqualMax-Credits) p99 ratio by mean fan-out:");
+    for p in &pts {
+        let c3 = p.summaries.iter().find(|s| s.strategy == "C3").unwrap();
+        let brb = p
+            .summaries
+            .iter()
+            .find(|s| s.strategy == "EqualMax - Credits")
+            .unwrap();
+        println!(
+            "  mean fanout {:>3}: {:.2}x ({:.2}ms vs {:.2}ms)",
+            p.x,
+            c3.p99_ms.mean / brb.p99_ms.mean,
+            c3.p99_ms.mean,
+            brb.p99_ms.mean
+        );
+    }
+}

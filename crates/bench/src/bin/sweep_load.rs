@@ -1,0 +1,60 @@
+//! Ablation A: load sweep — where does task-awareness pay?
+//!
+//! ```text
+//! cargo run --release -p brb-bench --bin sweep_load -- [--tasks N] [--seeds a,b]
+//! ```
+
+use brb_bench::sweeps::{load_sweep, render_sweep};
+use brb_core::config::Strategy;
+
+fn main() {
+    let mut num_tasks = 60_000usize;
+    let mut seeds = vec![1u64, 2];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tasks" => num_tasks = args.next().unwrap().parse().expect("--tasks N"),
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .unwrap()
+                    .split(',')
+                    .map(|s| s.parse().expect("seed"))
+                    .collect()
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let loads = [0.3, 0.5, 0.7, 0.8, 0.9];
+    let strategies = [
+        Strategy::c3(),
+        Strategy::equal_max_credits(),
+        Strategy::equal_max_model(),
+    ];
+    eprintln!("load sweep {loads:?} — {num_tasks} tasks x {} seeds", seeds.len());
+    let t0 = std::time::Instant::now();
+    let pts = load_sweep(&loads, &strategies, num_tasks, &seeds);
+    eprintln!("completed in {:.1?}\n", t0.elapsed());
+    println!("{}", render_sweep(&pts, "load"));
+
+    // Headline: the C3→BRB p99 gap per load level.
+    println!("C3/BRB(credits) p99 ratio by load:");
+    for p in &pts {
+        let c3 = p.summaries.iter().find(|s| s.strategy == "C3").unwrap();
+        let brb = p
+            .summaries
+            .iter()
+            .find(|s| s.strategy == "EqualMax - Credits")
+            .unwrap();
+        println!(
+            "  load {:.1}: {:.2}x ({:.2}ms vs {:.2}ms)",
+            p.x,
+            c3.p99_ms.mean / brb.p99_ms.mean,
+            c3.p99_ms.mean,
+            brb.p99_ms.mean
+        );
+    }
+}

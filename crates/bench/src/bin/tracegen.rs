@@ -1,0 +1,99 @@
+//! Trace tooling: generate, inspect and convert workload traces.
+//!
+//! ```text
+//! # Generate a playlist-model trace and write it as JSONL:
+//! cargo run --release -p brb-bench --bin tracegen -- generate --tasks 100000 --out trace.jsonl
+//!
+//! # Print summary statistics of an existing trace:
+//! cargo run --release -p brb-bench --bin tracegen -- stats trace.jsonl
+//! ```
+//!
+//! Traces written here replay through
+//! `brb_core::experiment::run_experiment_on_trace`, so a recorded
+//! production workload (converted to this format) can drive the exact
+//! engine the paper's figures use.
+
+use brb_sim::RngFactory;
+use brb_workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
+use brb_workload::Trace;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        _ => {
+            eprintln!("usage: tracegen generate --tasks N [--rate R] [--seed S] --out PATH");
+            eprintln!("       tracegen stats PATH");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn generate(args: &[String]) {
+    let mut tasks = 100_000usize;
+    let mut rate = 10_000.0f64;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tasks" => tasks = it.next().unwrap().parse().expect("--tasks N"),
+            "--rate" => rate = it.next().unwrap().parse().expect("--rate R"),
+            "--seed" => seed = it.next().unwrap().parse().expect("--seed S"),
+            "--out" => out = Some(it.next().unwrap().clone()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.expect("--out PATH is required");
+
+    let factory = RngFactory::new(seed);
+    let model = SoundCloudModel::build(
+        SoundCloudConfig::default(),
+        &mut factory.stream("catalog"),
+    );
+    eprintln!(
+        "catalog: {} playlists, mean length {:.2}; generating {tasks} tasks at {rate}/s ...",
+        model.num_playlists(),
+        model.mean_playlist_len()
+    );
+    let trace = model.generate_trace(tasks, rate, &mut factory.stream("trace"));
+    let file = File::create(&out).expect("create output file");
+    trace
+        .write_jsonl(BufWriter::new(file))
+        .expect("write trace");
+    eprintln!("wrote {out}");
+    print_stats(&trace);
+}
+
+fn stats(args: &[String]) {
+    let path = args.first().expect("stats needs a PATH");
+    let file = File::open(path).expect("open trace file");
+    let trace = Trace::read_jsonl(BufReader::new(file)).expect("parse trace");
+    print_stats(&trace);
+}
+
+fn print_stats(trace: &Trace) {
+    match trace.stats() {
+        None => println!("empty trace"),
+        Some(s) => {
+            println!("tasks            : {}", s.num_tasks);
+            println!("requests         : {}", s.num_requests);
+            println!("mean fan-out     : {:.2} (max {})", s.mean_fanout, s.max_fanout);
+            println!(
+                "value sizes      : mean {:.0} B, max {} B",
+                s.mean_value_bytes, s.max_value_bytes
+            );
+            println!(
+                "duration         : {:.3} s ({:.0} tasks/s)",
+                s.duration_ns as f64 / 1e9,
+                s.task_rate_per_sec
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Figure 2: task latency at the median/95th/99th percentile for the five
+//! strategies, averaged over seeds — plus programmatic checks of the
+//! paper's two quantitative claims:
+//!
+//! 1. "the credits strategy is at most 38% of an ideal model" — we read
+//!    this as `credits_p99 ≤ 1.38 × model_p99` per policy.
+//! 2. "BRB outperforms C3 across all percentiles ... improves the
+//!    latencies by up to a factor of 3 at the median and 95th percentiles
+//!    and up to 2 times at the 99th percentile" — we check that BRB wins
+//!    at every percentile and report the measured factors.
+
+use crate::render::Table;
+use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::experiment::{run_strategies_multi_seed, StrategySummary};
+use serde::{Deserialize, Serialize};
+
+/// Options for a Figure 2 regeneration run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2Options {
+    /// Tasks per run (paper: 500 000; smaller values for quick runs).
+    pub num_tasks: usize,
+    /// Seeds (paper: six).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Figure2Options {
+    fn default() -> Self {
+        Figure2Options {
+            num_tasks: 500_000,
+            seeds: vec![1, 2, 3, 4, 5, 6],
+        }
+    }
+}
+
+impl Figure2Options {
+    /// A quick variant for tests and smoke runs.
+    pub fn quick() -> Self {
+        Figure2Options {
+            num_tasks: 20_000,
+            seeds: vec![1, 2],
+        }
+    }
+}
+
+/// Runs the five Figure 2 strategies under the paper's configuration.
+pub fn run_figure2(opts: &Figure2Options) -> Vec<StrategySummary> {
+    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, opts.num_tasks);
+    run_strategies_multi_seed(&base, &Strategy::figure2_set(), &opts.seeds)
+}
+
+/// Renders the Figure 2 table (ms, mean ± stddev across seeds).
+pub fn render_figure2(summaries: &[StrategySummary]) -> String {
+    let mut t = Table::new(vec!["strategy", "median(ms)", "95th(ms)", "99th(ms)", "seeds"]);
+    for s in summaries {
+        t.push_row(vec![
+            s.strategy.clone(),
+            format!("{:.2}±{:.2}", s.p50_ms.mean, s.p50_ms.stddev),
+            format!("{:.2}±{:.2}", s.p95_ms.mean, s.p95_ms.stddev),
+            format!("{:.2}±{:.2}", s.p99_ms.mean, s.p99_ms.stddev),
+            s.runs.len().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// One checked claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimCheck {
+    /// Short claim label.
+    pub claim: String,
+    /// Whether the reproduction satisfies it.
+    pub holds: bool,
+    /// Measured numbers behind the verdict.
+    pub detail: String,
+}
+
+fn find<'a>(summaries: &'a [StrategySummary], name: &str) -> &'a StrategySummary {
+    summaries
+        .iter()
+        .find(|s| s.strategy == name)
+        .unwrap_or_else(|| panic!("missing strategy {name}"))
+}
+
+/// Checks the paper's quantitative claims against measured summaries.
+pub fn check_claims(summaries: &[StrategySummary]) -> Vec<ClaimCheck> {
+    let c3 = find(summaries, "C3");
+    let emc = find(summaries, "EqualMax - Credits");
+    let emm = find(summaries, "EqualMax - Model");
+    let uic = find(summaries, "UniformIncr - Credits");
+    let uim = find(summaries, "UniformIncr - Model");
+
+    let mut checks = Vec::new();
+
+    // Claim 1: credits within 38% of model at p99, per policy.
+    for (label, credits, model) in [
+        ("EqualMax", emc, emm),
+        ("UniformIncr", uic, uim),
+    ] {
+        let ratio = credits.p99_ms.mean / model.p99_ms.mean;
+        checks.push(ClaimCheck {
+            claim: format!("{label}: credits within 38% of model at p99"),
+            holds: ratio <= 1.38,
+            detail: format!(
+                "credits {:.2}ms vs model {:.2}ms → ratio {:.2} (claim ≤ 1.38)",
+                credits.p99_ms.mean, model.p99_ms.mean, ratio
+            ),
+        });
+    }
+
+    // Claim 2a: BRB beats C3 at every percentile (both policies, credits
+    // realization — the realizable system).
+    for (label, brb) in [("EqualMax", emc), ("UniformIncr", uic)] {
+        let wins = c3.p50_ms.mean > brb.p50_ms.mean
+            && c3.p95_ms.mean > brb.p95_ms.mean
+            && c3.p99_ms.mean > brb.p99_ms.mean;
+        checks.push(ClaimCheck {
+            claim: format!("{label}-Credits beats C3 across all percentiles"),
+            holds: wins,
+            detail: format!(
+                "C3 {:.2}/{:.2}/{:.2}ms vs BRB {:.2}/{:.2}/{:.2}ms (p50/p95/p99)",
+                c3.p50_ms.mean,
+                c3.p95_ms.mean,
+                c3.p99_ms.mean,
+                brb.p50_ms.mean,
+                brb.p95_ms.mean,
+                brb.p99_ms.mean
+            ),
+        });
+    }
+
+    // Claim 2b: report the improvement factors (paper: up to 3x at
+    // median/95th, up to 2x at 99th). We require ≥1.3x everywhere and
+    // ≥1.5x at p99 for the better policy, and report exact numbers.
+    let best_p99 = emc.p99_ms.mean.min(uic.p99_ms.mean);
+    let f50 = c3.p50_ms.mean / emc.p50_ms.mean.min(uic.p50_ms.mean);
+    let f95 = c3.p95_ms.mean / emc.p95_ms.mean.min(uic.p95_ms.mean);
+    let f99 = c3.p99_ms.mean / best_p99;
+    checks.push(ClaimCheck {
+        claim: "C3→BRB improvement factors in the paper's direction".into(),
+        holds: f50 >= 1.3 && f95 >= 1.2 && f99 >= 1.5,
+        detail: format!(
+            "median {f50:.2}x, 95th {f95:.2}x, 99th {f99:.2}x (paper: up to 3x/3x/2x)"
+        ),
+    });
+
+    checks
+}
+
+/// Renders claim checks as a report block.
+pub fn render_claims(checks: &[ClaimCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        out.push_str(&format!(
+            "[{}] {}\n      {}\n",
+            if c.holds { "PASS" } else { "MISS" },
+            c.claim,
+            c.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke: a scaled-down Figure 2 runs all five strategies
+    /// and preserves the invariants that are stable even on short runs:
+    /// the ideal model never loses to its realizable counterpart, and the
+    /// model beats task-oblivious C3. (The full Credits-vs-C3 ordering
+    /// needs several virtual seconds to emerge — see
+    /// `figure2_ordering_at_scale`.)
+    #[test]
+    fn quick_figure2_preserves_ordering() {
+        let opts = Figure2Options {
+            num_tasks: 8_000,
+            seeds: vec![1],
+        };
+        let summaries = run_figure2(&opts);
+        assert_eq!(summaries.len(), 5);
+        let c3 = find(&summaries, "C3");
+        let emc = find(&summaries, "EqualMax - Credits");
+        let emm = find(&summaries, "EqualMax - Model");
+        let uim = find(&summaries, "UniformIncr - Model");
+        assert!(
+            emm.p99_ms.mean <= emc.p99_ms.mean * 1.05,
+            "model {:.2} must not lose to credits {:.2}",
+            emm.p99_ms.mean,
+            emc.p99_ms.mean
+        );
+        for model in [emm, uim] {
+            assert!(
+                model.p99_ms.mean < c3.p99_ms.mean,
+                "model {:.2} must beat C3 {:.2}",
+                model.p99_ms.mean,
+                c3.p99_ms.mean
+            );
+        }
+        let table = render_figure2(&summaries);
+        assert!(table.contains("C3"));
+        assert!(table.contains("UniformIncr - Model"));
+        let checks = check_claims(&summaries);
+        assert_eq!(checks.len(), 5);
+        let report = render_claims(&checks);
+        assert!(report.contains("p99"));
+    }
+
+    /// The paper's full ordering (Model ≤ Credits < C3 at every
+    /// percentile) needs runs long enough for C3's rate-control
+    /// oscillations and FIFO head-of-line blocking to surface (several
+    /// virtual seconds). Expensive in debug builds, so ignored by
+    /// default; run with
+    /// `cargo test -p brb-bench --release -- --ignored`.
+    #[test]
+    #[ignore = "expensive: ~60k-task runs; run with --release -- --ignored"]
+    fn figure2_ordering_at_scale() {
+        let opts = Figure2Options {
+            num_tasks: 60_000,
+            seeds: vec![1],
+        };
+        let summaries = run_figure2(&opts);
+        let c3 = find(&summaries, "C3");
+        for name in ["EqualMax", "UniformIncr"] {
+            let credits = find(&summaries, &format!("{name} - Credits"));
+            let model = find(&summaries, &format!("{name} - Model"));
+            assert!(model.p99_ms.mean <= credits.p99_ms.mean);
+            assert!(
+                credits.p99_ms.mean < c3.p99_ms.mean,
+                "{name}: credits {:.2} must beat C3 {:.2}",
+                credits.p99_ms.mean,
+                c3.p99_ms.mean
+            );
+            assert!(credits.p50_ms.mean < c3.p50_ms.mean);
+            assert!(credits.p95_ms.mean < c3.p95_ms.mean);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing strategy")]
+    fn find_panics_on_unknown() {
+        find(&[], "C3");
+    }
+}

@@ -1,0 +1,256 @@
+//! Experiment runners: single seeded runs and the paper's multi-seed
+//! averaged comparisons.
+
+use crate::config::{ExperimentConfig, Strategy};
+use crate::engine::{Counters, EngineWorld};
+use brb_metrics::{Percentiles, SeedSummary};
+use brb_sim::Simulation;
+use serde::{Deserialize, Serialize};
+
+/// The result of one seeded run of one strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Task latency percentiles in **milliseconds** (the paper's unit).
+    pub task_latency_ms: Percentiles,
+    /// Per-request latency percentiles in milliseconds.
+    pub request_latency_ms: Percentiles,
+    /// Client-side hold time percentiles in milliseconds.
+    pub hold_time_ms: Option<Percentiles>,
+    /// Mean server utilization over the run.
+    pub utilization: f64,
+    /// Tasks completed.
+    pub completed_tasks: usize,
+    /// Tasks included in latency statistics (post-warm-up).
+    pub measured_tasks: u64,
+    /// Virtual duration of the run in seconds.
+    pub sim_secs: f64,
+    /// Events executed.
+    pub events: u64,
+    /// Requests dispatched.
+    pub dispatched: u64,
+    /// Congestion signals (credits realization only).
+    pub congestion_signals: u64,
+    /// Demand reports delivered (credits realization only).
+    pub demand_reports: u64,
+    /// Hedge duplicates issued (hedged strategy only).
+    pub hedges_issued: u64,
+    /// Responses that arrived after their request had completed (wasted
+    /// work under hedging).
+    pub duplicate_responses: u64,
+}
+
+/// Runs one strategy once and collects its metrics.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the run fails to complete
+/// every task (which would indicate an engine bug, not a config problem).
+pub fn run_experiment(cfg: ExperimentConfig) -> RunResult {
+    let world = EngineWorld::new(cfg);
+    run_world(world)
+}
+
+/// Runs one strategy over an externally-supplied trace (replay mode).
+pub fn run_experiment_on_trace(
+    cfg: ExperimentConfig,
+    trace: Vec<brb_workload::taskgen::TaskSpec>,
+) -> RunResult {
+    let world = EngineWorld::with_trace(cfg, trace);
+    run_world(world)
+}
+
+fn run_world(world: EngineWorld) -> RunResult {
+    let strategy = world.config().strategy.name();
+    let seed = world.config().seed;
+    let mut sim = Simulation::new(world);
+    EngineWorld::prime(&mut sim);
+    let stats = sim.run();
+    let w = sim.world();
+    assert!(
+        w.is_finished(),
+        "run did not complete: {}/{} tasks",
+        w.completed_tasks(),
+        w.total_tasks()
+    );
+    let counters: Counters = w.counters;
+    RunResult {
+        strategy,
+        seed,
+        task_latency_ms: Percentiles::from_histogram_ns(&w.task_latency)
+            .expect("no measured tasks"),
+        request_latency_ms: Percentiles::from_histogram_ns(&w.request_latency)
+            .expect("no measured requests"),
+        hold_time_ms: Percentiles::from_histogram_ns(&w.hold_time),
+        utilization: w.mean_utilization(stats.end_time.as_nanos()),
+        completed_tasks: w.completed_tasks(),
+        measured_tasks: w.measured_tasks(),
+        sim_secs: stats.end_time.as_secs_f64(),
+        events: stats.events_executed,
+        dispatched: counters.dispatched,
+        congestion_signals: counters.congestion_signals,
+        demand_reports: counters.demand_reports,
+        hedges_issued: counters.hedges_issued,
+        duplicate_responses: counters.duplicate_responses,
+    }
+}
+
+/// A strategy's metrics aggregated across seeds: the paper's reporting
+/// unit ("read latencies averaged across experiments").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategySummary {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Per-seed results.
+    pub runs: Vec<RunResult>,
+    /// Median task latency across seeds (ms): mean ± stddev.
+    pub p50_ms: SeedStat,
+    /// 95th percentile task latency across seeds (ms).
+    pub p95_ms: SeedStat,
+    /// 99th percentile task latency across seeds (ms).
+    pub p99_ms: SeedStat,
+    /// Mean task latency across seeds (ms).
+    pub mean_ms: SeedStat,
+}
+
+/// Mean ± stddev of one statistic across seeds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeedStat {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Sample standard deviation across seeds.
+    pub stddev: f64,
+}
+
+impl SeedStat {
+    fn from_values(values: Vec<f64>) -> SeedStat {
+        let s = SeedSummary::new(values);
+        SeedStat {
+            mean: s.mean(),
+            stddev: s.stddev(),
+        }
+    }
+}
+
+impl StrategySummary {
+    /// Aggregates per-seed runs (all for the same strategy).
+    pub fn from_runs(runs: Vec<RunResult>) -> StrategySummary {
+        assert!(!runs.is_empty(), "need at least one run");
+        let strategy = runs[0].strategy.clone();
+        assert!(
+            runs.iter().all(|r| r.strategy == strategy),
+            "mixed strategies in one summary"
+        );
+        let collect = |f: fn(&RunResult) -> f64| runs.iter().map(f).collect::<Vec<_>>();
+        StrategySummary {
+            strategy,
+            p50_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p50)),
+            p95_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p95)),
+            p99_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p99)),
+            mean_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.mean)),
+            runs,
+        }
+    }
+}
+
+/// Runs every strategy over every seed with the same base configuration —
+/// the harness behind Figure 2 and the ablation sweeps. The same seed is
+/// reused across strategies (common random numbers), so the workload trace
+/// is identical for every strategy under a given seed.
+pub fn run_strategies_multi_seed(
+    base: &ExperimentConfig,
+    strategies: &[Strategy],
+    seeds: &[u64],
+) -> Vec<StrategySummary> {
+    strategies
+        .iter()
+        .map(|strategy| {
+            let runs: Vec<RunResult> = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut cfg = base.clone();
+                    cfg.strategy = strategy.clone();
+                    cfg.seed = seed;
+                    run_experiment(cfg)
+                })
+                .collect();
+            StrategySummary::from_runs(runs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+
+    fn small(strategy: Strategy, seed: u64) -> ExperimentConfig {
+        ExperimentConfig::figure2_small(strategy, seed, 1_500)
+    }
+
+    #[test]
+    fn run_result_is_complete() {
+        let r = run_experiment(small(Strategy::c3(), 1));
+        assert_eq!(r.strategy, "C3");
+        assert_eq!(r.completed_tasks, 1_500);
+        assert!(r.task_latency_ms.p50 > 0.0);
+        assert!(r.task_latency_ms.p99 >= r.task_latency_ms.p95);
+        assert!(r.task_latency_ms.p95 >= r.task_latency_ms.p50);
+        assert!(r.request_latency_ms.p50 > 0.0);
+        // A task is never faster than one request round trip (100µs) plus
+        // service; p50 well above 0.1ms.
+        assert!(r.task_latency_ms.p50 > 0.1, "{}", r.task_latency_ms.p50);
+        assert!(r.utilization > 0.0);
+        assert!(r.events > 0);
+        assert!(r.sim_secs > 0.0);
+    }
+
+    #[test]
+    fn multi_seed_summary_aggregates() {
+        let base = small(Strategy::c3(), 0);
+        let out = run_strategies_multi_seed(
+            &base,
+            &[Strategy::c3(), Strategy::equal_max_model()],
+            &[1, 2],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].runs.len(), 2);
+        assert_eq!(out[0].strategy, "C3");
+        assert_eq!(out[1].strategy, "EqualMax - Model");
+        for s in &out {
+            assert!(s.p99_ms.mean >= s.p50_ms.mean);
+            assert!(s.p50_ms.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn seeds_share_the_workload_across_strategies() {
+        // Common random numbers: dispatched request counts must match
+        // exactly across strategies for the same seed.
+        let base = small(Strategy::c3(), 0);
+        let out = run_strategies_multi_seed(
+            &base,
+            &[Strategy::c3(), Strategy::unif_incr_model()],
+            &[9],
+        );
+        assert_eq!(out[0].runs[0].dispatched, out[1].runs[0].dispatched);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed strategies")]
+    fn summary_rejects_mixed_strategies() {
+        let a = run_experiment(small(Strategy::c3(), 1));
+        let b = run_experiment(small(Strategy::equal_max_model(), 1));
+        StrategySummary::from_runs(vec![a, b]);
+    }
+
+    #[test]
+    fn results_serialize() {
+        let r = run_experiment(small(Strategy::equal_max_credits(), 3));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.completed_tasks, r.completed_tasks);
+    }
+}

@@ -1,0 +1,241 @@
+//! Task construction: splitting into sub-tasks, cost forecasting,
+//! bottleneck identification and priority assignment.
+//!
+//! This is §2.1's client-side pipeline: "clients subdivide [a task] into a
+//! set of sub-tasks, one for each replica group ... determine the
+//! bottleneck sub-task based on the costliest sub-task and assign a
+//! priority to every request in the task."
+
+use brb_sched::{PolicyKind, Priority, PriorityPolicy, TaskView};
+use brb_store::cost::CostModel;
+use brb_store::ids::GroupId;
+use brb_store::partition::Ring;
+use brb_workload::taskgen::TaskSpec;
+
+/// One request after client-side preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltRequest {
+    /// The key to read.
+    pub key: u64,
+    /// Value size in bytes.
+    pub value_bytes: u64,
+    /// The replica group serving this key.
+    pub group: GroupId,
+    /// Forecast service cost in nanoseconds.
+    pub cost_ns: u64,
+    /// Assigned scheduling priority.
+    pub priority: Priority,
+}
+
+/// A task after splitting, forecasting and priority assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuiltTask {
+    /// Arrival time at the client (ns).
+    pub arrival_ns: u64,
+    /// Prepared requests, in the task's original request order.
+    pub requests: Vec<BuiltRequest>,
+    /// The bottleneck sub-task's total forecast cost (ns).
+    pub bottleneck_cost_ns: u64,
+    /// Number of distinct sub-tasks (replica groups touched).
+    pub num_subtasks: usize,
+}
+
+impl BuiltTask {
+    /// Splits `spec` into sub-tasks per replica group, forecasts costs and
+    /// assigns priorities under `policy`.
+    pub fn build(spec: &TaskSpec, ring: &Ring, cost: &CostModel, policy: PolicyKind) -> BuiltTask {
+        let n = spec.requests.len();
+        assert!(n > 0, "task {} has no requests", spec.id);
+
+        // Forecast per-request costs and map keys to replica groups.
+        let mut groups: Vec<GroupId> = Vec::with_capacity(n);
+        let mut costs: Vec<u64> = Vec::with_capacity(n);
+        for r in &spec.requests {
+            groups.push(ring.group_of_key(r.key));
+            costs.push(cost.forecast_ns(r.value_bytes));
+        }
+
+        // Dense sub-task indices in first-touch order; cost of a sub-task
+        // is the sum of its requests' costs (they may serialize on one
+        // replica).
+        let mut subtask_of_group: Vec<(GroupId, usize)> = Vec::new();
+        let mut request_subtask: Vec<usize> = Vec::with_capacity(n);
+        let mut subtask_costs: Vec<u64> = Vec::new();
+        for (i, &g) in groups.iter().enumerate() {
+            let idx = match subtask_of_group.iter().find(|(gg, _)| *gg == g) {
+                Some((_, idx)) => *idx,
+                None => {
+                    let idx = subtask_costs.len();
+                    subtask_of_group.push((g, idx));
+                    subtask_costs.push(0);
+                    idx
+                }
+            };
+            request_subtask.push(idx);
+            subtask_costs[idx] += costs[i];
+        }
+
+        let view = TaskView {
+            arrival_ns: spec.arrival_ns,
+            request_costs: &costs,
+            request_subtask: &request_subtask,
+            subtask_costs: &subtask_costs,
+        };
+        debug_assert!(view.validate().is_ok(), "{:?}", view.validate());
+        let bottleneck_cost_ns = view.bottleneck_cost();
+        let priorities = policy.assign(&view);
+
+        let requests = (0..n)
+            .map(|i| BuiltRequest {
+                key: spec.requests[i].key,
+                value_bytes: spec.requests[i].value_bytes,
+                group: groups[i],
+                cost_ns: costs[i],
+                priority: priorities[i],
+            })
+            .collect();
+
+        BuiltTask {
+            arrival_ns: spec.arrival_ns,
+            requests,
+            bottleneck_cost_ns,
+            num_subtasks: subtask_costs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brb_store::service::{ServiceModel, ServiceNoise};
+    use brb_workload::taskgen::RequestSpec;
+
+    fn cost_model() -> CostModel {
+        CostModel::exact(ServiceModel::calibrated_size_linear(
+            285_714.0,
+            300.0,
+            0.5,
+            ServiceNoise::None,
+        ))
+    }
+
+    fn spec(keys_and_sizes: &[(u64, u64)]) -> TaskSpec {
+        TaskSpec {
+            id: 0,
+            arrival_ns: 1_000,
+            requests: keys_and_sizes
+                .iter()
+                .map(|&(key, value_bytes)| RequestSpec { key, value_bytes })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn requests_partition_into_subtasks() {
+        let ring = Ring::paper_default();
+        // Find two keys sharing a group and one on a different group.
+        let mut same = Vec::new();
+        let g0 = ring.group_of_key(0);
+        for k in 0..10_000u64 {
+            if ring.group_of_key(k) == g0 {
+                same.push(k);
+            }
+            if same.len() == 2 {
+                break;
+            }
+        }
+        let other = (0..10_000u64)
+            .find(|&k| ring.group_of_key(k) != g0)
+            .unwrap();
+        let t = BuiltTask::build(
+            &spec(&[(same[0], 100), (same[1], 100), (other, 100)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::EqualMax,
+        );
+        assert_eq!(t.num_subtasks, 2);
+        assert_eq!(t.requests[0].group, t.requests[1].group);
+        assert_ne!(t.requests[0].group, t.requests[2].group);
+        // Bottleneck = the two-request group's summed cost.
+        let c = cost_model().forecast_ns(100);
+        assert_eq!(t.bottleneck_cost_ns, 2 * c);
+    }
+
+    #[test]
+    fn equal_max_uniform_priorities() {
+        let ring = Ring::paper_default();
+        let t = BuiltTask::build(
+            &spec(&[(1, 100), (2, 5_000), (3, 50)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::EqualMax,
+        );
+        let p0 = t.requests[0].priority;
+        assert!(t.requests.iter().all(|r| r.priority == p0));
+        assert_eq!(p0, Priority::from_cost_ns(t.bottleneck_cost_ns));
+    }
+
+    #[test]
+    fn unif_incr_prioritizes_expensive_requests() {
+        let ring = Ring::paper_default();
+        let t = BuiltTask::build(
+            &spec(&[(1, 100), (2, 500_000), (3, 50)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::UnifIncr,
+        );
+        // Find the big request; it must carry the smallest priority value.
+        let big = t
+            .requests
+            .iter()
+            .max_by_key(|r| r.value_bytes)
+            .unwrap();
+        for r in &t.requests {
+            assert!(big.priority <= r.priority);
+        }
+    }
+
+    #[test]
+    fn fifo_priorities_are_arrival_time() {
+        let ring = Ring::paper_default();
+        let t = BuiltTask::build(
+            &spec(&[(1, 100), (2, 200)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::Fifo,
+        );
+        for r in &t.requests {
+            assert_eq!(r.priority, Priority::from_deadline_ns(1_000));
+        }
+    }
+
+    #[test]
+    fn costs_are_size_monotone() {
+        let ring = Ring::paper_default();
+        let t = BuiltTask::build(
+            &spec(&[(1, 10), (2, 10_000)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::Sjf,
+        );
+        assert!(t.requests[1].cost_ns > t.requests[0].cost_ns);
+        assert!(t.requests[1].priority > t.requests[0].priority);
+    }
+
+    #[test]
+    fn single_request_task() {
+        let ring = Ring::paper_default();
+        let t = BuiltTask::build(&spec(&[(42, 300)]), &ring, &cost_model(), PolicyKind::UnifIncr);
+        assert_eq!(t.num_subtasks, 1);
+        assert_eq!(t.bottleneck_cost_ns, t.requests[0].cost_ns);
+        // Sole request has zero slack.
+        assert_eq!(t.requests[0].priority, Priority::URGENT);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no requests")]
+    fn empty_task_rejected() {
+        let ring = Ring::paper_default();
+        BuiltTask::build(&spec(&[]), &ring, &cost_model(), PolicyKind::Fifo);
+    }
+}

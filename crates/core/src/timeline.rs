@@ -1,0 +1,188 @@
+//! Telemetry timelines: periodic snapshots of the cluster's internal
+//! state over virtual time.
+//!
+//! Latency percentiles say *what* happened; timelines show *why* — where
+//! queues built, which server ran hot, how big client backlogs grew while
+//! credits adapted. Sampling is driven by the engine's telemetry tick
+//! (`ExperimentConfig::telemetry_interval_ns`); with telemetry disabled
+//! the engine never allocates a sample.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// One snapshot of cluster state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Virtual time of the snapshot (ns).
+    pub t_ns: u64,
+    /// Queued requests per server (excluding in-service).
+    pub server_queue: Vec<u32>,
+    /// Busy cores per server.
+    pub busy_cores: Vec<u32>,
+    /// Requests held client-side awaiting admission, per client.
+    pub client_held: Vec<u32>,
+    /// Tasks completed so far.
+    pub completed_tasks: u64,
+    /// Requests in the global queue (model realization; 0 otherwise).
+    pub global_queue: u32,
+}
+
+/// An ordered sequence of snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Snapshots in time order.
+    pub samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no snapshots were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a snapshot (times must be non-decreasing).
+    pub fn push(&mut self, sample: TimelineSample) {
+        debug_assert!(
+            self.samples.last().map_or(true, |p| p.t_ns <= sample.t_ns),
+            "timeline must be time-ordered"
+        );
+        self.samples.push(sample);
+    }
+
+    /// Peak total queued requests (servers + global) over the run.
+    pub fn peak_queued(&self) -> u32 {
+        self.samples
+            .iter()
+            .map(|s| s.server_queue.iter().sum::<u32>() + s.global_queue)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Peak client-side backlog over the run.
+    pub fn peak_held(&self) -> u32 {
+        self.samples
+            .iter()
+            .map(|s| s.client_held.iter().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The per-server mean queue depth across the run.
+    pub fn mean_queue_per_server(&self) -> Vec<f64> {
+        let Some(first) = self.samples.first() else {
+            return Vec::new();
+        };
+        let n = first.server_queue.len();
+        let mut sums = vec![0.0f64; n];
+        for s in &self.samples {
+            for (acc, &q) in sums.iter_mut().zip(&s.server_queue) {
+                *acc += q as f64;
+            }
+        }
+        sums.iter().map(|&x| x / self.samples.len() as f64).collect()
+    }
+
+    /// Writes the timeline as CSV: one row per sample, one column per
+    /// server queue, busy-core count, plus aggregates.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let Some(first) = self.samples.first() else {
+            return writeln!(w, "t_ms,completed").map(|_| ());
+        };
+        write!(w, "t_ms")?;
+        for s in 0..first.server_queue.len() {
+            write!(w, ",queue_s{s}")?;
+        }
+        for s in 0..first.busy_cores.len() {
+            write!(w, ",busy_s{s}")?;
+        }
+        writeln!(w, ",held_total,global_queue,completed")?;
+        for sample in &self.samples {
+            write!(w, "{:.3}", sample.t_ns as f64 / 1e6)?;
+            for q in &sample.server_queue {
+                write!(w, ",{q}")?;
+            }
+            for b in &sample.busy_cores {
+                write!(w, ",{b}")?;
+            }
+            writeln!(
+                w,
+                ",{},{},{}",
+                sample.client_held.iter().sum::<u32>(),
+                sample.global_queue,
+                sample.completed_tasks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_ns: u64, queues: Vec<u32>, held: Vec<u32>) -> TimelineSample {
+        TimelineSample {
+            t_ns,
+            busy_cores: vec![0; queues.len()],
+            server_queue: queues,
+            client_held: held,
+            completed_tasks: 0,
+            global_queue: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_over_samples() {
+        let mut t = Timeline::default();
+        t.push(sample(0, vec![1, 2], vec![0]));
+        t.push(sample(10, vec![5, 3], vec![4]));
+        t.push(sample(20, vec![0, 0], vec![1]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.peak_queued(), 8);
+        assert_eq!(t.peak_held(), 4);
+        let means = t.mean_queue_per_server();
+        assert!((means[0] - 2.0).abs() < 1e-12);
+        assert!((means[1] - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let t = Timeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.peak_queued(), 0);
+        assert!(t.mean_queue_per_server().is_empty());
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().starts_with("t_ms"));
+    }
+
+    #[test]
+    fn csv_shape_matches_samples() {
+        let mut t = Timeline::default();
+        t.push(sample(1_000_000, vec![3, 4, 5], vec![2, 2]));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "t_ms,queue_s0,queue_s1,queue_s2,busy_s0,busy_s1,busy_s2,held_total,global_queue,completed"
+        );
+        assert_eq!(lines[1], "1.000,3,4,5,0,0,0,4,0,0");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Timeline::default();
+        t.push(sample(5, vec![1], vec![9]));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

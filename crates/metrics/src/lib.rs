@@ -1,0 +1,32 @@
+//! # brb-metrics — measurement substrate
+//!
+//! Latency measurement for the BRB reproduction. The paper reports task
+//! read latencies at the median, 95th and 99th percentiles averaged over
+//! six seeded runs; this crate provides the machinery to do that honestly:
+//!
+//! * [`histogram::Histogram`] — an HDR-style log-linear histogram with
+//!   configurable significant digits, built from scratch (no external
+//!   histogram crate). Records `u64` values (we use nanoseconds) with
+//!   bounded relative error, supports merging and quantile queries.
+//! * [`summary::RunningStats`] — Welford mean/variance for streaming data.
+//! * [`summary::SeedSummary`] — aggregates a statistic across seeds into
+//!   mean ± stddev (the paper: "experiments are repeated 6 times with
+//!   different random seeds ... standard deviation is largely negligible").
+//! * [`percentile`] — exact percentiles on sorted samples, used to
+//!   cross-validate the histogram in tests.
+//! * [`timeseries::WindowedRate`] — windowed event-rate tracking, used for
+//!   utilization accounting and the credits controller's demand estimates.
+//! * [`reservoir::Reservoir`] — uniform reservoir sampling for cheap exact
+//!   quantiles over huge streams.
+
+pub mod histogram;
+pub mod percentile;
+pub mod reservoir;
+pub mod summary;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use percentile::{exact_percentile, Percentiles};
+pub use reservoir::Reservoir;
+pub use summary::{RunningStats, SeedSummary};
+pub use timeseries::{BusyTime, WindowedRate};

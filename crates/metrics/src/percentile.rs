@@ -1,0 +1,147 @@
+//! Exact percentiles over in-memory samples.
+//!
+//! Used for small sample sets (per-seed task latencies fit comfortably in
+//! memory at the paper's scale) and to cross-validate the histogram's
+//! bounded-error quantiles in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `p`-th percentile (`p ∈ [0, 100]`) of `sorted` using the
+/// nearest-rank method: the smallest element such that at least `⌈p/100·n⌉`
+/// elements are ≤ it. Returns `None` on an empty slice.
+///
+/// # Panics
+/// Debug-asserts that the slice is sorted.
+pub fn exact_percentile<T: Copy + PartialOrd>(sorted: &[T], p: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let p = p.clamp(0.0, 100.0);
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
+/// The percentile triple the paper reports (Figure 2's x-axis), plus the
+/// mean for context.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Number of samples the percentiles were computed from.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile (median).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes the triple from unsorted `f64` samples (sorts a copy).
+    pub fn from_samples(samples: &[f64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Percentiles {
+            count: sorted.len() as u64,
+            mean,
+            p50: exact_percentile(&sorted, 50.0).unwrap(),
+            p95: exact_percentile(&sorted, 95.0).unwrap(),
+            p99: exact_percentile(&sorted, 99.0).unwrap(),
+            max: *sorted.last().unwrap(),
+        })
+    }
+
+    /// Computes the triple from a latency histogram whose values are in
+    /// nanoseconds, converting to milliseconds (the paper's unit).
+    pub fn from_histogram_ns(h: &crate::histogram::Histogram) -> Option<Percentiles> {
+        if h.is_empty() {
+            return None;
+        }
+        let to_ms = |ns: u64| ns as f64 / 1e6;
+        Some(Percentiles {
+            count: h.len(),
+            mean: h.mean() / 1e6,
+            p50: to_ms(h.value_at_percentile(50.0)),
+            p95: to_ms(h.value_at_percentile(95.0)),
+            p99: to_ms(h.value_at_percentile(99.0)),
+            max: to_ms(h.max()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_basics() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&v, 50.0), Some(50));
+        assert_eq!(exact_percentile(&v, 95.0), Some(95));
+        assert_eq!(exact_percentile(&v, 99.0), Some(99));
+        assert_eq!(exact_percentile(&v, 100.0), Some(100));
+        assert_eq!(exact_percentile(&v, 0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        let v: Vec<f64> = vec![];
+        assert_eq!(exact_percentile(&v, 50.0), None);
+        assert!(Percentiles::from_samples(&v).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(exact_percentile(&[7.0], 50.0), Some(7.0));
+        let p = Percentiles::from_samples(&[7.0]).unwrap();
+        assert_eq!(p.p50, 7.0);
+        assert_eq!(p.p99, 7.0);
+        assert_eq!(p.mean, 7.0);
+    }
+
+    #[test]
+    fn from_samples_handles_unsorted_input() {
+        let p = Percentiles::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.max, 5.0);
+        assert_eq!(p.count, 5);
+        assert!((p.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_and_exact_agree_within_error_bound() {
+        use crate::histogram::Histogram;
+        let mut h = Histogram::for_latency_ns();
+        let mut samples = Vec::new();
+        // Deterministic pseudo-random latencies between 100µs and 10ms.
+        let mut x: u64 = 0x12345678;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ns = 100_000 + (x >> 40) % 9_900_000;
+            h.record(ns);
+            samples.push(ns as f64 / 1e6);
+        }
+        let exact = Percentiles::from_samples(&samples).unwrap();
+        let hist = Percentiles::from_histogram_ns(&h).unwrap();
+        for (e, g) in [
+            (exact.p50, hist.p50),
+            (exact.p95, hist.p95),
+            (exact.p99, hist.p99),
+        ] {
+            let rel = (e - g).abs() / e;
+            assert!(rel < 0.005, "exact {e} vs hist {g} (rel {rel})");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Uniform reservoir sampling (Vitter's Algorithm R).
+//!
+//! Keeps a fixed-size uniform sample of an unbounded stream. We use it for
+//! cheap *exact* quantiles over per-request latencies when the full stream
+//! would be too large to keep, and in tests as an independent check on the
+//! histogram.
+//!
+//! The RNG is injected per call so the reservoir itself stays deterministic
+//! state: callers pass the labelled stream they own.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-capacity uniform sample over a stream of `f64` values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Offers a value to the reservoir. `coin` must be a fresh uniform draw
+    /// in `[0, 1)` from the caller's RNG stream (unused until the reservoir
+    /// is full).
+    pub fn offer(&mut self, value: f64, coin: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = (coin * self.seen as f64) as u64;
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = value;
+            }
+        }
+    }
+
+    /// Number of values offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current sample (unsorted).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Whether the reservoir holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact quantile of the *sample* (sorts a copy); `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in reservoir"));
+        crate::percentile::exact_percentile(&sorted, q.clamp(0.0, 1.0) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fills_before_sampling() {
+        let mut r = Reservoir::new(10);
+        for i in 0..10 {
+            r.offer(i as f64, 0.0);
+        }
+        assert_eq!(r.samples().len(), 10);
+        assert_eq!(r.seen(), 10);
+        let expect: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(r.samples(), expect.as_slice());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(100);
+        for i in 0..10_000 {
+            r.offer(i as f64, rng.random());
+        }
+        assert_eq!(r.samples().len(), 100);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_approximately_uniform() {
+        // Offer 0..n and check the sample mean is near n/2 — a coarse but
+        // effective uniformity check for Algorithm R.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000u64;
+        let mut r = Reservoir::new(2_000);
+        for i in 0..n {
+            r.offer(i as f64, rng.random());
+        }
+        let mean = r.samples().iter().sum::<f64>() / r.samples().len() as f64;
+        let expected = (n - 1) as f64 / 2.0;
+        let rel = (mean - expected).abs() / expected;
+        assert!(rel < 0.05, "sample mean {mean} far from {expected}");
+    }
+
+    #[test]
+    fn quantiles_of_sample() {
+        let mut r = Reservoir::new(101);
+        for i in 0..=100 {
+            r.offer(i as f64, 0.0);
+        }
+        assert_eq!(r.quantile(0.5), Some(50.0));
+        assert_eq!(r.quantile(1.0), Some(100.0));
+        assert_eq!(r.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn empty_reservoir() {
+        let r = Reservoir::new(5);
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Reservoir::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Windowed event-rate measurement over virtual time.
+//!
+//! The credits controller measures per-client demand over fixed
+//! *measurement intervals* (100 ms by default in our realization) and the
+//! engine tracks server utilization the same way. [`WindowedRate`] counts
+//! events into fixed-width windows keyed by a `u64` timestamp (nanoseconds
+//! in this workspace) and reports per-window rates.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts events into fixed-width time windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedRate {
+    window_ns: u64,
+    /// Completed windows: (window_start_ns, count).
+    completed: Vec<(u64, u64)>,
+    current_window: u64,
+    current_count: u64,
+    total: u64,
+}
+
+impl WindowedRate {
+    /// Creates a tracker with the given window width in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `window_ns` is zero.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window width must be positive");
+        WindowedRate {
+            window_ns,
+            completed: Vec::new(),
+            current_window: 0,
+            current_count: 0,
+            total: 0,
+        }
+    }
+
+    /// Records `count` events at time `at_ns`. Times must be non-decreasing
+    /// across calls (virtual time is monotone).
+    pub fn record_at(&mut self, at_ns: u64, count: u64) {
+        let window = at_ns / self.window_ns;
+        debug_assert!(window >= self.current_window, "time went backwards");
+        if window != self.current_window {
+            self.roll_to(window);
+        }
+        self.current_count += count;
+        self.total += count;
+    }
+
+    /// Closes any window strictly before the one containing `at_ns` so the
+    /// most recent completed window is observable even without new events.
+    pub fn advance_to(&mut self, at_ns: u64) {
+        let window = at_ns / self.window_ns;
+        if window > self.current_window {
+            self.roll_to(window);
+        }
+    }
+
+    fn roll_to(&mut self, window: u64) {
+        self.completed
+            .push((self.current_window * self.window_ns, self.current_count));
+        // Emit empty windows so rates over idle periods read as zero.
+        for w in (self.current_window + 1)..window {
+            self.completed.push((w * self.window_ns, 0));
+        }
+        self.current_window = window;
+        self.current_count = 0;
+    }
+
+    /// Rate (events/second) of the most recently *completed* window, or
+    /// `None` if no window has completed yet.
+    pub fn last_window_rate(&self) -> Option<f64> {
+        self.completed
+            .last()
+            .map(|&(_, c)| c as f64 / (self.window_ns as f64 / 1e9))
+    }
+
+    /// Count in the most recently completed window.
+    pub fn last_window_count(&self) -> Option<u64> {
+        self.completed.last().map(|&(_, c)| c)
+    }
+
+    /// All completed windows as `(window_start_ns, count)`.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.completed
+    }
+
+    /// Total events recorded (including the open window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean rate (events/second) over all completed windows.
+    pub fn mean_rate(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.completed.iter().map(|&(_, c)| c).sum();
+        sum as f64 / (self.completed.len() as f64 * self.window_ns as f64 / 1e9)
+    }
+
+    /// The configured window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+/// Accumulates busy time to report utilization over an interval.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BusyTime {
+    busy_ns: u64,
+}
+
+impl BusyTime {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        BusyTime { busy_ns: 0 }
+    }
+
+    /// Adds a busy span.
+    pub fn add(&mut self, ns: u64) {
+        self.busy_ns += ns;
+    }
+
+    /// Total accumulated busy time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Utilization over an observation span: busy / (span × parallelism).
+    /// Returns 0 for an empty span.
+    pub fn utilization(&self, span_ns: u64, parallelism: u32) -> f64 {
+        if span_ns == 0 || parallelism == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (span_ns as f64 * parallelism as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn counts_within_window() {
+        let mut w = WindowedRate::new(100 * MS);
+        w.record_at(10 * MS, 1);
+        w.record_at(20 * MS, 2);
+        assert_eq!(w.total(), 3);
+        assert!(w.last_window_rate().is_none(), "window not yet complete");
+    }
+
+    #[test]
+    fn window_rolls_and_reports_rate() {
+        let mut w = WindowedRate::new(100 * MS);
+        for i in 0..50 {
+            w.record_at(i * MS, 1); // 50 events in window 0
+        }
+        w.record_at(150 * MS, 1); // rolls to window 1
+        assert_eq!(w.last_window_count(), Some(50));
+        // 50 events in 0.1s = 500/s.
+        assert!((w.last_window_rate().unwrap() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_windows_emit_zero() {
+        let mut w = WindowedRate::new(100 * MS);
+        w.record_at(0, 5);
+        w.record_at(350 * MS, 1); // skips windows 1 and 2
+        assert_eq!(w.windows(), &[(0, 5), (100 * MS, 0), (200 * MS, 0)]);
+    }
+
+    #[test]
+    fn advance_without_events_closes_window() {
+        let mut w = WindowedRate::new(100 * MS);
+        w.record_at(10 * MS, 4);
+        w.advance_to(250 * MS);
+        assert_eq!(w.last_window_count(), Some(0));
+        assert_eq!(w.windows()[0], (0, 4));
+    }
+
+    #[test]
+    fn mean_rate_over_completed_windows() {
+        let mut w = WindowedRate::new(1_000 * MS); // 1s windows
+        w.record_at(0, 100);
+        w.record_at(1_500 * MS, 300);
+        w.advance_to(2_000 * MS);
+        // Two completed windows: 100 and 300 events over 2s = 200/s.
+        assert!((w.mean_rate() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_utilization() {
+        let mut b = BusyTime::new();
+        b.add(500);
+        b.add(500);
+        assert_eq!(b.total_ns(), 1000);
+        assert!((b.utilization(2000, 1) - 0.5).abs() < 1e-12);
+        assert!((b.utilization(1000, 4) - 0.25).abs() < 1e-12);
+        assert_eq!(b.utilization(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_window_rejected() {
+        WindowedRate::new(0);
+    }
+}

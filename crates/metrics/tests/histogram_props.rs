@@ -1,0 +1,87 @@
+//! Property-based tests: the histogram's quantiles must stay within the
+//! configured relative-error bound of exact quantiles, for arbitrary data.
+
+use brb_metrics::{exact_percentile, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any data set, histogram quantiles are within the relative error
+    /// bound of the exact nearest-rank percentile.
+    #[test]
+    fn quantiles_within_error_bound(
+        values in proptest::collection::vec(1_000u64..10_000_000_000, 1..500),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..10),
+    ) {
+        let mut h = Histogram::new(1_000, 100_000_000_000, 3);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        for &q in &qs {
+            let exact = exact_percentile(&sorted, q * 100.0).unwrap() as f64;
+            let got = h.value_at_quantile(q) as f64;
+            let bound = h.relative_error_bound() * 2.0; // both ends quantized
+            let rel = (got - exact).abs() / exact;
+            prop_assert!(rel <= bound, "q={q}: exact {exact} got {got} rel {rel}");
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone_and_bracketed(
+        values in proptest::collection::vec(1u64..1_000_000, 1..300),
+    ) {
+        let mut h = Histogram::new(1, 10_000_000, 3);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.value_at_quantile(q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert!(h.value_at_quantile(0.0) >= h.min() * 999 / 1000);
+        prop_assert!(h.value_at_quantile(1.0) <= h.max());
+    }
+
+    /// Merging two histograms equals recording the union of their data.
+    #[test]
+    fn merge_is_union(
+        a in proptest::collection::vec(1u64..1_000_000, 0..200),
+        b in proptest::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new(1, 10_000_000, 3);
+        let mut hb = Histogram::new(1, 10_000_000, 3);
+        let mut hu = Histogram::new(1, 10_000_000, 3);
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.len(), hu.len());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            prop_assert_eq!(ha.value_at_quantile(q), hu.value_at_quantile(q));
+        }
+    }
+
+    /// Total count is conserved and count_at_or_below is monotone.
+    #[test]
+    fn counts_consistent(values in proptest::collection::vec(1u64..100_000, 1..200)) {
+        let mut h = Histogram::new(1, 1_000_000, 2);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.len(), values.len() as u64);
+        let mut prev = 0;
+        for threshold in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            let c = h.count_at_or_below(threshold);
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+        prop_assert_eq!(h.count_at_or_below(1_000_000), values.len() as u64);
+    }
+}

@@ -1,0 +1,21 @@
+//! # brb-net — simulated network substrate
+//!
+//! The paper sets a one-way network latency of 50 µs between application
+//! servers and the data store. This crate models message delay for the
+//! discrete-event engine:
+//!
+//! * [`latency::LatencyModel`] — per-message one-way delay distributions
+//!   (constant, uniform, log-normal jitter, empirical mixtures).
+//! * [`fabric::Fabric`] — a full-mesh fabric mapping `(from, to)` node
+//!   pairs to latency models, with optional per-link overrides and an
+//!   optional bandwidth term that serializes large values onto the wire.
+//!
+//! The fabric computes *delays*; actually scheduling delivery events is
+//! the engine's job (`brb-core`), keeping this crate independent of the
+//! event alphabet.
+
+pub mod fabric;
+pub mod latency;
+
+pub use fabric::{Bandwidth, Fabric, NetNodeId};
+pub use latency::LatencyModel;

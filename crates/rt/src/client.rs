@@ -1,0 +1,256 @@
+//! The client handle: task splitting, priority assignment, dispatch and
+//! response collection — §2.1's pipeline against real threads.
+
+use crate::transport::{RtRequest, RtResponse};
+use brb_sched::{PolicyKind, Priority, PriorityPolicy, TaskView};
+use brb_store::cost::CostModel;
+use brb_store::partition::Ring;
+use brb_workload::taskgen::SizeModel;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The completed result of one task.
+#[derive(Debug)]
+pub struct TaskResponse {
+    /// The task id assigned at submission.
+    pub task_id: u64,
+    /// End-to-end task latency (submit → last response).
+    pub latency: Duration,
+    /// Values in request order (`None` for unknown keys).
+    pub values: Vec<Option<Bytes>>,
+    /// Which server answered each request.
+    pub servers: Vec<u32>,
+    /// Per-request total latencies in nanoseconds.
+    pub request_ns: Vec<u64>,
+}
+
+/// A pending asynchronous task.
+pub struct TaskTicket {
+    task_id: u64,
+    n: usize,
+    started: Instant,
+    rx: Receiver<RtResponse>,
+}
+
+impl TaskTicket {
+    /// Blocks until every response arrives.
+    pub fn wait(self) -> TaskResponse {
+        collect(self.task_id, self.n, self.started, &self.rx)
+    }
+}
+
+/// A handle for submitting tasks to an [`crate::RtCluster`].
+pub struct RtClient {
+    ring: Ring,
+    cost: CostModel,
+    policy: PolicyKind,
+    sizes: SizeModel,
+    senders: Vec<Sender<RtRequest>>,
+    task_counter: Arc<AtomicU64>,
+    rr: AtomicU64,
+    epoch: Instant,
+}
+
+impl RtClient {
+    pub(crate) fn new(
+        ring: Ring,
+        cost: CostModel,
+        policy: PolicyKind,
+        sizes: SizeModel,
+        senders: Vec<Sender<RtRequest>>,
+        task_counter: Arc<AtomicU64>,
+    ) -> RtClient {
+        RtClient {
+            ring,
+            cost,
+            policy,
+            sizes,
+            senders,
+            task_counter,
+            rr: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Submits a batch read and blocks until it completes.
+    ///
+    /// # Panics
+    /// Panics on an empty key list or if the cluster shut down mid-task.
+    pub fn fetch(&self, keys: &[u64]) -> TaskResponse {
+        self.fetch_async(keys).wait()
+    }
+
+    /// Submits a batch read and returns a ticket to wait on — lets one
+    /// client keep many tasks in flight (the large fan-out pattern).
+    pub fn fetch_async(&self, keys: &[u64]) -> TaskTicket {
+        assert!(!keys.is_empty(), "a task needs at least one key");
+        let task_id = self.task_counter.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let arrival_ns = self.epoch.elapsed().as_nanos() as u64;
+
+        // Split into sub-tasks per replica group and forecast costs from
+        // the size catalog (the client-side knowledge BRB assumes).
+        let n = keys.len();
+        let mut costs = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        for &key in keys {
+            groups.push(self.ring.group_of_key(key));
+            costs.push(self.cost.forecast_ns(self.sizes.size_of(key)));
+        }
+        let mut subtask_of: Vec<(u64, usize)> = Vec::new();
+        let mut request_subtask = Vec::with_capacity(n);
+        let mut subtask_costs: Vec<u64> = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            let idx = match subtask_of.iter().find(|(gg, _)| *gg == g.raw()) {
+                Some((_, idx)) => *idx,
+                None => {
+                    subtask_of.push((g.raw(), subtask_costs.len()));
+                    subtask_costs.push(0);
+                    subtask_costs.len() - 1
+                }
+            };
+            request_subtask.push(idx);
+            subtask_costs[idx] += costs[i];
+        }
+        let view = TaskView {
+            arrival_ns,
+            request_costs: &costs,
+            request_subtask: &request_subtask,
+            subtask_costs: &subtask_costs,
+        };
+        let priorities: Vec<Priority> = self.policy.assign(&view);
+
+        // One response channel per task: no cross-task interference.
+        let (tx, rx) = unbounded();
+        for (i, &key) in keys.iter().enumerate() {
+            let replicas = self.ring.replicas_of_group(groups[i]);
+            let pick = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % replicas.len();
+            let server = replicas[pick];
+            self.senders[server.index()]
+                .send(RtRequest {
+                    key,
+                    priority: priorities[i],
+                    req_idx: i as u32,
+                    task_id,
+                    submitted: started,
+                    reply: tx.clone(),
+                })
+                .expect("cluster has shut down");
+        }
+        TaskTicket {
+            task_id,
+            n,
+            started,
+            rx,
+        }
+    }
+}
+
+fn collect(task_id: u64, n: usize, started: Instant, rx: &Receiver<RtResponse>) -> TaskResponse {
+    let mut values: Vec<Option<Bytes>> = (0..n).map(|_| None).collect();
+    let mut servers = vec![0u32; n];
+    let mut request_ns = vec![0u64; n];
+    for _ in 0..n {
+        let resp = rx.recv().expect("cluster has shut down");
+        debug_assert_eq!(resp.task_id, task_id);
+        let i = resp.req_idx as usize;
+        values[i] = resp.value;
+        servers[i] = resp.server;
+        request_ns[i] = resp.total_ns;
+    }
+    TaskResponse {
+        task_id,
+        latency: started.elapsed(),
+        values,
+        servers,
+        request_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::server::{RtCluster, RtClusterConfig, WorkModel};
+    use brb_sched::PolicyKind;
+
+    fn cluster() -> RtCluster {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 4,
+            workers_per_server: 2,
+            replication: 2,
+            policy: PolicyKind::UnifIncr,
+            work: WorkModel::Instant,
+            store_shards: 8,
+        });
+        c.populate_etc(2_000);
+        c
+    }
+
+    #[test]
+    fn fetch_returns_values_in_request_order() {
+        let c = cluster();
+        let client = c.client();
+        let keys = [5u64, 900, 77, 1_500];
+        let resp = client.fetch(&keys);
+        for (i, &key) in keys.iter().enumerate() {
+            let v = resp.values[i].as_ref().expect("populated key");
+            assert_eq!(v.len() as u64, c.size_model().size_of(key), "key {key}");
+        }
+        assert!(resp.latency.as_nanos() > 0);
+        assert_eq!(resp.request_ns.len(), 4);
+        c.shutdown();
+    }
+
+    #[test]
+    fn responses_come_from_replicas_of_the_key() {
+        let c = cluster();
+        let client = c.client();
+        for key in 0..200u64 {
+            let resp = client.fetch(&[key]);
+            let server = brb_store::ids::ServerId::new(resp.servers[0] as u64);
+            assert!(
+                c.ring().replicas_of_key(key).contains(&server),
+                "key {key} answered by non-replica {server}"
+            );
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn async_tickets_allow_pipelining() {
+        let c = cluster();
+        let client = c.client();
+        let tickets: Vec<_> = (0..50)
+            .map(|i| client.fetch_async(&[i, i + 100, i + 200]))
+            .collect();
+        let mut ids = std::collections::HashSet::new();
+        for t in tickets {
+            let resp = t.wait();
+            assert_eq!(resp.values.len(), 3);
+            assert!(ids.insert(resp.task_id), "duplicate task id");
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn task_ids_are_unique_across_clients() {
+        let c = cluster();
+        let a = c.client();
+        let b = c.client();
+        let ra = a.fetch(&[1]);
+        let rb = b.fetch(&[2]);
+        assert_ne!(ra.task_id, rb.task_id);
+        c.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_task_rejected() {
+        let c = cluster();
+        let client = c.client();
+        // Hold the cluster alive until the panic fires.
+        let _ = client.fetch(&[]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # brb-rt — a real-time threaded BRB runtime
+//!
+//! The simulation crates validate the algorithms; this crate is the
+//! *adoptable implementation*: an in-process, multi-threaded storage
+//! cluster with BRB task-aware scheduling, following the event-driven,
+//! message-passing style of the networking guides (crossbeam channels for
+//! requests/responses, a condvar-guarded stable priority queue per server,
+//! no blocking on hot paths beyond the queue itself, zero-copy reads via
+//! `bytes::Bytes`).
+//!
+//! ```
+//! use brb_rt::{RtClusterConfig, RtCluster, WorkModel};
+//! use brb_sched::PolicyKind;
+//!
+//! let cluster = RtCluster::start(RtClusterConfig {
+//!     num_servers: 3,
+//!     workers_per_server: 2,
+//!     replication: 2,
+//!     policy: PolicyKind::UnifIncr,
+//!     work: WorkModel::Instant,
+//!     ..Default::default()
+//! });
+//! cluster.populate(1_000, |k| (k % 64) + 1);
+//! let client = cluster.client();
+//! let resp = client.fetch(&[1, 2, 3]);
+//! assert_eq!(resp.values.len(), 3);
+//! cluster.shutdown();
+//! ```
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod transport;
+
+pub use client::{RtClient, TaskResponse};
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use server::{RtCluster, RtClusterConfig, WorkModel};
+pub use transport::{RtRequest, RtResponse};

@@ -1,0 +1,170 @@
+//! A closed-loop load generator for the threaded runtime.
+//!
+//! Drives an [`RtCluster`] with playlist-style batch reads at a fixed
+//! concurrency (window of in-flight tasks), measuring wall-clock task
+//! latencies — the runtime equivalent of the simulator's experiment
+//! runner.
+
+use crate::client::RtClient;
+use crate::server::RtCluster;
+use brb_metrics::{Histogram, Percentiles};
+use brb_workload::FanoutDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Total tasks to issue.
+    pub tasks: usize,
+    /// In-flight task window (closed loop).
+    pub concurrency: usize,
+    /// Fan-out distribution for task sizes.
+    pub fanout: FanoutDist,
+    /// Keys are drawn uniformly from `0..key_range` (populate the cluster
+    /// with at least this many keys first).
+    pub key_range: u64,
+    /// RNG seed for the key/fan-out stream.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            tasks: 1_000,
+            concurrency: 16,
+            fanout: FanoutDist::soundcloud_like(),
+            key_range: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Wall-clock task latency percentiles (ms).
+    pub task_latency_ms: Percentiles,
+    /// Total wall time of the run.
+    pub wall: Duration,
+    /// Completed tasks per second.
+    pub tasks_per_sec: f64,
+    /// Requests served per server (load-balance check).
+    pub served_per_server: Vec<u64>,
+}
+
+/// Runs a closed-loop load against `cluster` through a fresh client.
+///
+/// # Panics
+/// Panics if the configuration is degenerate (no tasks, zero concurrency)
+/// or the cluster shuts down mid-run.
+pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
+    assert!(cfg.tasks > 0, "need at least one task");
+    assert!(cfg.concurrency > 0, "need at least one in-flight slot");
+    cfg.fanout.validate().expect("invalid fan-out distribution");
+
+    let client: RtClient = cluster.client();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hist = Histogram::for_latency_ns();
+    let mut inflight = VecDeque::with_capacity(cfg.concurrency);
+    let started = Instant::now();
+
+    for _ in 0..cfg.tasks {
+        let n = cfg.fanout.sample(&mut rng) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..cfg.key_range)).collect();
+        inflight.push_back(client.fetch_async(&keys));
+        if inflight.len() >= cfg.concurrency {
+            let resp = inflight.pop_front().expect("non-empty window").wait();
+            hist.record(resp.latency.as_nanos() as u64);
+        }
+    }
+    for ticket in inflight {
+        let resp = ticket.wait();
+        hist.record(resp.latency.as_nanos() as u64);
+    }
+
+    let wall = started.elapsed();
+    LoadReport {
+        task_latency_ms: Percentiles::from_histogram_ns(&hist).expect("recorded tasks"),
+        wall,
+        tasks_per_sec: cfg.tasks as f64 / wall.as_secs_f64(),
+        served_per_server: cluster.served_per_server(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{RtClusterConfig, WorkModel};
+    use brb_sched::PolicyKind;
+
+    fn cluster() -> RtCluster {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 3,
+            workers_per_server: 2,
+            replication: 2,
+            policy: PolicyKind::UnifIncr,
+            work: WorkModel::Instant,
+            store_shards: 8,
+        });
+        c.populate(2_000, |k| (k % 256) + 1);
+        c
+    }
+
+    #[test]
+    fn load_run_completes_and_reports() {
+        let c = cluster();
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 300,
+                concurrency: 8,
+                key_range: 2_000,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.task_latency_ms.count, 300);
+        assert!(report.task_latency_ms.p50 > 0.0);
+        assert!(report.tasks_per_sec > 0.0);
+        let total: u64 = report.served_per_server.iter().sum();
+        assert!(total >= 300, "at least one request per task");
+        c.shutdown();
+    }
+
+    #[test]
+    fn replication_spreads_load_across_servers() {
+        let c = cluster();
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 500,
+                concurrency: 16,
+                key_range: 2_000,
+                ..Default::default()
+            },
+        );
+        // Every server holds replicas for 2/3 of the key space; none
+        // should be idle.
+        assert!(
+            report.served_per_server.iter().all(|&s| s > 0),
+            "idle server: {:?}",
+            report.served_per_server
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn degenerate_config_rejected() {
+        let c = cluster();
+        let _ = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

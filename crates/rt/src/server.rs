@@ -1,0 +1,387 @@
+//! The threaded storage cluster: servers, worker pools, shared queues.
+//!
+//! Each server owns a [`ShardedStore`] replica of its partitions, a
+//! condvar-guarded *stable* priority queue and `workers_per_server` OS
+//! threads that pull the most urgent request, read the value, optionally
+//! simulate a size-proportional service cost and reply over the request's
+//! channel.
+
+use crate::client::RtClient;
+use crate::transport::{RtRequest, RtResponse};
+use brb_sched::{PolicyKind, PriorityQueue, RequestQueue};
+use brb_store::cost::CostModel;
+use brb_store::partition::Ring;
+use brb_store::service::{ServiceModel, ServiceNoise};
+use brb_store::ShardedStore;
+use brb_workload::taskgen::SizeModel;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How servers spend service time.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkModel {
+    /// Serve as fast as the store allows (unit tests, throughput benches).
+    Instant,
+    /// Sleep for the service model's expected time for the value's size —
+    /// turns the cluster into a scale model of the paper's servers.
+    SimulateService(ServiceModel),
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct RtClusterConfig {
+    /// Number of servers.
+    pub num_servers: u32,
+    /// Worker threads per server (the paper's "cores").
+    pub workers_per_server: u32,
+    /// Replication factor.
+    pub replication: u32,
+    /// Priority-assignment policy clients use.
+    pub policy: PolicyKind,
+    /// Service-time behaviour.
+    pub work: WorkModel,
+    /// Store shards per server.
+    pub store_shards: usize,
+}
+
+impl Default for RtClusterConfig {
+    fn default() -> Self {
+        RtClusterConfig {
+            num_servers: 3,
+            workers_per_server: 2,
+            replication: 2,
+            policy: PolicyKind::UnifIncr,
+            work: WorkModel::Instant,
+            store_shards: 16,
+        }
+    }
+}
+
+/// Shared state of one server.
+pub(crate) struct ServerShared {
+    pub(crate) queue: Mutex<PriorityQueue<RtRequest>>,
+    pub(crate) available: Condvar,
+    pub(crate) store: ShardedStore,
+    pub(crate) stop: AtomicBool,
+    pub(crate) served: AtomicU64,
+}
+
+/// A running in-process cluster.
+pub struct RtCluster {
+    config: RtClusterConfig,
+    ring: Ring,
+    cost: CostModel,
+    size_model: SizeModel,
+    servers: Vec<Arc<ServerShared>>,
+    senders: Vec<Sender<RtRequest>>,
+    workers: Vec<JoinHandle<()>>,
+    routers: Vec<JoinHandle<()>>,
+    /// Dropped on shutdown to stop routers even while clients still hold
+    /// cloned request senders.
+    stop_tx: Option<Sender<()>>,
+    next_task_id: Arc<AtomicU64>,
+}
+
+impl RtCluster {
+    /// Starts the cluster: spawns one router and `workers_per_server`
+    /// worker threads per server.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid configuration.
+    pub fn start(config: RtClusterConfig) -> RtCluster {
+        assert!(config.num_servers > 0, "need at least one server");
+        assert!(config.workers_per_server > 0, "need at least one worker");
+        let ring = Ring::new(config.num_servers, config.num_servers, config.replication);
+        let size_model = SizeModel::facebook_etc();
+        let service = match config.work {
+            WorkModel::SimulateService(m) => m,
+            WorkModel::Instant => ServiceModel::calibrated_size_linear(
+                1e9 / 3500.0,
+                size_model.mean_bytes(),
+                0.2,
+                ServiceNoise::None,
+            ),
+        };
+        let cost = CostModel::exact(service);
+
+        let mut servers = Vec::with_capacity(config.num_servers as usize);
+        let mut senders = Vec::with_capacity(config.num_servers as usize);
+        let mut workers = Vec::new();
+        let mut routers = Vec::new();
+        let (stop_tx, stop_rx) = unbounded::<()>();
+
+        for s in 0..config.num_servers {
+            let shared = Arc::new(ServerShared {
+                queue: Mutex::new(PriorityQueue::new()),
+                available: Condvar::new(),
+                store: ShardedStore::new(config.store_shards),
+                stop: AtomicBool::new(false),
+                served: AtomicU64::new(0),
+            });
+            let (tx, rx): (Sender<RtRequest>, Receiver<RtRequest>) = unbounded();
+
+            // Router: drains the channel into the priority queue so that
+            // priorities take effect the moment requests arrive, not in
+            // channel FIFO order. Exits when the cluster's stop channel
+            // closes (clients may still hold request senders then).
+            {
+                let shared = Arc::clone(&shared);
+                let stop_rx = stop_rx.clone();
+                routers.push(
+                    std::thread::Builder::new()
+                        .name(format!("brb-router-{s}"))
+                        .spawn(move || {
+                            loop {
+                                crossbeam::channel::select! {
+                                    recv(rx) -> msg => match msg {
+                                        Ok(req) => {
+                                            let mut q = shared.queue.lock();
+                                            q.push(req.priority, req);
+                                            drop(q);
+                                            shared.available.notify_one();
+                                        }
+                                        Err(_) => break,
+                                    },
+                                    recv(stop_rx) -> _ => break,
+                                }
+                            }
+                            // Wake workers so they observe the stop flag.
+                            shared.stop.store(true, Ordering::SeqCst);
+                            shared.available.notify_all();
+                        })
+                        .expect("spawn router"),
+                );
+            }
+
+            for w in 0..config.workers_per_server {
+                let shared = Arc::clone(&shared);
+                let work = config.work;
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("brb-worker-{s}-{w}"))
+                        .spawn(move || worker_loop(s, shared, work))
+                        .expect("spawn worker"),
+                );
+            }
+
+            servers.push(shared);
+            senders.push(tx);
+        }
+
+        RtCluster {
+            config,
+            ring,
+            cost,
+            size_model,
+            servers,
+            senders,
+            workers,
+            routers,
+            stop_tx: Some(stop_tx),
+            next_task_id: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Populates every replica with `num_keys` keys; the value of key `k`
+    /// is a zero-filled buffer of `size_of(k)` bytes, stored on exactly
+    /// the `R` servers that replicate `k`.
+    pub fn populate<F: Fn(u64) -> u64>(&self, num_keys: u64, size_of: F) {
+        for key in 0..num_keys {
+            let size = size_of(key).max(1) as usize;
+            let value = Bytes::from(vec![0u8; size]);
+            for server in self.ring.replicas_of_key(key) {
+                self.servers[server.index()].store.put(key, value.clone());
+            }
+        }
+    }
+
+    /// Populates with the Facebook-ETC size model (the paper's sizes).
+    pub fn populate_etc(&self, num_keys: u64) {
+        let m = self.size_model;
+        self.populate(num_keys, |k| m.size_of(k));
+    }
+
+    /// Creates a client handle sharing the cluster's task-id counter.
+    pub fn client(&self) -> RtClient {
+        RtClient::new(
+            self.ring.clone(),
+            self.cost,
+            self.config.policy,
+            self.size_model,
+            self.senders.clone(),
+            Arc::clone(&self.next_task_id),
+        )
+    }
+
+    /// Requests served per server.
+    pub fn served_per_server(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.served.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The cluster's ring (for tests and demos).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The size model used by `populate_etc` and client forecasts.
+    pub fn size_model(&self) -> &SizeModel {
+        &self.size_model
+    }
+
+    /// Stops all threads and joins them. Callers should drain their tasks
+    /// first: requests still queued when shutdown starts are dropped.
+    pub fn shutdown(mut self) {
+        // Closing the stop channel ends the routers (even if clients
+        // still hold request senders); routers set stop and wake workers.
+        drop(self.stop_tx.take());
+        drop(self.senders);
+        for r in self.routers {
+            r.join().expect("router panicked");
+        }
+        for s in &self.servers {
+            s.stop.store(true, Ordering::SeqCst);
+            s.available.notify_all();
+        }
+        for w in self.workers {
+            w.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel) {
+    loop {
+        let req = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some((_, req)) = q.pop() {
+                    break req;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.available.wait(&mut q);
+            }
+        };
+        let started = Instant::now();
+        let value = shared.store.get(req.key);
+        if let WorkModel::SimulateService(model) = work {
+            let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
+            let ns = model.expected_ns(bytes);
+            std::thread::sleep(std::time::Duration::from_nanos(ns as u64));
+        }
+        let service_ns = started.elapsed().as_nanos() as u64;
+        let total_ns = req.submitted.elapsed().as_nanos() as u64;
+        let queue_len = shared.queue.lock().len();
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // The client may have given up (dropped receiver); ignore errors.
+        let _ = req.reply.send(RtResponse {
+            key: req.key,
+            req_idx: req.req_idx,
+            task_id: req.task_id,
+            value,
+            server: server_id,
+            queue_len,
+            service_ns,
+            total_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(policy: PolicyKind) -> RtCluster {
+        RtCluster::start(RtClusterConfig {
+            num_servers: 3,
+            workers_per_server: 2,
+            replication: 2,
+            policy,
+            work: WorkModel::Instant,
+            store_shards: 8,
+        })
+    }
+
+    #[test]
+    fn populate_places_replicas_on_ring() {
+        let c = cluster(PolicyKind::Fifo);
+        c.populate(300, |_| 8);
+        for key in 0..300u64 {
+            let replicas = c.ring.replicas_of_key(key);
+            assert_eq!(replicas.len(), 2);
+            for s in 0..3u64 {
+                let has = c.servers[s as usize].store.contains(key);
+                let should = replicas.contains(&brb_store::ids::ServerId::new(s));
+                assert_eq!(has, should, "key {key} server {s}");
+            }
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn serves_and_counts() {
+        let c = cluster(PolicyKind::EqualMax);
+        c.populate(100, |_| 16);
+        let client = c.client();
+        for _ in 0..50 {
+            let resp = client.fetch(&[1, 2, 3, 4, 5]);
+            assert_eq!(resp.values.len(), 5);
+            assert!(resp.values.iter().all(|v| v.is_some()));
+        }
+        let served: u64 = c.served_per_server().iter().sum();
+        assert_eq!(served, 250);
+        c.shutdown();
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let c = cluster(PolicyKind::Fifo);
+        c.populate(10, |_| 4);
+        let client = c.client();
+        let resp = client.fetch(&[99_999]);
+        assert!(resp.values[0].is_none());
+        c.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let c = cluster(PolicyKind::UnifIncr);
+        c.populate(10, |_| 4);
+        let client = c.client();
+        let _ = client.fetch(&[0, 1]);
+        c.shutdown(); // must not hang or panic
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cluster() {
+        let c = Arc::new(cluster(PolicyKind::UnifIncr));
+        c.populate(1_000, |k| (k % 100) + 1);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let client = c.client();
+                for i in 0..100u64 {
+                    let keys: Vec<u64> = (0..5).map(|j| (t * 211 + i * 7 + j) % 1_000).collect();
+                    let resp = client.fetch(&keys);
+                    assert_eq!(resp.values.len(), 5);
+                    assert!(resp.values.iter().all(|v| v.is_some()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let served: u64 = c.served_per_server().iter().sum();
+        assert_eq!(served, 4 * 100 * 5);
+        Arc::try_unwrap(c).ok().expect("sole owner").shutdown();
+    }
+}

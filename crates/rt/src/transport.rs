@@ -1,0 +1,85 @@
+//! Message types and the in-process transport.
+//!
+//! Requests travel over a per-server channel into the server's priority
+//! queue; responses return over a per-client channel. Payloads are
+//! [`bytes::Bytes`] so values move by reference count, never by copy.
+
+use brb_sched::Priority;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use std::time::Instant;
+
+/// A read request submitted to a server.
+#[derive(Debug)]
+pub struct RtRequest {
+    /// The key to read.
+    pub key: u64,
+    /// Scheduling priority (lower serves first).
+    pub priority: Priority,
+    /// Task-local request index, echoed in the response.
+    pub req_idx: u32,
+    /// Task id, echoed in the response.
+    pub task_id: u64,
+    /// When the client submitted it (for latency accounting).
+    pub submitted: Instant,
+    /// Where to deliver the response.
+    pub reply: Sender<RtResponse>,
+}
+
+/// A server's response to one request.
+#[derive(Debug)]
+pub struct RtResponse {
+    /// The requested key.
+    pub key: u64,
+    /// Task-local request index from the request.
+    pub req_idx: u32,
+    /// Task id from the request.
+    pub task_id: u64,
+    /// The value, or `None` if the key is unknown.
+    pub value: Option<Bytes>,
+    /// Which server served it.
+    pub server: u32,
+    /// Queue length observed when the response left (piggyback feedback,
+    /// as in C3).
+    pub queue_len: usize,
+    /// Wall-clock service latency, nanoseconds (queue wait excluded).
+    pub service_ns: u64,
+    /// Wall-clock total latency, nanoseconds (submit → response send).
+    pub total_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn request_round_trips_over_channels() {
+        let (tx, rx) = unbounded();
+        let req = RtRequest {
+            key: 7,
+            priority: Priority(3),
+            req_idx: 0,
+            task_id: 1,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        // Simulate a server answering.
+        req.reply
+            .send(RtResponse {
+                key: req.key,
+                req_idx: req.req_idx,
+                task_id: req.task_id,
+                value: Some(Bytes::from_static(b"v")),
+                server: 0,
+                queue_len: 0,
+                service_ns: 10,
+                total_ns: 20,
+            })
+            .unwrap();
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.key, 7);
+        assert_eq!(resp.task_id, 1);
+        assert_eq!(resp.value.unwrap(), Bytes::from_static(b"v"));
+    }
+}

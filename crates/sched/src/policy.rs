@@ -1,0 +1,317 @@
+//! Priority-assignment algorithms.
+//!
+//! "When receiving a task, clients subdivide it into a set of sub-tasks,
+//! one for each replica group ... Clients then determine the bottleneck
+//! sub-task based on the costliest sub-task and assign a priority to every
+//! request in the task." (§2.1)
+//!
+//! The two BRB algorithms:
+//!
+//! * **EqualMax** — every request gets the bottleneck sub-task's cost as
+//!   its priority: tasks with shorter bottlenecks are served first
+//!   (Shortest-Job-First where the "job length" is the task's bottleneck).
+//! * **UnifIncr** — each request is ranked by its *slack* behind the
+//!   bottleneck, `bottleneck − own_cost`: requests with long forecast
+//!   service times are likely to bottleneck their task and get the highest
+//!   priority.
+//!
+//! Baselines and ablation policies round out the space: task-oblivious
+//! **FIFO**, per-request **SJF** (cost-aware but task-oblivious — isolates
+//! the value of task awareness), **UnifIncrSubtask** (slack computed at
+//! sub-task rather than request granularity) and **EDF** (earliest
+//! forecast deadline first).
+
+use crate::priority::Priority;
+use serde::{Deserialize, Serialize};
+
+/// What a policy may inspect about one task at assignment time. All costs
+/// are client-side forecasts in nanoseconds (`brb-store::CostModel`).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    /// Task arrival time at the client, nanoseconds.
+    pub arrival_ns: u64,
+    /// Forecast cost of each request.
+    pub request_costs: &'a [u64],
+    /// Sub-task index (`0..subtask_costs.len()`) of each request.
+    pub request_subtask: &'a [usize],
+    /// Total forecast cost of each sub-task (sum of its requests' costs:
+    /// requests for one replica group may serialize on a single replica).
+    pub subtask_costs: &'a [u64],
+}
+
+impl<'a> TaskView<'a> {
+    /// The bottleneck sub-task's cost — the costliest sub-task, which
+    /// lower-bounds the task's completion time.
+    pub fn bottleneck_cost(&self) -> u64 {
+        self.subtask_costs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Structural validation (used by debug assertions and tests).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.request_costs.len() != self.request_subtask.len() {
+            return Err("request arrays length mismatch".into());
+        }
+        if self.request_costs.is_empty() {
+            return Err("task has no requests".into());
+        }
+        for &s in self.request_subtask {
+            if s >= self.subtask_costs.len() {
+                return Err(format!("sub-task index {s} out of range"));
+            }
+        }
+        // Sub-task costs must equal the sum of their requests' costs.
+        let mut sums = vec![0u64; self.subtask_costs.len()];
+        for (&c, &s) in self.request_costs.iter().zip(self.request_subtask) {
+            sums[s] += c;
+        }
+        if sums != self.subtask_costs {
+            return Err("sub-task costs do not sum request costs".into());
+        }
+        Ok(())
+    }
+}
+
+/// A priority-assignment algorithm.
+pub trait PriorityPolicy {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Assigns one priority per request (same order as
+    /// `view.request_costs`). Lower priorities serve first.
+    fn assign(&self, view: &TaskView<'_>) -> Vec<Priority>;
+
+    /// Whether this policy uses task structure (for reporting).
+    fn is_task_aware(&self) -> bool;
+}
+
+/// The available policies, serializable for experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Task-oblivious FIFO: priority is the task's arrival time, so
+    /// requests serve in global arrival order (what C3's servers do).
+    Fifo,
+    /// BRB EqualMax: every request inherits the bottleneck cost.
+    EqualMax,
+    /// BRB UnifIncr: slack behind the bottleneck, per request.
+    UnifIncr,
+    /// Ablation: UnifIncr with slack at sub-task granularity
+    /// (`bottleneck − own_subtask_cost`).
+    UnifIncrSubtask,
+    /// Ablation: per-request SJF (cost-aware, task-oblivious).
+    Sjf,
+    /// Ablation: earliest-deadline-first with deadline
+    /// `arrival + bottleneck`.
+    Edf,
+}
+
+impl PolicyKind {
+    /// Every policy, in canonical report order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Fifo,
+        PolicyKind::EqualMax,
+        PolicyKind::UnifIncr,
+        PolicyKind::UnifIncrSubtask,
+        PolicyKind::Sjf,
+        PolicyKind::Edf,
+    ];
+}
+
+impl PriorityPolicy for PolicyKind {
+    fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::EqualMax => "equal-max",
+            PolicyKind::UnifIncr => "unif-incr",
+            PolicyKind::UnifIncrSubtask => "unif-incr-subtask",
+            PolicyKind::Sjf => "sjf",
+            PolicyKind::Edf => "edf",
+        }
+    }
+
+    fn is_task_aware(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::EqualMax
+                | PolicyKind::UnifIncr
+                | PolicyKind::UnifIncrSubtask
+                | PolicyKind::Edf
+        )
+    }
+
+    fn assign(&self, view: &TaskView<'_>) -> Vec<Priority> {
+        debug_assert!(view.validate().is_ok(), "{:?}", view.validate());
+        let n = view.request_costs.len();
+        match self {
+            PolicyKind::Fifo => vec![Priority::from_deadline_ns(view.arrival_ns); n],
+            PolicyKind::EqualMax => {
+                let b = view.bottleneck_cost();
+                vec![Priority::from_cost_ns(b); n]
+            }
+            PolicyKind::UnifIncr => {
+                let b = view.bottleneck_cost();
+                view.request_costs
+                    .iter()
+                    .map(|&c| Priority::from_cost_ns(b.saturating_sub(c)))
+                    .collect()
+            }
+            PolicyKind::UnifIncrSubtask => {
+                let b = view.bottleneck_cost();
+                view.request_subtask
+                    .iter()
+                    .map(|&s| Priority::from_cost_ns(b.saturating_sub(view.subtask_costs[s])))
+                    .collect()
+            }
+            PolicyKind::Sjf => view
+                .request_costs
+                .iter()
+                .map(|&c| Priority::from_cost_ns(c))
+                .collect(),
+            PolicyKind::Edf => {
+                let deadline = view.arrival_ns.saturating_add(view.bottleneck_cost());
+                vec![Priority::from_deadline_ns(deadline); n]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A task shaped like Figure 1's T1 = [A, B, C]: A alone on one
+    /// sub-task (cost 1), B and C together on another (cost 2).
+    fn figure1_t1() -> (Vec<u64>, Vec<usize>, Vec<u64>) {
+        (vec![100, 100, 100], vec![0, 1, 1], vec![100, 200])
+    }
+
+    fn view<'a>(
+        arrival: u64,
+        costs: &'a [u64],
+        groups: &'a [usize],
+        subtasks: &'a [u64],
+    ) -> TaskView<'a> {
+        TaskView {
+            arrival_ns: arrival,
+            request_costs: costs,
+            request_subtask: groups,
+            subtask_costs: subtasks,
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_costliest_subtask() {
+        let (c, g, s) = figure1_t1();
+        let v = view(0, &c, &g, &s);
+        assert_eq!(v.bottleneck_cost(), 200);
+        assert!(v.validate().is_ok());
+    }
+
+    #[test]
+    fn equal_max_gives_uniform_bottleneck_priority() {
+        let (c, g, s) = figure1_t1();
+        let p = PolicyKind::EqualMax.assign(&view(0, &c, &g, &s));
+        assert_eq!(p, vec![Priority(200); 3]);
+    }
+
+    #[test]
+    fn equal_max_prefers_shorter_bottleneck_tasks() {
+        // T2 = [D, E] with two singleton sub-tasks of cost 100 → bottleneck
+        // 100, beats T1's 200 in a priority queue.
+        let t2 = view(0, &[100, 100], &[0, 1], &[100, 100]);
+        let p2 = PolicyKind::EqualMax.assign(&t2);
+        let (c, g, s) = figure1_t1();
+        let p1 = PolicyKind::EqualMax.assign(&view(0, &c, &g, &s));
+        assert!(p2[0] < p1[0], "shorter-bottleneck task must rank first");
+    }
+
+    #[test]
+    fn unif_incr_ranks_by_slack() {
+        // Costs 100 (slack 100) vs a hypothetical big request 200 (slack 0).
+        let v = view(0, &[100, 200], &[0, 1], &[100, 200]);
+        let p = PolicyKind::UnifIncr.assign(&v);
+        assert_eq!(p[0], Priority(100));
+        assert_eq!(p[1], Priority(0));
+        assert!(p[1] < p[0], "bottleneck-bound request is most urgent");
+    }
+
+    #[test]
+    fn unif_incr_slack_is_per_request_not_per_subtask() {
+        // Two requests share sub-task 0 (costs 50+150=200), bottleneck 200.
+        let v = view(0, &[50, 150, 120], &[0, 0, 1], &[200, 120]);
+        let p = PolicyKind::UnifIncr.assign(&v);
+        assert_eq!(p[0], Priority(150)); // 200-50
+        assert_eq!(p[1], Priority(50)); // 200-150
+        assert_eq!(p[2], Priority(80)); // 200-120
+        // Sub-task variant collapses requests of a group to one rank.
+        let ps = PolicyKind::UnifIncrSubtask.assign(&v);
+        assert_eq!(ps[0], ps[1]);
+        assert_eq!(ps[0], Priority(0)); // 200-200
+        assert_eq!(ps[2], Priority(80));
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_only() {
+        let (c, g, s) = figure1_t1();
+        let early = PolicyKind::Fifo.assign(&view(10, &c, &g, &s));
+        let late = PolicyKind::Fifo.assign(&view(20, &c, &g, &s));
+        assert!(early[0] < late[0]);
+        assert_eq!(early, vec![Priority(10); 3]);
+    }
+
+    #[test]
+    fn sjf_orders_by_request_cost() {
+        let v = view(0, &[300, 100, 200], &[0, 1, 2], &[300, 100, 200]);
+        let p = PolicyKind::Sjf.assign(&v);
+        assert!(p[1] < p[2] && p[2] < p[0]);
+    }
+
+    #[test]
+    fn edf_combines_arrival_and_bottleneck() {
+        let (c, g, s) = figure1_t1();
+        let p = PolicyKind::Edf.assign(&view(1_000, &c, &g, &s));
+        assert_eq!(p, vec![Priority(1_200); 3]);
+        // A later-arriving but much shorter task can still rank first.
+        let quick = view(1_050, &[50], &[0], &[50]);
+        let pq = PolicyKind::Edf.assign(&quick);
+        assert!(pq[0] < p[0]);
+    }
+
+    #[test]
+    fn task_awareness_flags() {
+        use PolicyKind::*;
+        assert!(!Fifo.is_task_aware());
+        assert!(!Sjf.is_task_aware());
+        for p in [EqualMax, UnifIncr, UnifIncrSubtask, Edf] {
+            assert!(p.is_task_aware(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["fifo", "equal-max", "unif-incr", "unif-incr-subtask", "sjf", "edf"]
+        );
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_views() {
+        // Length mismatch.
+        assert!(view(0, &[1, 2], &[0], &[3]).validate().is_err());
+        // Out-of-range sub-task.
+        assert!(view(0, &[1], &[2], &[1]).validate().is_err());
+        // Sums don't match.
+        assert!(view(0, &[1, 2], &[0, 0], &[4]).validate().is_err());
+        // Empty task.
+        assert!(view(0, &[], &[], &[]).validate().is_err());
+    }
+
+    #[test]
+    fn single_request_task_degenerates_gracefully() {
+        let v = view(5, &[42], &[0], &[42]);
+        assert_eq!(PolicyKind::EqualMax.assign(&v), vec![Priority(42)]);
+        assert_eq!(PolicyKind::UnifIncr.assign(&v), vec![Priority(0)]);
+        assert_eq!(PolicyKind::Sjf.assign(&v), vec![Priority(42)]);
+    }
+}

@@ -1,0 +1,499 @@
+//! The C3 baseline: adaptive replica selection with cubic queue penalty
+//! and client-side rate control (Suresh et al., *C3: Cutting Tail Latency
+//! in Cloud Data Stores via Adaptive Replica Selection*, NSDI 2015).
+//!
+//! Per the original design, each client maintains, per server:
+//!
+//! * EWMAs of observed response time `R̄`, piggybacked service time `s̄`
+//!   (= 1/µ̄) and piggybacked queue length `q̄`;
+//! * its own outstanding-request count `os`;
+//! * the **score** `Ψ = (R̄ − s̄) + q̂³ · s̄` with the concurrency-
+//!   compensated queue estimate `q̂ = 1 + os·w + q̄` (w ≈ number of
+//!   clients) — the cubic term penalizes long queues superlinearly so
+//!   clients back off *before* a server saturates;
+//! * a **CUBIC-style send-rate limiter**: sending and receive rates are
+//!   measured over a window; when the receive rate falls behind the send
+//!   rate the limit drops multiplicatively (β) and then grows back along a
+//!   cubic curve anchored at the old maximum.
+//!
+//! C3 is deliberately *task-oblivious*: every request is placed
+//! independently, which is exactly the gap BRB's task-aware scheduling
+//! closes.
+
+use crate::feedback::{ResponseFeedback, Selection, SelectionCtx};
+use crate::ReplicaSelector;
+use brb_store::ids::ServerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// C3 tuning parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct C3Config {
+    /// EWMA weight of a new sample, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Concurrency compensation `w` in `q̂ = 1 + os·w + q̄` (the C3 paper
+    /// uses the number of clients).
+    pub concurrency_weight: f64,
+    /// Multiplicative decrease factor β in `(0, 1)`.
+    pub rate_beta: f64,
+    /// CUBIC scaling constant C (rps per s³).
+    pub rate_scaling: f64,
+    /// Rate measurement window (ns).
+    pub rate_interval_ns: u64,
+    /// Initial per-server send-rate limit (requests/s).
+    pub initial_rate: f64,
+    /// Send-rate floor (requests/s) so probing never stops.
+    pub min_rate: f64,
+    /// Send-rate ceiling (requests/s).
+    pub max_rate: f64,
+    /// Token-bucket burst in seconds of rate.
+    pub burst_secs: f64,
+}
+
+impl C3Config {
+    /// Defaults matching the paper's setting with `num_clients` clients.
+    pub fn paper_default(num_clients: u32) -> Self {
+        C3Config {
+            ewma_alpha: 0.2,
+            concurrency_weight: num_clients as f64,
+            rate_beta: 0.5,
+            rate_scaling: 8_000.0,
+            rate_interval_ns: 20_000_000, // 20 ms
+            initial_rate: 2_000.0,
+            min_rate: 50.0,
+            max_rate: 100_000.0,
+            burst_secs: 0.02,
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.ewma_alpha && self.ewma_alpha <= 1.0) {
+            return Err(format!("ewma_alpha out of range: {}", self.ewma_alpha));
+        }
+        if !(0.0 < self.rate_beta && self.rate_beta < 1.0) {
+            return Err(format!("rate_beta out of range: {}", self.rate_beta));
+        }
+        if self.rate_interval_ns == 0 {
+            return Err("rate_interval must be positive".into());
+        }
+        if !(self.min_rate > 0.0 && self.min_rate <= self.initial_rate
+            && self.initial_rate <= self.max_rate)
+        {
+            return Err("need 0 < min_rate <= initial_rate <= max_rate".into());
+        }
+        if self.rate_scaling <= 0.0 || self.burst_secs <= 0.0 {
+            return Err("rate_scaling and burst_secs must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Exponentially-weighted moving average initialized on first sample.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    value: Option<f64>,
+}
+
+impl Ewma {
+    fn update(&mut self, sample: f64, alpha: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => alpha * sample + (1.0 - alpha) * v,
+        });
+    }
+
+    fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// CUBIC-style rate limiter state for one server.
+#[derive(Debug, Clone, Copy)]
+struct RateState {
+    /// Current send-rate limit (requests/s).
+    rate: f64,
+    /// Token bucket enforcing `rate`.
+    tokens: f64,
+    last_refill_ns: u64,
+    /// Rate at the last decrease (CUBIC's W_max anchor).
+    w_max: f64,
+    /// When the current cubic growth epoch started (ns), if decreased.
+    epoch_start_ns: Option<u64>,
+    /// Window accounting.
+    window_start_ns: u64,
+    sent_in_window: u64,
+    received_in_window: u64,
+}
+
+impl RateState {
+    fn new(cfg: &C3Config) -> Self {
+        RateState {
+            rate: cfg.initial_rate,
+            tokens: (cfg.initial_rate * cfg.burst_secs).max(1.0),
+            last_refill_ns: 0,
+            w_max: cfg.initial_rate,
+            epoch_start_ns: None,
+            window_start_ns: 0,
+            sent_in_window: 0,
+            received_in_window: 0,
+        }
+    }
+
+    fn refill(&mut self, now_ns: u64, cfg: &C3Config) {
+        if now_ns > self.last_refill_ns {
+            let dt = (now_ns - self.last_refill_ns) as f64 / 1e9;
+            let burst = (self.rate * cfg.burst_secs).max(1.0);
+            self.tokens = (self.tokens + self.rate * dt).min(burst);
+            self.last_refill_ns = now_ns;
+        }
+    }
+
+    fn try_take(&mut self, now_ns: u64, cfg: &C3Config) -> bool {
+        self.refill(now_ns, cfg);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.sent_in_window += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ns_until_token(&mut self, now_ns: u64, cfg: &C3Config) -> u64 {
+        self.refill(now_ns, cfg);
+        if self.tokens >= 1.0 {
+            0
+        } else {
+            ((1.0 - self.tokens) / self.rate * 1e9).ceil() as u64
+        }
+    }
+
+    /// Rolls the measurement window if due and adapts the rate limit.
+    fn maybe_adapt(&mut self, now_ns: u64, cfg: &C3Config) {
+        if now_ns.saturating_sub(self.window_start_ns) < cfg.rate_interval_ns {
+            return;
+        }
+        let sent = self.sent_in_window as f64;
+        let received = self.received_in_window as f64;
+        self.sent_in_window = 0;
+        self.received_in_window = 0;
+        self.window_start_ns = now_ns;
+
+        // A window's last few sends are still in flight when it closes, so
+        // received always lags sent slightly; demand a real deficit (and a
+        // minimum sample) before treating it as congestion.
+        if sent >= 8.0 && received < sent * 0.75 {
+            // Receiving substantially slower than sending: multiplicative
+            // decrease, anchor the cubic at the pre-decrease rate.
+            self.w_max = self.rate;
+            self.rate = (self.rate * cfg.rate_beta).max(cfg.min_rate);
+            self.epoch_start_ns = Some(now_ns);
+        } else if let Some(t0) = self.epoch_start_ns {
+            // CUBIC growth: rate(t) = C·(Δt − K)³ + W_max, with
+            // K = ∛(W_max·(1−β)/C) so growth starts at β·W_max.
+            let dt = (now_ns - t0) as f64 / 1e9;
+            let k = (self.w_max * (1.0 - cfg.rate_beta) / cfg.rate_scaling).cbrt();
+            let target = cfg.rate_scaling * (dt - k).powi(3) + self.w_max;
+            self.rate = target.clamp(cfg.min_rate, cfg.max_rate);
+        } else {
+            // No congestion seen yet: gentle multiplicative probe upward.
+            self.rate = (self.rate * 1.05).min(cfg.max_rate);
+        }
+    }
+}
+
+/// Per-server statistics a C3 client maintains.
+#[derive(Debug)]
+struct ServerState {
+    response_ns: Ewma,
+    service_ns: Ewma,
+    queue_len: Ewma,
+    outstanding: u64,
+    rate: RateState,
+}
+
+/// The C3 replica selector (one instance per client).
+#[derive(Debug)]
+pub struct C3Selector {
+    config: C3Config,
+    servers: HashMap<ServerId, ServerState>,
+}
+
+impl C3Selector {
+    /// Creates a selector with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: C3Config) -> Self {
+        config.validate().expect("invalid C3 config");
+        C3Selector {
+            config,
+            servers: HashMap::new(),
+        }
+    }
+
+    fn state_mut(&mut self, server: ServerId) -> &mut ServerState {
+        let cfg = self.config;
+        self.servers.entry(server).or_insert_with(|| ServerState {
+            response_ns: Ewma::default(),
+            service_ns: Ewma::default(),
+            queue_len: Ewma::default(),
+            outstanding: 0,
+            rate: RateState::new(&cfg),
+        })
+    }
+
+    /// The C3 score Ψ for one server — lower is better. Unknown servers
+    /// score as if idle with a small default service time, so cold
+    /// replicas get probed.
+    pub fn score(&self, server: ServerId) -> f64 {
+        match self.servers.get(&server) {
+            None => 0.0,
+            Some(st) => {
+                let s_bar = st.service_ns.get_or(100_000.0); // 100µs default
+                let r_bar = st.response_ns.get_or(s_bar);
+                let q_bar = st.queue_len.get_or(0.0);
+                let q_hat =
+                    1.0 + st.outstanding as f64 * self.config.concurrency_weight + q_bar;
+                (r_bar - s_bar) + q_hat.powi(3) * s_bar
+            }
+        }
+    }
+
+    /// The current send-rate limit toward `server` (diagnostics).
+    pub fn rate_limit(&self, server: ServerId) -> f64 {
+        self.servers
+            .get(&server)
+            .map_or(self.config.initial_rate, |s| s.rate.rate)
+    }
+}
+
+impl ReplicaSelector for C3Selector {
+    fn name(&self) -> &'static str {
+        "c3"
+    }
+
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
+        debug_assert!(!ctx.candidates.is_empty());
+        // Rank candidates by score (stable on server id for determinism).
+        let mut ranked: Vec<ServerId> = ctx.candidates.to_vec();
+        ranked.sort_by(|a, b| {
+            self.score(*a)
+                .partial_cmp(&self.score(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.raw().cmp(&b.raw()))
+        });
+        // Dispatch to the best-ranked server whose rate limiter admits us
+        // (C3's backpressure: skip rate-limited replicas).
+        let cfg = self.config;
+        for server in &ranked {
+            let st = self.state_mut(*server);
+            if st.rate.try_take(ctx.now_ns, &cfg) {
+                st.outstanding += 1;
+                return Selection::Dispatch(*server);
+            }
+        }
+        // All limited: report the soonest retry.
+        let retry = ranked
+            .iter()
+            .map(|s| {
+                let st = self.state_mut(*s);
+                st.rate.ns_until_token(ctx.now_ns, &cfg)
+            })
+            .min()
+            .unwrap_or(1_000_000);
+        Selection::RateLimited {
+            retry_in_ns: retry.max(1),
+        }
+    }
+
+    fn on_response(&mut self, server: ServerId, now_ns: u64, fb: &ResponseFeedback) {
+        let alpha = self.config.ewma_alpha;
+        let cfg = self.config;
+        let st = self.state_mut(server);
+        st.outstanding = st.outstanding.saturating_sub(1);
+        st.response_ns.update(fb.response_time_ns as f64, alpha);
+        st.service_ns.update(fb.service_time_ns as f64, alpha);
+        st.queue_len.update(fb.queue_len as f64, alpha);
+        st.rate.received_in_window += 1;
+        st.rate.maybe_adapt(now_ns, &cfg);
+    }
+
+    fn outstanding(&self, server: ServerId) -> u64 {
+        self.servers.get(&server).map_or(0, |s| s.outstanding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> C3Config {
+        C3Config::paper_default(18)
+    }
+
+    fn fb(response_us: u64, queue: u64, service_us: u64) -> ResponseFeedback {
+        ResponseFeedback {
+            response_time_ns: response_us * 1_000,
+            queue_len: queue,
+            service_time_ns: service_us * 1_000,
+        }
+    }
+
+    fn ctx<'a>(now_ns: u64, c: &'a [ServerId]) -> SelectionCtx<'a> {
+        SelectionCtx {
+            now_ns,
+            candidates: c,
+            value_bytes: 100,
+            oracle_queue_depths: None,
+        }
+    }
+
+    fn dispatched(sel: Selection) -> ServerId {
+        match sel {
+            Selection::Dispatch(s) => s,
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg().validate().is_ok());
+        let mut bad = cfg();
+        bad.ewma_alpha = 0.0;
+        assert!(bad.validate().is_err());
+        bad = cfg();
+        bad.rate_beta = 1.0;
+        assert!(bad.validate().is_err());
+        bad = cfg();
+        bad.min_rate = bad.max_rate + 1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn prefers_lightly_queued_server() {
+        let mut c3 = C3Selector::new(cfg());
+        let a = ServerId::new(0);
+        let b = ServerId::new(1);
+        // Teach the selector: a is heavily queued, b is idle.
+        c3.on_response(a, 1_000_000, &fb(5_000, 40, 280));
+        c3.on_response(b, 1_000_000, &fb(400, 0, 280));
+        assert!(c3.score(b) < c3.score(a), "b must score better");
+        let cands = [a, b];
+        assert_eq!(dispatched(c3.select(&ctx(2_000_000, &cands))), b);
+    }
+
+    #[test]
+    fn cubic_queue_penalty_dominates_response_time() {
+        let mut c3 = C3Selector::new(cfg());
+        let fast_but_queued = ServerId::new(0);
+        let slow_but_idle = ServerId::new(1);
+        // Queued server answers old requests fast (warm cache) but has a
+        // deep queue; idle server is slower per request.
+        c3.on_response(fast_but_queued, 1_000_000, &fb(300, 50, 100));
+        c3.on_response(slow_but_idle, 1_000_000, &fb(900, 0, 300));
+        assert!(
+            c3.score(slow_but_idle) < c3.score(fast_but_queued),
+            "cubic penalty must override raw response time"
+        );
+    }
+
+    #[test]
+    fn outstanding_requests_push_score_up() {
+        let mut c3 = C3Selector::new(cfg());
+        let a = ServerId::new(0);
+        let b = ServerId::new(1);
+        c3.on_response(a, 1_000, &fb(500, 1, 280));
+        c3.on_response(b, 1_000, &fb(500, 1, 280));
+        let cands = [a, b];
+        // Repeated dispatches without responses should alternate because
+        // outstanding counts inflate the just-picked server's score.
+        let first = dispatched(c3.select(&ctx(2_000, &cands)));
+        let second = dispatched(c3.select(&ctx(3_000, &cands)));
+        assert_ne!(first, second);
+        assert_eq!(c3.outstanding(first), 1);
+        assert_eq!(c3.outstanding(second), 1);
+    }
+
+    #[test]
+    fn rate_limiter_eventually_blocks() {
+        let mut config = cfg();
+        config.initial_rate = 100.0; // 100 rps, burst 2
+        config.min_rate = 10.0;
+        config.burst_secs = 0.02;
+        let mut c3 = C3Selector::new(config);
+        let a = ServerId::new(0);
+        let cands = [a];
+        let mut dispatches = 0;
+        let mut limited = false;
+        for _ in 0..10 {
+            match c3.select(&ctx(0, &cands)) {
+                Selection::Dispatch(_) => dispatches += 1,
+                Selection::RateLimited { retry_in_ns } => {
+                    limited = true;
+                    assert!(retry_in_ns > 0);
+                    break;
+                }
+            }
+        }
+        assert!(limited, "bucket should empty");
+        assert!(dispatches >= 1);
+        // Tokens return after enough time.
+        let later = 1_000_000_000;
+        assert!(matches!(
+            c3.select(&ctx(later, &cands)),
+            Selection::Dispatch(_)
+        ));
+    }
+
+    #[test]
+    fn rate_decreases_on_congestion_and_recovers_cubically() {
+        let mut config = cfg();
+        config.rate_interval_ns = 1_000_000; // 1ms windows for the test
+        config.initial_rate = 1_000.0;
+        let mut c3 = C3Selector::new(config);
+        let a = ServerId::new(0);
+        let cands = [a];
+        // Send a burst, acknowledge only a fraction → congestion.
+        let mut now = 0u64;
+        for _ in 0..10 {
+            let _ = c3.select(&ctx(now, &cands));
+            now += 10_000;
+        }
+        // Two acks out of ten sends, landing after the window.
+        c3.on_response(a, 1_100_000, &fb(500, 2, 280));
+        let after_decrease = c3.rate_limit(a);
+        assert!(
+            after_decrease < 1_000.0 * 0.6,
+            "rate should halve, got {after_decrease}"
+        );
+        // Calm traffic: acks flow, rate climbs back toward w_max.
+        let mut t = 2_000_000u64;
+        for _ in 0..200 {
+            if let Selection::Dispatch(_) = c3.select(&ctx(t, &cands)) {
+                c3.on_response(a, t + 500_000, &fb(500, 1, 280));
+            }
+            t += 2_000_000;
+        }
+        let recovered = c3.rate_limit(a);
+        assert!(
+            recovered > after_decrease * 1.5,
+            "rate should recover: {after_decrease} → {recovered}"
+        );
+    }
+
+    #[test]
+    fn unknown_servers_score_zero_and_get_probed() {
+        let c3 = C3Selector::new(cfg());
+        assert_eq!(c3.score(ServerId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_server_id() {
+        let mut c3 = C3Selector::new(cfg());
+        let cands = [ServerId::new(2), ServerId::new(0), ServerId::new(1)];
+        // No feedback: all scores 0 → lowest id wins.
+        assert_eq!(dispatched(c3.select(&ctx(0, &cands))), ServerId::new(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Types flowing between the engine and selectors.
+
+use brb_store::ids::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// What a selector sees when asked to place one request.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionCtx<'a> {
+    /// Current virtual time (ns).
+    pub now_ns: u64,
+    /// The replicas eligible for this key (the key's replica group), in
+    /// ring order.
+    pub candidates: &'a [ServerId],
+    /// Size of the requested value (selectors may weigh big reads
+    /// differently).
+    pub value_bytes: u64,
+    /// True instantaneous queue depths per candidate — only populated for
+    /// the oracle selector; realizable selectors must ignore it.
+    pub oracle_queue_depths: Option<&'a [u64]>,
+}
+
+/// The outcome of a selection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Send to this server now.
+    Dispatch(ServerId),
+    /// All candidates are rate-limited; retry after this many ns.
+    RateLimited {
+        /// Nanoseconds until the earliest candidate admits a request.
+        retry_in_ns: u64,
+    },
+}
+
+/// Server feedback piggybacked on a response (the C3 mechanism: "servers
+/// piggyback their queue sizes and service rates in their responses").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFeedback {
+    /// Client-observed response time: dispatch → response arrival (ns).
+    pub response_time_ns: u64,
+    /// Server's queue length sampled when the response left.
+    pub queue_len: u64,
+    /// Server-side service time of this request (ns).
+    pub service_time_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_variants_compare() {
+        assert_eq!(
+            Selection::Dispatch(ServerId::new(1)),
+            Selection::Dispatch(ServerId::new(1))
+        );
+        assert_ne!(
+            Selection::Dispatch(ServerId::new(1)),
+            Selection::RateLimited { retry_in_ns: 5 }
+        );
+    }
+
+    #[test]
+    fn feedback_serializes() {
+        let fb = ResponseFeedback {
+            response_time_ns: 100,
+            queue_len: 3,
+            service_time_ns: 50,
+        };
+        let json = serde_json::to_string(&fb).unwrap();
+        let back: ResponseFeedback = serde_json::from_str(&json).unwrap();
+        assert_eq!(fb, back);
+    }
+}

@@ -1,0 +1,55 @@
+//! # brb-select — replica selection strategies
+//!
+//! "replicated data stores provide the opportunity to lower latencies via
+//! intelligent replica selection: that is, selecting one out of multiple
+//! replica servers to serve a request in a load-aware fashion" (§2).
+//!
+//! This crate implements the selection strategies the evaluation needs:
+//!
+//! * [`c3::C3Selector`] — the state-of-the-art baseline the paper compares
+//!   against (Suresh et al., NSDI 2015): per-server scoring from EWMAs of
+//!   response time, service rate and piggybacked queue size, with cubic
+//!   queue penalty and concurrency compensation, plus CUBIC-style
+//!   client-side rate control per server.
+//! * [`simple::RandomSelector`], [`simple::RoundRobinSelector`],
+//!   [`simple::LeastOutstandingSelector`] — classic baselines.
+//! * [`simple::OracleSelector`] — picks the replica with the shortest
+//!   *true* queue (engine-provided hint); an unrealizable upper bound for
+//!   selection quality.
+//!
+//! All selectors implement [`ReplicaSelector`] and are driven by the
+//! engine through dispatch/response feedback callbacks.
+
+pub mod c3;
+pub mod feedback;
+pub mod simple;
+
+pub use c3::{C3Config, C3Selector};
+pub use feedback::{ResponseFeedback, Selection, SelectionCtx};
+pub use simple::{LeastOutstandingSelector, OracleSelector, RandomSelector, RoundRobinSelector};
+
+use brb_store::ids::ServerId;
+
+/// A client-side replica selection strategy.
+///
+/// One selector instance lives per *client*; all state it keeps is local
+/// to that client (the decentralized setting the paper stresses).
+pub trait ReplicaSelector {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a replica for the request described by `ctx`, or reports
+    /// that every candidate is rate-limited. On `Selection::Dispatch` the
+    /// selector has already accounted the request as outstanding.
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection;
+
+    /// Feedback when a response arrives from `server`.
+    fn on_response(&mut self, server: ServerId, now_ns: u64, feedback: &ResponseFeedback);
+
+    /// The number of requests this client currently has in flight to
+    /// `server` (diagnostics; selectors that do not track it return 0).
+    fn outstanding(&self, server: ServerId) -> u64 {
+        let _ = server;
+        0
+    }
+}

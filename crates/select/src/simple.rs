@@ -1,0 +1,241 @@
+//! Baseline selectors: random, round-robin, least-outstanding, oracle.
+
+use crate::feedback::{ResponseFeedback, Selection, SelectionCtx};
+use crate::ReplicaSelector;
+use brb_store::ids::ServerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Uniform-random replica choice — the naive Cassandra/Riak default
+/// before load-aware selection.
+#[derive(Debug)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates a selector with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ReplicaSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
+        debug_assert!(!ctx.candidates.is_empty());
+        let i = self.rng.random_range(0..ctx.candidates.len());
+        Selection::Dispatch(ctx.candidates[i])
+    }
+
+    fn on_response(&mut self, _server: ServerId, _now_ns: u64, _fb: &ResponseFeedback) {}
+}
+
+/// Round-robin across each request's candidate list.
+#[derive(Debug, Default)]
+pub struct RoundRobinSelector {
+    counter: u64,
+}
+
+impl RoundRobinSelector {
+    /// Creates a selector starting at the first candidate.
+    pub fn new() -> Self {
+        RoundRobinSelector { counter: 0 }
+    }
+}
+
+impl ReplicaSelector for RoundRobinSelector {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
+        debug_assert!(!ctx.candidates.is_empty());
+        let i = (self.counter as usize) % ctx.candidates.len();
+        self.counter += 1;
+        Selection::Dispatch(ctx.candidates[i])
+    }
+
+    fn on_response(&mut self, _server: ServerId, _now_ns: u64, _fb: &ResponseFeedback) {}
+}
+
+/// Pick the replica with the fewest of *this client's* requests in flight
+/// (the classic "least outstanding requests" heuristic; needs no server
+/// cooperation).
+#[derive(Debug, Default)]
+pub struct LeastOutstandingSelector {
+    outstanding: HashMap<ServerId, u64>,
+}
+
+impl LeastOutstandingSelector {
+    /// Creates an empty selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplicaSelector for LeastOutstandingSelector {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
+        debug_assert!(!ctx.candidates.is_empty());
+        let best = *ctx
+            .candidates
+            .iter()
+            .min_by_key(|s| (self.outstanding.get(s).copied().unwrap_or(0), s.raw()))
+            .expect("non-empty candidates");
+        *self.outstanding.entry(best).or_insert(0) += 1;
+        Selection::Dispatch(best)
+    }
+
+    fn on_response(&mut self, server: ServerId, _now_ns: u64, _fb: &ResponseFeedback) {
+        if let Some(n) = self.outstanding.get_mut(&server) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    fn outstanding(&self, server: ServerId) -> u64 {
+        self.outstanding.get(&server).copied().unwrap_or(0)
+    }
+}
+
+/// Pick the replica with the shortest *true* queue. Unrealizable (requires
+/// instantaneous global state); bounds how much better selection alone
+/// could get.
+#[derive(Debug, Default)]
+pub struct OracleSelector;
+
+impl OracleSelector {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        OracleSelector
+    }
+}
+
+impl ReplicaSelector for OracleSelector {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
+        debug_assert!(!ctx.candidates.is_empty());
+        let depths = ctx
+            .oracle_queue_depths
+            .expect("oracle selector requires oracle_queue_depths");
+        assert_eq!(depths.len(), ctx.candidates.len());
+        let (i, _) = depths
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &d)| (d, ctx.candidates[*i].raw()))
+            .expect("non-empty candidates");
+        Selection::Dispatch(ctx.candidates[i])
+    }
+
+    fn on_response(&mut self, _server: ServerId, _now_ns: u64, _fb: &ResponseFeedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<ServerId> {
+        vec![ServerId::new(0), ServerId::new(1), ServerId::new(2)]
+    }
+
+    fn ctx<'a>(c: &'a [ServerId], depths: Option<&'a [u64]>) -> SelectionCtx<'a> {
+        SelectionCtx {
+            now_ns: 0,
+            candidates: c,
+            value_bytes: 100,
+            oracle_queue_depths: depths,
+        }
+    }
+
+    fn dispatched(sel: Selection) -> ServerId {
+        match sel {
+            Selection::Dispatch(s) => s,
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let c = candidates();
+        let mut s = RandomSelector::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(dispatched(s.select(&ctx(&c, None))));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let c = candidates();
+        let mut s = RoundRobinSelector::new();
+        let picks: Vec<u64> = (0..6)
+            .map(|_| dispatched(s.select(&ctx(&c, None))).raw())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_balances() {
+        let c = candidates();
+        let mut s = LeastOutstandingSelector::new();
+        // Three dispatches without responses spread over all replicas.
+        let mut picked: Vec<u64> = (0..3)
+            .map(|_| dispatched(s.select(&ctx(&c, None))).raw())
+            .collect();
+        picked.sort_unstable();
+        assert_eq!(picked, vec![0, 1, 2]);
+        for sid in &c {
+            assert_eq!(s.outstanding(*sid), 1);
+        }
+        // A response frees server 1; it becomes the next pick.
+        s.on_response(
+            ServerId::new(1),
+            10,
+            &ResponseFeedback {
+                response_time_ns: 10,
+                queue_len: 0,
+                service_time_ns: 5,
+            },
+        );
+        assert_eq!(dispatched(s.select(&ctx(&c, None))), ServerId::new(1));
+    }
+
+    #[test]
+    fn oracle_picks_shortest_true_queue() {
+        let c = candidates();
+        let depths = [7u64, 2, 5];
+        let mut s = OracleSelector::new();
+        assert_eq!(
+            dispatched(s.select(&ctx(&c, Some(&depths)))),
+            ServerId::new(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle selector requires")]
+    fn oracle_without_depths_panics() {
+        let c = candidates();
+        OracleSelector::new().select(&ctx(&c, None));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RandomSelector::new(0).name(), "random");
+        assert_eq!(RoundRobinSelector::new().name(), "round-robin");
+        assert_eq!(LeastOutstandingSelector::new().name(), "least-outstanding");
+        assert_eq!(OracleSelector::new().name(), "oracle");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests on the C3 baseline's scoring and rate control.
+
+use brb_select::{C3Config, C3Selector, ReplicaSelector, ResponseFeedback, Selection, SelectionCtx};
+use brb_store::ids::ServerId;
+use proptest::prelude::*;
+
+fn fb(response_us: u64, queue: u64, service_us: u64) -> ResponseFeedback {
+    ResponseFeedback {
+        response_time_ns: response_us * 1_000,
+        queue_len: queue,
+        service_time_ns: service_us * 1_000,
+    }
+}
+
+proptest! {
+    /// The C3 score is monotone in the piggybacked queue length, all else
+    /// equal: deeper queues must never score better.
+    #[test]
+    fn score_monotone_in_queue_length(q1 in 0u64..100, q2 in 0u64..100) {
+        prop_assume!(q1 < q2);
+        let mut c3 = C3Selector::new(C3Config::paper_default(18));
+        let a = ServerId::new(0);
+        let b = ServerId::new(1);
+        c3.on_response(a, 1_000, &fb(500, q1, 280));
+        c3.on_response(b, 1_000, &fb(500, q2, 280));
+        prop_assert!(
+            c3.score(a) <= c3.score(b),
+            "queue {q1} scored worse than {q2}: {} vs {}",
+            c3.score(a),
+            c3.score(b)
+        );
+    }
+
+    /// Selection always returns a candidate from the provided list (never
+    /// invents servers), and outstanding counts track dispatches minus
+    /// responses exactly.
+    #[test]
+    fn selection_stays_within_candidates(
+        picks in 1usize..50,
+        servers in proptest::collection::vec(0u64..32, 1..6),
+    ) {
+        let distinct: Vec<ServerId> = {
+            let mut s: Vec<u64> = servers.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.into_iter().map(ServerId::new).collect()
+        };
+        let mut c3 = C3Selector::new(C3Config::paper_default(18));
+        let mut dispatched = std::collections::HashMap::new();
+        for i in 0..picks {
+            let ctx = SelectionCtx {
+                now_ns: i as u64 * 1_000_000,
+                candidates: &distinct,
+                value_bytes: 100,
+                oracle_queue_depths: None,
+            };
+            match c3.select(&ctx) {
+                Selection::Dispatch(s) => {
+                    prop_assert!(distinct.contains(&s), "picked non-candidate {s}");
+                    *dispatched.entry(s).or_insert(0u64) += 1;
+                }
+                Selection::RateLimited { retry_in_ns } => {
+                    prop_assert!(retry_in_ns > 0);
+                }
+            }
+        }
+        for (&s, &n) in &dispatched {
+            prop_assert_eq!(c3.outstanding(s), n);
+        }
+        // Acknowledge everything; outstanding must return to zero.
+        for (&s, &n) in &dispatched {
+            for _ in 0..n {
+                c3.on_response(s, 10_000_000, &fb(400, 1, 280));
+            }
+            prop_assert_eq!(c3.outstanding(s), 0);
+        }
+    }
+
+    /// The rate limit always stays within the configured envelope, no
+    /// matter the feedback pattern.
+    #[test]
+    fn rate_limit_stays_in_envelope(
+        events in proptest::collection::vec((0u64..2_000_000, proptest::bool::ANY), 1..200),
+    ) {
+        let config = C3Config::paper_default(18);
+        let mut c3 = C3Selector::new(config);
+        let s = ServerId::new(0);
+        let cands = [s];
+        let mut now = 0u64;
+        for (dt, is_ack) in events {
+            now += dt;
+            if is_ack {
+                c3.on_response(s, now, &fb(500, 2, 280));
+            } else {
+                let _ = c3.select(&SelectionCtx {
+                    now_ns: now,
+                    candidates: &cands,
+                    value_bytes: 64,
+                    oracle_queue_depths: None,
+                });
+            }
+            let rate = c3.rate_limit(s);
+            prop_assert!(
+                rate >= config.min_rate && rate <= config.max_rate,
+                "rate {rate} escaped [{}, {}]",
+                config.min_rate,
+                config.max_rate
+            );
+        }
+    }
+}

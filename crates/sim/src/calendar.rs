@@ -1,0 +1,181 @@
+//! The event calendar: a priority queue of future events ordered by time.
+//!
+//! Determinism requires a total order on events. Two events scheduled for
+//! the same instant are executed in the order they were *scheduled*
+//! (insertion sequence), never in an order that depends on heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queued for execution at a given virtual instant.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reverse temporal order so `BinaryHeap` (a max-heap) pops the
+    /// *earliest* event; ties broken by insertion sequence, earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic calendar of future events.
+///
+/// Pops events in non-decreasing time order; events with equal timestamps
+/// pop in insertion order. This is the only ordering structure in the
+/// kernel, so simulations are reproducible bit-for-bit given equal seeds.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty calendar with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Calendar {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` for execution at instant `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drops all queued events, keeping the sequence counter (so ordering
+    /// of later inserts remains globally consistent).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_nanos(30), "c");
+        cal.push(SimTime::from_nanos(10), "a");
+        cal.push(SimTime::from_nanos(20), "b");
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            cal.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.peek_time(), None);
+        cal.push(SimTime::from_nanos(7), ());
+        cal.push(SimTime::from_nanos(3), ());
+        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(3)));
+        cal.pop();
+        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(7)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::ZERO, 1);
+        cal.push(SimTime::ZERO, 2);
+        assert_eq!(cal.len(), 2);
+        assert!(!cal.is_empty());
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut cal = Calendar::new();
+        cal.push(SimTime::from_nanos(10), 10);
+        cal.push(SimTime::from_nanos(5), 5);
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(5), 5)));
+        cal.push(SimTime::from_nanos(1), 1);
+        cal.push(SimTime::from_nanos(20), 20);
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(1), 1)));
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(10), 10)));
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(20), 20)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Strongly-typed entity identifiers.
+//!
+//! The cluster model juggles several kinds of small integer ids (clients,
+//! servers, tasks, requests, partitions). [`crate::define_id!`] stamps out a
+//! newtype per kind so they cannot be confused, at zero runtime cost.
+
+/// Defines a `Copy` newtype wrapping `u64` (or a chosen integer) with
+/// conversion helpers, `Display`, and ordered/hashable semantics.
+///
+/// ```
+/// brb_sim::define_id!(
+///     /// Identifies a widget.
+///     WidgetId
+/// );
+/// let w = WidgetId::new(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(format!("{w}"), "WidgetId(3)");
+/// ```
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index as `u64`.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The raw index as `usize` (for direct slice indexing).
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                $name(raw as u64)
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(
+        /// Test id.
+        TestId
+    );
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = TestId::new(17);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(TestId::from(17u64), id);
+        assert_eq!(TestId::from(17usize), id);
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(TestId::new(1) < TestId::new(2));
+        assert_eq!(format!("{}", TestId::new(5)), "TestId(5)");
+        assert_eq!(format!("{:?}", TestId::new(5)), "TestId(5)");
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(TestId::new(1), "one");
+        assert_eq!(m[&TestId::new(1)], "one");
+    }
+}

@@ -1,0 +1,121 @@
+//! Client-side cost forecasting.
+//!
+//! BRB's priority assignment consumes a *forecast* of each request's
+//! service time, derived from the size of the value it requests ("requests
+//! that have longer forecasted service times (based on the size of the
+//! value they are requesting) should be given a higher priority"). The
+//! forecast is what the *client* can know — it excludes server-side noise.
+//!
+//! [`CostModel`] wraps a [`ServiceModel`] and optionally degrades the
+//! forecast (stale or quantized size information) so ablations can measure
+//! how sensitive the BRB policies are to forecast quality.
+
+use crate::service::ServiceModel;
+use serde::{Deserialize, Serialize};
+
+/// How accurately clients can forecast service times from value sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForecastQuality {
+    /// Clients know the exact expected service time for the size.
+    Exact,
+    /// Clients only know the size rounded up to the next power of two
+    /// (e.g. a size-class hint from the storage tier).
+    SizeClass,
+    /// Clients see no size signal at all; every request forecasts the
+    /// population mean (degrades BRB to size-blind task-awareness).
+    Blind {
+        /// The population mean value size used for the flat forecast.
+        mean_value_bytes: f64,
+    },
+}
+
+/// Forecasts request costs for priority assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    service: ServiceModel,
+    quality: ForecastQuality,
+}
+
+impl CostModel {
+    /// A cost model forecasting with the given quality against the
+    /// cluster's service model.
+    pub fn new(service: ServiceModel, quality: ForecastQuality) -> Self {
+        CostModel { service, quality }
+    }
+
+    /// Exact forecasts (the paper's implicit assumption).
+    pub fn exact(service: ServiceModel) -> Self {
+        CostModel::new(service, ForecastQuality::Exact)
+    }
+
+    /// The forecast quality in use.
+    pub fn quality(&self) -> ForecastQuality {
+        self.quality
+    }
+
+    /// Forecast cost, in nanoseconds, of reading a value of `bytes`.
+    /// Deterministic: equal inputs forecast equal costs.
+    pub fn forecast_ns(&self, bytes: u64) -> u64 {
+        let ns = match self.quality {
+            ForecastQuality::Exact => self.service.expected_ns(bytes),
+            ForecastQuality::SizeClass => {
+                let class = bytes.max(1).next_power_of_two();
+                self.service.expected_ns(class)
+            }
+            ForecastQuality::Blind { mean_value_bytes } => {
+                self.service.expected_ns(mean_value_bytes.round() as u64)
+            }
+        };
+        ns.round().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceNoise;
+
+    fn service() -> ServiceModel {
+        ServiceModel::calibrated_size_linear(285_714.0, 300.0, 0.5, ServiceNoise::None)
+    }
+
+    #[test]
+    fn exact_matches_service_expectation() {
+        let c = CostModel::exact(service());
+        for bytes in [1u64, 300, 5_000, 1 << 20] {
+            assert_eq!(c.forecast_ns(bytes), service().expected_ns(bytes).round() as u64);
+        }
+    }
+
+    #[test]
+    fn size_class_rounds_up() {
+        let c = CostModel::new(service(), ForecastQuality::SizeClass);
+        // 300 → class 512.
+        assert_eq!(c.forecast_ns(300), service().expected_ns(512).round() as u64);
+        // Exact powers of two map to themselves.
+        assert_eq!(c.forecast_ns(512), service().expected_ns(512).round() as u64);
+        // Class forecasts never underestimate the exact forecast.
+        for bytes in 1..2_000u64 {
+            assert!(c.forecast_ns(bytes) >= CostModel::exact(service()).forecast_ns(bytes));
+        }
+    }
+
+    #[test]
+    fn blind_is_flat() {
+        let c = CostModel::new(
+            service(),
+            ForecastQuality::Blind {
+                mean_value_bytes: 300.0,
+            },
+        );
+        assert_eq!(c.forecast_ns(1), c.forecast_ns(1 << 20));
+        assert_eq!(c.forecast_ns(1), service().expected_ns(300).round() as u64);
+    }
+
+    #[test]
+    fn forecasts_are_deterministic_and_positive() {
+        let c = CostModel::exact(service());
+        assert_eq!(c.forecast_ns(777), c.forecast_ns(777));
+        assert!(c.forecast_ns(0) >= 1);
+    }
+}

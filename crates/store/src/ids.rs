@@ -1,0 +1,54 @@
+//! Shared strongly-typed identifiers.
+//!
+//! Defined once here so every crate (scheduling, selection, engine,
+//! runtime) agrees on the types.
+
+use brb_sim::define_id;
+
+define_id!(
+    /// An application server ("client" in the paper's terminology): the
+    /// tier that receives user requests and fans out data-store reads.
+    ClientId
+);
+
+define_id!(
+    /// A storage server in the backend tier.
+    ServerId
+);
+
+define_id!(
+    /// A data partition (hash slice of the key space).
+    PartitionId
+);
+
+define_id!(
+    /// A replica group: the distinct set of servers holding copies of a
+    /// partition. Sub-tasks are formed per replica group.
+    GroupId
+);
+
+define_id!(
+    /// A task: one end-user request fanning out to many reads.
+    TaskId
+);
+
+define_id!(
+    /// A single read request (sub-operation of a task).
+    RequestId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property: mixing them up would not compile. Here we
+        // just sanity-check runtime behaviour.
+        let c = ClientId::new(1);
+        let s = ServerId::new(1);
+        assert_eq!(c.raw(), s.raw());
+        assert_eq!(format!("{c}"), "ClientId(1)");
+        assert_eq!(format!("{s}"), "ServerId(1)");
+    }
+}

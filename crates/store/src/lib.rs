@@ -1,0 +1,33 @@
+//! # brb-store — data-store substrate
+//!
+//! Models the replicated, partitioned data store BRB schedules against
+//! (the paper targets Cassandra/Riak-style stores):
+//!
+//! * [`ids`] — strongly-typed identifiers shared across the workspace
+//!   (clients, servers, partitions, replica groups, tasks, requests).
+//! * [`partition::Ring`] — Cassandra-style ring placement: keys hash to
+//!   partitions; partition *p* replicates on `R` consecutive servers. A
+//!   *replica group* is the distinct server set of a partition; tasks are
+//!   split into one sub-task per replica group.
+//! * [`service::ServiceModel`] — per-request service times. The paper's
+//!   servers average 3 500 requests/s per core with service cost driven by
+//!   value size; [`service::ServiceModel::calibrated_size_linear`]
+//!   constructs the size-proportional model whose mean over the workload's
+//!   value-size distribution equals the target rate.
+//! * [`cost::CostModel`] — the *client-side forecast* of a request's
+//!   service time given the value size it requests (BRB's priority
+//!   assignment input).
+//! * [`kv::ShardedStore`] — a real, thread-safe, sharded in-memory KV
+//!   store backing the `brb-rt` runtime.
+
+pub mod cost;
+pub mod ids;
+pub mod kv;
+pub mod partition;
+pub mod service;
+
+pub use cost::CostModel;
+pub use ids::{ClientId, GroupId, PartitionId, RequestId, ServerId, TaskId};
+pub use kv::ShardedStore;
+pub use partition::Ring;
+pub use service::{ServiceModel, ServiceNoise};

@@ -1,0 +1,266 @@
+//! Per-request service-time models.
+//!
+//! The paper's servers operate "at an average service rate of 3500
+//! requests/s" per core, with request cost driven by the size of the value
+//! read (BRB forecasts service times "based on the size of the value they
+//! are requesting"). We model service time as
+//!
+//! ```text
+//! t(bytes) = base + bytes · per_byte        (optionally × noise)
+//! ```
+//!
+//! calibrated so that `E[t]` over the workload's value-size distribution
+//! equals the target mean (1/3500 s). The multiplicative log-normal noise
+//! term models everything the size forecast cannot see (cache state, GC,
+//! compaction, CPU contention) and is mean-corrected so calibration holds.
+
+use brb_sim::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative service-time noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceNoise {
+    /// No noise: service time is exactly the size-based forecast.
+    None,
+    /// Mean-corrected log-normal: multiply by `exp(σZ − σ²/2)`, which has
+    /// expectation 1, so the calibrated mean rate is preserved.
+    LogNormal {
+        /// Log-scale standard deviation (0.2–0.5 is realistic for storage
+        /// nodes).
+        sigma: f64,
+    },
+}
+
+impl ServiceNoise {
+    fn sample_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            ServiceNoise::None => 1.0,
+            ServiceNoise::LogNormal { sigma } => {
+                let z = standard_normal(rng);
+                (sigma * z - sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+/// A service-time model for read requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Deterministic size-linear cost with optional multiplicative noise.
+    SizeLinear {
+        /// Fixed per-request overhead in nanoseconds (parsing, lookup,
+        /// response framing).
+        base_ns: f64,
+        /// Additional cost per value byte, in nanoseconds.
+        ns_per_byte: f64,
+        /// Multiplicative noise applied to the actual (not forecast) time.
+        noise: ServiceNoise,
+    },
+    /// Exponential service times with the given mean — the classic M/M/c
+    /// abstraction, size-independent (useful as an ablation: without a
+    /// size signal, UnifIncr degenerates).
+    Exponential {
+        /// Mean service time in nanoseconds.
+        mean_ns: f64,
+    },
+    /// Constant service time (deterministic M/D/c ablation).
+    Deterministic {
+        /// The fixed service time in nanoseconds.
+        ns: f64,
+    },
+}
+
+impl ServiceModel {
+    /// Builds a size-linear model whose *mean* service time over a
+    /// workload with mean value size `mean_value_bytes` equals
+    /// `mean_service_ns`. `base_fraction ∈ [0,1)` sets how much of the
+    /// mean is fixed overhead vs. size-proportional cost.
+    ///
+    /// # Panics
+    /// Panics on non-positive means or a fraction outside `[0, 1]`.
+    pub fn calibrated_size_linear(
+        mean_service_ns: f64,
+        mean_value_bytes: f64,
+        base_fraction: f64,
+        noise: ServiceNoise,
+    ) -> Self {
+        assert!(mean_service_ns > 0.0, "mean service time must be positive");
+        assert!(mean_value_bytes > 0.0, "mean value size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&base_fraction),
+            "base fraction must be in [0, 1]"
+        );
+        ServiceModel::SizeLinear {
+            base_ns: mean_service_ns * base_fraction,
+            ns_per_byte: mean_service_ns * (1.0 - base_fraction) / mean_value_bytes,
+            noise,
+        }
+    }
+
+    /// The paper's configuration: 3 500 req/s per core mean rate
+    /// (285 714 ns mean service time), calibrated against `mean_value_bytes`,
+    /// half fixed overhead, moderate log-normal noise.
+    pub fn paper_default(mean_value_bytes: f64) -> Self {
+        ServiceModel::calibrated_size_linear(
+            1e9 / 3500.0,
+            mean_value_bytes,
+            0.5,
+            ServiceNoise::LogNormal { sigma: 0.3 },
+        )
+    }
+
+    /// The *forecast* service time for a value of `bytes` — what a client
+    /// can predict from the value size alone (noise-free). This is the
+    /// cost BRB's priority algorithms consume.
+    pub fn expected_ns(&self, bytes: u64) -> f64 {
+        match self {
+            ServiceModel::SizeLinear {
+                base_ns,
+                ns_per_byte,
+                ..
+            } => base_ns + ns_per_byte * bytes as f64,
+            ServiceModel::Exponential { mean_ns } => *mean_ns,
+            ServiceModel::Deterministic { ns } => *ns,
+        }
+    }
+
+    /// Draws the *actual* service time for a value of `bytes`.
+    pub fn sample<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> SimDuration {
+        let ns = match self {
+            ServiceModel::SizeLinear { noise, .. } => {
+                self.expected_ns(bytes) * noise.sample_factor(rng)
+            }
+            ServiceModel::Exponential { mean_ns } => {
+                let u: f64 = rng.random();
+                -mean_ns * (1.0 - u).ln()
+            }
+            ServiceModel::Deterministic { ns } => *ns,
+        };
+        SimDuration::from_secs_f64(ns.max(1.0) / 1e9)
+    }
+
+    /// Mean service time in nanoseconds over a workload with mean value
+    /// size `mean_value_bytes`.
+    pub fn mean_ns(&self, mean_value_bytes: f64) -> f64 {
+        match self {
+            ServiceModel::SizeLinear { .. } => self.expected_ns(0)
+                + (self.expected_ns(1_000_000) - self.expected_ns(0)) * mean_value_bytes
+                    / 1_000_000.0,
+            ServiceModel::Exponential { mean_ns } => *mean_ns,
+            ServiceModel::Deterministic { ns } => *ns,
+        }
+    }
+
+    /// Mean service *rate* (requests/second) over the given workload.
+    pub fn mean_rate(&self, mean_value_bytes: f64) -> f64 {
+        1e9 / self.mean_ns(mean_value_bytes)
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const MEAN_BYTES: f64 = 300.0;
+
+    #[test]
+    fn calibration_hits_target_mean() {
+        let m = ServiceModel::calibrated_size_linear(285_714.0, MEAN_BYTES, 0.5, ServiceNoise::None);
+        // A request of exactly mean size costs exactly the mean.
+        assert!((m.expected_ns(300) - 285_714.0).abs() < 1.0);
+        assert!((m.mean_ns(MEAN_BYTES) - 285_714.0).abs() < 1.0);
+        assert!((m.mean_rate(MEAN_BYTES) - 3_500.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bigger_values_cost_more() {
+        let m = ServiceModel::paper_default(MEAN_BYTES);
+        assert!(m.expected_ns(10_000) > m.expected_ns(100));
+        assert!(m.expected_ns(1) >= 0.0);
+    }
+
+    #[test]
+    fn base_fraction_bounds_cost_spread() {
+        // base_fraction = 1 → size-independent.
+        let flat =
+            ServiceModel::calibrated_size_linear(1000.0, MEAN_BYTES, 1.0, ServiceNoise::None);
+        assert_eq!(flat.expected_ns(1), flat.expected_ns(1_000_000));
+        // base_fraction = 0 → fully proportional.
+        let prop =
+            ServiceModel::calibrated_size_linear(1000.0, MEAN_BYTES, 0.0, ServiceNoise::None);
+        assert!((prop.expected_ns(600) / prop.expected_ns(300) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_preserves_mean() {
+        let noisy = ServiceModel::calibrated_size_linear(
+            285_714.0,
+            MEAN_BYTES,
+            0.5,
+            ServiceNoise::LogNormal { sigma: 0.4 },
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 200_000;
+        let total: f64 = (0..n)
+            .map(|_| noisy.sample(300, &mut rng).as_nanos() as f64)
+            .sum();
+        let mean = total / n as f64;
+        let rel = (mean - 285_714.0).abs() / 285_714.0;
+        assert!(rel < 0.02, "noisy mean {mean}");
+    }
+
+    #[test]
+    fn noise_actually_varies() {
+        let noisy = ServiceModel::paper_default(MEAN_BYTES);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = noisy.sample(300, &mut rng);
+        let b = noisy.sample(300, &mut rng);
+        assert_ne!(a, b, "log-normal noise should vary");
+    }
+
+    #[test]
+    fn exponential_mean_and_cv() {
+        let m = ServiceModel::Exponential { mean_ns: 100_000.0 };
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| m.sample(0, &mut rng).as_nanos() as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 100_000.0).abs() / 100_000.0 < 0.02);
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "CV {cv}");
+        // Forecast for exponential is just the mean (size-blind).
+        assert_eq!(m.expected_ns(123), 100_000.0);
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let m = ServiceModel::Deterministic { ns: 5_000.0 };
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(m.sample(77, &mut rng), SimDuration::from_micros(5));
+        assert_eq!(m.expected_ns(77), 5_000.0);
+    }
+
+    #[test]
+    fn sample_never_returns_zero() {
+        let m = ServiceModel::calibrated_size_linear(10.0, MEAN_BYTES, 0.0, ServiceNoise::None);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(m.sample(0, &mut rng).as_nanos() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "base fraction")]
+    fn bad_fraction_rejected() {
+        ServiceModel::calibrated_size_linear(1.0, 1.0, 1.5, ServiceNoise::None);
+    }
+}

@@ -1,0 +1,239 @@
+//! A playlist-structured synthetic trace: the SoundCloud substitute.
+//!
+//! The paper's workload is "gathered from SoundCloud and comprises of
+//! approximately 500,000 tasks, with an average fan-out of 8.6 requests per
+//! task" — a task is typically "requesting all tracks in a playlist". The
+//! production trace is unavailable, so we model its *structure*:
+//!
+//! * a **catalog** of tracks (keys) whose byte sizes follow the ETC Pareto
+//!   fit and never change;
+//! * a **playlist population** whose lengths follow the calibrated
+//!   SoundCloud fan-out mixture (mean ≈ 8.6, heavy tail) and whose member
+//!   tracks are drawn by Zipf popularity (hit tracks appear in many
+//!   playlists);
+//! * **tasks** that pick a playlist by Zipf popularity and fetch *all* of
+//!   its tracks — giving correlated key sets across tasks, unlike
+//!   independent per-request sampling.
+
+use crate::fanout::FanoutDist;
+use crate::keyspace::{KeySpace, Popularity};
+use crate::poisson::PoissonProcess;
+use crate::taskgen::{RequestSpec, SizeModel, TaskSpec};
+use crate::trace::Trace;
+use crate::zipf::Zipf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Configuration for the playlist-model trace builder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoundCloudConfig {
+    /// Number of distinct tracks (keys) in the catalog.
+    pub num_tracks: u64,
+    /// Number of playlists in the population.
+    pub num_playlists: u64,
+    /// Playlist length distribution (defaults to the calibrated mixture).
+    pub length_dist: FanoutDist,
+    /// Zipf exponent for track popularity within playlists.
+    pub track_zipf: f64,
+    /// Zipf exponent for playlist popularity across tasks.
+    pub playlist_zipf: f64,
+    /// Value-size model for track payloads.
+    pub sizes: SizeModel,
+}
+
+impl Default for SoundCloudConfig {
+    fn default() -> Self {
+        SoundCloudConfig {
+            num_tracks: 100_000,
+            num_playlists: 20_000,
+            length_dist: FanoutDist::soundcloud_like(),
+            track_zipf: 0.9,
+            playlist_zipf: 0.8,
+            sizes: SizeModel::facebook_etc(),
+        }
+    }
+}
+
+/// A generated playlist catalog plus popularity models; reusable across
+/// traces (e.g. the six seeds of Figure 2 share one catalog shape).
+#[derive(Debug, Clone)]
+pub struct SoundCloudModel {
+    config: SoundCloudConfig,
+    /// Track keys per playlist (distinct within a playlist).
+    playlists: Vec<Vec<u64>>,
+    playlist_pop: Zipf,
+}
+
+impl SoundCloudModel {
+    /// Builds the catalog and playlist population from `config`, using
+    /// `rng` (a dedicated labelled stream) for all structural randomness.
+    pub fn build<R: Rng>(config: SoundCloudConfig, rng: &mut R) -> Self {
+        assert!(config.num_playlists > 0, "need at least one playlist");
+        config.length_dist.validate().expect("invalid length dist");
+        let tracks = KeySpace::new(config.num_tracks, Popularity::Zipf(config.track_zipf));
+        let mut playlists = Vec::with_capacity(config.num_playlists as usize);
+        for _ in 0..config.num_playlists {
+            let want = config.length_dist.sample(rng) as usize;
+            let len = want.min(config.num_tracks as usize);
+            let mut members = Vec::with_capacity(len);
+            let mut seen = HashSet::with_capacity(len);
+            let mut attempts = 0usize;
+            while members.len() < len {
+                let key = tracks.sample_key(rng);
+                attempts += 1;
+                if seen.insert(key) || attempts > len * 64 {
+                    members.push(key);
+                }
+            }
+            playlists.push(members);
+        }
+        let playlist_pop = Zipf::new(config.num_playlists, config.playlist_zipf);
+        SoundCloudModel {
+            config,
+            playlists,
+            playlist_pop,
+        }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &SoundCloudConfig {
+        &self.config
+    }
+
+    /// Number of playlists in the population.
+    pub fn num_playlists(&self) -> usize {
+        self.playlists.len()
+    }
+
+    /// The tracks of playlist `i`.
+    pub fn playlist(&self, i: usize) -> &[u64] {
+        &self.playlists[i]
+    }
+
+    /// Mean playlist length of the *built* population (sampled lengths, not
+    /// the theoretical distribution mean).
+    pub fn mean_playlist_len(&self) -> f64 {
+        let total: usize = self.playlists.iter().map(|p| p.len()).sum();
+        total as f64 / self.playlists.len() as f64
+    }
+
+    /// Generates a trace of `num_tasks` playlist-fetch tasks with Poisson
+    /// arrivals at `task_rate_per_sec`.
+    pub fn generate_trace<R: Rng>(
+        &self,
+        num_tasks: usize,
+        task_rate_per_sec: f64,
+        rng: &mut R,
+    ) -> Trace {
+        let mut arrivals = PoissonProcess::new(task_rate_per_sec);
+        let mut tasks = Vec::with_capacity(num_tasks);
+        for id in 0..num_tasks {
+            let arrival_ns = arrivals.next_arrival_ns(rng);
+            let pl = self.playlist_pop.sample(rng) as usize;
+            let requests: Vec<RequestSpec> = self.playlists[pl]
+                .iter()
+                .map(|&key| RequestSpec {
+                    key,
+                    value_bytes: self.config.sizes.size_of(key),
+                })
+                .collect();
+            tasks.push(TaskSpec {
+                id: id as u64,
+                arrival_ns,
+                requests,
+            });
+        }
+        Trace::new(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_model(seed: u64) -> SoundCloudModel {
+        let config = SoundCloudConfig {
+            num_tracks: 5_000,
+            num_playlists: 1_000,
+            ..Default::default()
+        };
+        SoundCloudModel::build(config, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn playlists_have_distinct_tracks() {
+        let m = small_model(1);
+        for i in 0..m.num_playlists() {
+            let p = m.playlist(i);
+            let distinct: HashSet<u64> = p.iter().copied().collect();
+            assert_eq!(distinct.len(), p.len(), "playlist {i} repeats a track");
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn population_mean_length_near_target() {
+        let m = small_model(2);
+        let mean = m.mean_playlist_len();
+        assert!((mean - 8.6).abs() < 1.0, "mean playlist length {mean}");
+    }
+
+    #[test]
+    fn trace_fanout_tracks_playlist_lengths() {
+        let m = small_model(3);
+        let t = m.generate_trace(5_000, 1_000.0, &mut StdRng::seed_from_u64(4));
+        let s = t.stats().unwrap();
+        // Popularity is independent of length, so the trace mean fan-out
+        // should approximate the population mean length.
+        assert!(
+            (s.mean_fanout - m.mean_playlist_len()).abs() < 1.5,
+            "trace {} vs population {}",
+            s.mean_fanout,
+            m.mean_playlist_len()
+        );
+    }
+
+    #[test]
+    fn repeated_tasks_share_key_sets() {
+        // With Zipf playlist popularity, popular playlists are fetched by
+        // many tasks — the correlated-access structure independent
+        // sampling cannot produce.
+        let m = small_model(5);
+        let t = m.generate_trace(2_000, 1_000.0, &mut StdRng::seed_from_u64(6));
+        let mut key_sets = std::collections::HashMap::new();
+        for task in &t.tasks {
+            let mut keys: Vec<u64> = task.requests.iter().map(|r| r.key).collect();
+            keys.sort_unstable();
+            *key_sets.entry(keys).or_insert(0u32) += 1;
+        }
+        let max_repeat = key_sets.values().copied().max().unwrap();
+        assert!(max_repeat > 5, "no playlist fetched repeatedly ({max_repeat})");
+    }
+
+    #[test]
+    fn track_sizes_stable_across_tasks() {
+        let m = small_model(7);
+        let t = m.generate_trace(1_000, 1_000.0, &mut StdRng::seed_from_u64(8));
+        let mut sizes = std::collections::HashMap::new();
+        for task in &t.tasks {
+            for r in &task.requests {
+                let prev = sizes.insert(r.key, r.value_bytes);
+                if let Some(p) = prev {
+                    assert_eq!(p, r.value_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = small_model(9);
+        let b = small_model(9);
+        for i in 0..a.num_playlists() {
+            assert_eq!(a.playlist(i), b.playlist(i));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Every scheduling strategy on one workload: the paper's five plus the
+//! ablation policies (SJF, EDF, sub-task-granular UnifIncr) and selector
+//! baselines.
+//!
+//! ```text
+//! cargo run --release --example compare_policies [-- --tasks N]
+//! ```
+
+use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
+use brb::core::experiment::run_experiment;
+use brb::sched::PolicyKind;
+
+fn main() {
+    let mut num_tasks = 40_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tasks" {
+            num_tasks = args.next().unwrap().parse().expect("--tasks N");
+        }
+    }
+
+    let strategies: Vec<Strategy> = vec![
+        // The paper's five.
+        Strategy::c3(),
+        Strategy::equal_max_credits(),
+        Strategy::equal_max_model(),
+        Strategy::unif_incr_credits(),
+        Strategy::unif_incr_model(),
+        // Ablations: task-aware policies without the credits machinery.
+        Strategy::Direct {
+            selector: SelectorKind::LeastOutstanding,
+            policy: PolicyKind::EqualMax,
+            priority_queues: true,
+        },
+        Strategy::Direct {
+            selector: SelectorKind::LeastOutstanding,
+            policy: PolicyKind::Sjf,
+            priority_queues: true,
+        },
+        Strategy::Direct {
+            selector: SelectorKind::LeastOutstanding,
+            policy: PolicyKind::Edf,
+            priority_queues: true,
+        },
+        // Realization extremes.
+        Strategy::Model {
+            policy: PolicyKind::UnifIncrSubtask,
+        },
+        Strategy::Direct {
+            selector: SelectorKind::Oracle,
+            policy: PolicyKind::Fifo,
+            priority_queues: false,
+        },
+        // The complementary baseline from the paper's intro: duplicate
+        // slow requests instead of scheduling smarter.
+        Strategy::hedged_default(),
+    ];
+
+    println!(
+        "{num_tasks} tasks, paper cluster, seed 1 — lower is better\n"
+    );
+    println!(
+        "{:<36} {:>10} {:>10} {:>10} {:>6}",
+        "strategy", "median(ms)", "95th(ms)", "99th(ms)", "util"
+    );
+    for strategy in strategies {
+        let cfg = ExperimentConfig::figure2_small(strategy, 1, num_tasks);
+        let r = run_experiment(cfg);
+        println!(
+            "{:<36} {:>10.2} {:>10.2} {:>10.2} {:>5.0}%",
+            r.strategy,
+            r.task_latency_ms.p50,
+            r.task_latency_ms.p95,
+            r.task_latency_ms.p99,
+            r.utilization * 100.0
+        );
+    }
+    println!(
+        "\nreading guide: 'X - Model' rows are unrealizable lower bounds; \
+         'oracle+FIFO' isolates perfect replica selection without task-awareness."
+    );
+}

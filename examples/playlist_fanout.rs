@@ -1,0 +1,75 @@
+//! The motivating workload end-to-end: playlist fetches with large
+//! fan-outs against a replicated data store.
+//!
+//! ```text
+//! cargo run --release --example playlist_fanout
+//! ```
+//!
+//! Builds the SoundCloud-substitute catalog (tracks with ETC-Pareto byte
+//! sizes, playlists with the calibrated fan-out mixture), inspects the
+//! generated trace, then shows how the same trace fares under
+//! task-oblivious C3 versus task-aware BRB.
+
+use brb::core::config::{ExperimentConfig, Strategy, WorkloadKind};
+use brb::core::experiment::run_experiment;
+use brb::sim::RngFactory;
+use brb::workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
+
+fn main() {
+    // --- 1. Build a catalog and look at what the generator produces. ---
+    let factory = RngFactory::new(7);
+    let sc = SoundCloudConfig {
+        num_tracks: 200_000,
+        num_playlists: 20_000,
+        ..Default::default()
+    };
+    let model = SoundCloudModel::build(sc, &mut factory.stream("catalog"));
+    println!(
+        "catalog: {} playlists over {} tracks, mean playlist length {:.2}",
+        model.num_playlists(),
+        model.config().num_tracks,
+        model.mean_playlist_len()
+    );
+
+    let trace = model.generate_trace(50_000, 10_000.0, &mut factory.stream("trace"));
+    let stats = trace.stats().expect("non-empty trace");
+    println!(
+        "trace  : {} tasks, {} requests, mean fan-out {:.2} (max {}), mean value {:.0}B (max {}B)\n",
+        stats.num_tasks,
+        stats.num_requests,
+        stats.mean_fanout,
+        stats.max_fanout,
+        stats.mean_value_bytes,
+        stats.max_value_bytes
+    );
+
+    // --- 2. Same workload, two schedulers. ---
+    println!("running C3 (task-oblivious) vs BRB UniformIncr-Credits (task-aware) ...\n");
+    let mut rows = Vec::new();
+    for strategy in [Strategy::c3(), Strategy::unif_incr_credits()] {
+        let mut cfg = ExperimentConfig::figure2_small(strategy, 7, 50_000);
+        cfg.workload.kind = WorkloadKind::Playlist {
+            num_tracks: 200_000,
+            num_playlists: 20_000,
+            playlist_zipf: 0.8,
+        };
+        let r = run_experiment(cfg);
+        rows.push(r);
+    }
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "strategy", "median(ms)", "95th(ms)", "99th(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>10.2}",
+            r.strategy, r.task_latency_ms.p50, r.task_latency_ms.p95, r.task_latency_ms.p99
+        );
+    }
+    let speedup = rows[0].task_latency_ms.p99 / rows[1].task_latency_ms.p99;
+    println!(
+        "\ntask-awareness cuts the 99th percentile by {speedup:.2}x on this workload \
+         (large fan-outs make the task tail-bound; BRB schedules around the bottleneck)"
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate a BRB cluster and print task latency percentiles.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's cluster (18 clients, 9 servers × 4 cores, 50 µs
+//! network) at reduced trace size, runs the practical BRB system
+//! (EqualMax priorities through the credits realization) and reports the
+//! percentile triple the paper plots.
+
+use brb::core::config::{ExperimentConfig, Strategy};
+use brb::core::experiment::run_experiment;
+
+fn main() {
+    // One seeded run, 30k tasks (the full paper scale is 500k; see the
+    // figure2 binary in brb-bench for that).
+    let config = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 42, 30_000);
+    println!(
+        "cluster : {} clients, {} servers x {} cores @ {:.0} req/s/core",
+        config.cluster.num_clients,
+        config.cluster.num_servers,
+        config.cluster.cores_per_server,
+        config.cluster.service_rate_per_core
+    );
+    println!(
+        "workload: {} tasks, mean fan-out {:.1}, {:.0}% of capacity",
+        config.workload.num_tasks,
+        config.workload.mean_fanout(),
+        config.workload.load * 100.0
+    );
+    println!("strategy: {}\n", config.strategy.name());
+
+    let result = run_experiment(config);
+
+    println!("task latency (ms):");
+    println!("  median : {:>7.2}", result.task_latency_ms.p50);
+    println!("  95th   : {:>7.2}", result.task_latency_ms.p95);
+    println!("  99th   : {:>7.2}", result.task_latency_ms.p99);
+    println!("  mean   : {:>7.2}", result.task_latency_ms.mean);
+    println!();
+    println!(
+        "completed {} tasks over {:.2}s of virtual time ({} events, {:.0}% server utilization)",
+        result.completed_tasks,
+        result.sim_secs,
+        result.events,
+        result.utilization * 100.0
+    );
+}

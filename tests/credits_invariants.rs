@@ -1,0 +1,74 @@
+//! Integration invariants of the credits realization: the controller, the
+//! demand loop and the client-side gating.
+
+use brb::core::config::{ExperimentConfig, Strategy};
+use brb::core::experiment::run_experiment;
+use brb::sched::{CreditsConfig, PolicyKind};
+
+fn credits_cfg(adapt_secs: f64) -> Strategy {
+    Strategy::Credits {
+        policy: PolicyKind::EqualMax,
+        credits: CreditsConfig {
+            adaptation_interval_ns: (adapt_secs * 1e9) as u64,
+            ..Default::default()
+        },
+    }
+}
+
+/// The control loop actually runs: demand reports scale with clients ×
+/// measurement windows, and grants are delivered each epoch.
+#[test]
+fn control_loop_traffic_scales_with_time() {
+    let cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 1, 25_000);
+    let r = run_experiment(cfg);
+    // ~2.4s of virtual time → ≥20 measurement windows × 18 clients, minus
+    // the tail after completion.
+    assert!(
+        r.demand_reports >= 18 * 15,
+        "only {} demand reports",
+        r.demand_reports
+    );
+    assert!(r.sim_secs > 2.0, "{}", r.sim_secs);
+}
+
+/// A pathologically slow controller (10s adaptation on a ~2.5s run, so
+/// grants never refresh) must still complete every task — the min-rate
+/// floor and initial fair-share buckets guarantee progress.
+#[test]
+fn slow_controller_cannot_deadlock_the_system() {
+    let cfg = ExperimentConfig::figure2_small(credits_cfg(10.0), 2, 20_000);
+    let r = run_experiment(cfg);
+    assert_eq!(r.completed_tasks, 20_000);
+}
+
+/// Faster adaptation should not be catastrophically worse than the
+/// paper's 1s (sanity on the control loop's stability).
+#[test]
+fn fast_adaptation_remains_stable() {
+    let slow = run_experiment(ExperimentConfig::figure2_small(credits_cfg(1.0), 3, 20_000));
+    let fast = run_experiment(ExperimentConfig::figure2_small(credits_cfg(0.25), 3, 20_000));
+    assert_eq!(fast.completed_tasks, slow.completed_tasks);
+    assert!(
+        fast.task_latency_ms.p99 < slow.task_latency_ms.p99 * 3.0,
+        "0.25s adaptation p99 {:.2} vs 1s {:.2}",
+        fast.task_latency_ms.p99,
+        slow.task_latency_ms.p99
+    );
+}
+
+/// Under heavy overload (120% of capacity) the credits system sheds the
+/// excess into client hold queues but still finishes the bounded trace,
+/// and congestion signals fire.
+#[test]
+fn overload_triggers_congestion_and_still_drains() {
+    let mut cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 4, 15_000);
+    cfg.workload.load = 1.2;
+    let r = run_experiment(cfg);
+    assert_eq!(r.completed_tasks, 15_000);
+    assert!(
+        r.congestion_signals > 0,
+        "overload must raise congestion signals"
+    );
+    // Overload latencies must dwarf the 70%-load ones.
+    assert!(r.task_latency_ms.p99 > 5.0);
+}

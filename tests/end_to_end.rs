@@ -1,0 +1,106 @@
+//! Cross-crate integration: the facade crate drives full experiments and
+//! the physical invariants hold for every strategy.
+
+use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
+use brb::core::engine::EngineWorld;
+use brb::core::experiment::run_experiment;
+use brb::sched::PolicyKind;
+use brb::sim::Simulation;
+
+fn small(strategy: Strategy, seed: u64, tasks: usize) -> ExperimentConfig {
+    ExperimentConfig::figure2_small(strategy, seed, tasks)
+}
+
+/// Every strategy (paper five + representative ablations) completes all
+/// tasks and reports internally-consistent percentiles.
+#[test]
+fn all_strategies_complete_and_report_consistently() {
+    let mut strategies = Strategy::figure2_set();
+    strategies.push(Strategy::Direct {
+        selector: SelectorKind::Random,
+        policy: PolicyKind::Fifo,
+        priority_queues: false,
+    });
+    strategies.push(Strategy::Direct {
+        selector: SelectorKind::Oracle,
+        policy: PolicyKind::EqualMax,
+        priority_queues: true,
+    });
+    strategies.push(Strategy::Direct {
+        selector: SelectorKind::LeastOutstanding,
+        policy: PolicyKind::Edf,
+        priority_queues: true,
+    });
+    for (i, strategy) in strategies.into_iter().enumerate() {
+        let name = strategy.name();
+        let r = run_experiment(small(strategy, 100 + i as u64, 1_200));
+        assert_eq!(r.completed_tasks, 1_200, "{name}");
+        assert!(r.task_latency_ms.p50 <= r.task_latency_ms.p95, "{name}");
+        assert!(r.task_latency_ms.p95 <= r.task_latency_ms.p99, "{name}");
+        assert!(r.task_latency_ms.p99 <= r.task_latency_ms.max, "{name}");
+        // Physical floor: a task needs at least one network round trip.
+        assert!(
+            r.task_latency_ms.p50 >= 0.1,
+            "{name}: p50 {} below network RTT",
+            r.task_latency_ms.p50
+        );
+        assert!(r.utilization > 0.0 && r.utilization < 1.0, "{name}");
+    }
+}
+
+/// A task's latency can never be below the 100µs round trip; check the
+/// histogram minimum, not just the median.
+#[test]
+fn no_task_beats_the_network() {
+    let world = EngineWorld::new(small(Strategy::equal_max_model(), 5, 2_000));
+    let mut sim = Simulation::new(world);
+    EngineWorld::prime(&mut sim);
+    sim.run();
+    let w = sim.world();
+    assert!(w.is_finished());
+    // min() reports the smallest recorded task latency in ns.
+    assert!(
+        w.task_latency.min() >= 100_000,
+        "min task latency {}ns below the 2x50µs floor",
+        w.task_latency.min()
+    );
+}
+
+/// Identical seeds reproduce identical latency distributions end-to-end
+/// (the property the paper's 6-seed methodology depends on).
+#[test]
+fn experiments_are_deterministic() {
+    for strategy in [Strategy::c3(), Strategy::equal_max_credits()] {
+        let a = run_experiment(small(strategy.clone(), 77, 1_500));
+        let b = run_experiment(small(strategy, 77, 1_500));
+        assert_eq!(a.task_latency_ms.p50, b.task_latency_ms.p50);
+        assert_eq!(a.task_latency_ms.p99, b.task_latency_ms.p99);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.dispatched, b.dispatched);
+    }
+}
+
+/// Common random numbers: under one seed, every strategy faces the exact
+/// same trace (same request count), so differences are attributable to
+/// scheduling alone.
+#[test]
+fn strategies_share_the_trace_under_a_seed() {
+    let dispatched: Vec<u64> = Strategy::figure2_set()
+        .into_iter()
+        .map(|s| run_experiment(small(s, 3, 1_000)).dispatched)
+        .collect();
+    assert!(
+        dispatched.windows(2).all(|w| w[0] == w[1]),
+        "request counts diverged: {dispatched:?}"
+    );
+}
+
+/// Results serialize to JSON and back (the bench harness depends on it).
+#[test]
+fn results_round_trip_json() {
+    let r = run_experiment(small(Strategy::unif_incr_model(), 9, 800));
+    let json = serde_json::to_string(&r).unwrap();
+    let back: brb::core::experiment::RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.strategy, r.strategy);
+    assert_eq!(back.task_latency_ms.p99, r.task_latency_ms.p99);
+}

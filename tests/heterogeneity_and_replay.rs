@@ -1,0 +1,114 @@
+//! Integration tests for the heterogeneity extension (per-server speed
+//! factors) and the trace-replay path.
+
+use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
+use brb::core::experiment::{run_experiment, run_experiment_on_trace};
+use brb::sched::PolicyKind;
+use brb::sim::RngFactory;
+use brb::workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
+use brb::workload::Trace;
+
+/// A degraded server hurts a non-adaptive strategy more than an adaptive
+/// one (directionally, at modest scale).
+#[test]
+fn adaptive_strategies_absorb_a_slow_server() {
+    let run = |strategy: Strategy| {
+        let mut cfg = ExperimentConfig::figure2_small(strategy, 11, 12_000);
+        cfg.cluster.server_speed_factors = vec![0.4]; // server 0 at 40%
+        cfg.workload.load = 0.6;
+        run_experiment(cfg)
+    };
+    let random = run(Strategy::Direct {
+        selector: SelectorKind::Random,
+        policy: PolicyKind::Fifo,
+        priority_queues: false,
+    });
+    let model = run(Strategy::equal_max_model());
+    assert_eq!(random.completed_tasks, 12_000);
+    assert_eq!(model.completed_tasks, 12_000);
+    assert!(
+        model.task_latency_ms.p99 < random.task_latency_ms.p99,
+        "work-pulling must absorb the slow server: model {:.2} vs random {:.2}",
+        model.task_latency_ms.p99,
+        random.task_latency_ms.p99
+    );
+}
+
+/// Speed factors below 1 strictly increase latencies vs the homogeneous
+/// cluster under the same seed (common random numbers).
+#[test]
+fn slow_server_costs_latency_under_common_random_numbers() {
+    let base = ExperimentConfig::figure2_small(Strategy::c3(), 21, 10_000);
+    let healthy = run_experiment(base.clone());
+    let mut degraded_cfg = base;
+    degraded_cfg.cluster.server_speed_factors = vec![0.4];
+    let degraded = run_experiment(degraded_cfg);
+    assert!(
+        degraded.task_latency_ms.p99 > healthy.task_latency_ms.p99,
+        "degraded {:.2} must exceed healthy {:.2}",
+        degraded.task_latency_ms.p99,
+        healthy.task_latency_ms.p99
+    );
+}
+
+/// Config validation rejects nonsense speed factors.
+#[test]
+fn speed_factor_validation() {
+    let mut cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 100);
+    cfg.cluster.server_speed_factors = vec![0.0];
+    assert!(cfg.validate().is_err());
+    cfg.cluster.server_speed_factors = vec![1.0; 99];
+    assert!(cfg.validate().is_err());
+    cfg.cluster.server_speed_factors = vec![0.5, 1.0, 2.0];
+    assert!(cfg.validate().is_ok());
+}
+
+/// A trace written to JSONL and read back replays bit-identically: the
+/// replayed run equals the generated run under the same seed.
+#[test]
+fn replayed_trace_matches_generated_run() {
+    let factory = RngFactory::new(33);
+    let model = SoundCloudModel::build(
+        SoundCloudConfig {
+            num_tracks: 20_000,
+            num_playlists: 2_000,
+            ..Default::default()
+        },
+        &mut factory.stream("catalog"),
+    );
+    let trace = model.generate_trace(5_000, 8_000.0, &mut factory.stream("trace"));
+
+    // Round-trip through the serialized format.
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let reloaded = Trace::read_jsonl(buf.as_slice()).unwrap();
+    assert_eq!(trace, reloaded);
+
+    let cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 33, 5_000);
+    let a = run_experiment_on_trace(cfg.clone(), trace.tasks);
+    let b = run_experiment_on_trace(cfg, reloaded.tasks);
+    assert_eq!(a.task_latency_ms.p99, b.task_latency_ms.p99);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.completed_tasks, 5_000);
+}
+
+/// Replay rejects malformed traces loudly.
+#[test]
+#[should_panic(expected = "ordered by arrival")]
+fn replay_rejects_unordered_traces() {
+    use brb::workload::taskgen::{RequestSpec, TaskSpec};
+    let bad = vec![
+        TaskSpec {
+            id: 0,
+            arrival_ns: 100,
+            requests: vec![RequestSpec { key: 1, value_bytes: 10 }],
+        },
+        TaskSpec {
+            id: 1,
+            arrival_ns: 50,
+            requests: vec![RequestSpec { key: 2, value_bytes: 10 }],
+        },
+    ];
+    let cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 2);
+    let _ = run_experiment_on_trace(cfg, bad);
+}

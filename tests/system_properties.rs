@@ -1,0 +1,72 @@
+//! Property-based tests over the whole system: random (but sane) cluster
+//! and workload shapes must preserve the engine's invariants for every
+//! realization.
+
+use brb::core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
+use brb::core::experiment::run_experiment;
+use brb::sched::PolicyKind;
+use brb::workload::FanoutDist;
+use proptest::prelude::*;
+
+fn strategy_strategy() -> impl proptest::strategy::Strategy<Value = Strategy> {
+    prop_oneof![
+        Just(Strategy::c3()),
+        Just(Strategy::equal_max_credits()),
+        Just(Strategy::equal_max_model()),
+        Just(Strategy::unif_incr_credits()),
+        Just(Strategy::unif_incr_model()),
+        Just(Strategy::Direct {
+            selector: SelectorKind::LeastOutstanding,
+            policy: PolicyKind::Sjf,
+            priority_queues: true,
+        }),
+        Just(Strategy::Direct {
+            selector: SelectorKind::Random,
+            policy: PolicyKind::Fifo,
+            priority_queues: false,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // whole-system runs are expensive; keep the sweep tight
+        .. ProptestConfig::default()
+    })]
+
+    /// Any sane configuration completes every task with ordered
+    /// percentiles above the physical latency floor.
+    #[test]
+    fn any_sane_config_completes(
+        strategy in strategy_strategy(),
+        seed in 0u64..1_000,
+        load in 0.2f64..0.85,
+        clients in 2u32..24,
+        servers in 3u32..12,
+        cores in 1u32..6,
+        replication in 1u32..4,
+        fixed_fanout in 1u32..24,
+    ) {
+        let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 400);
+        cfg.workload.load = load;
+        cfg.cluster.num_clients = clients;
+        cfg.cluster.num_servers = servers;
+        cfg.cluster.num_partitions = servers;
+        cfg.cluster.cores_per_server = cores;
+        cfg.cluster.replication = replication.min(servers);
+        cfg.workload.kind = WorkloadKind::Synthetic {
+            fanout: FanoutDist::Fixed(fixed_fanout),
+            num_keys: 20_000,
+            zipf_exponent: 0.9,
+        };
+        prop_assume!(cfg.validate().is_ok());
+
+        let r = run_experiment(cfg);
+        prop_assert_eq!(r.completed_tasks, 400);
+        prop_assert!(r.task_latency_ms.p50 <= r.task_latency_ms.p99);
+        // Nothing beats one network round trip (0.1 ms).
+        prop_assert!(r.task_latency_ms.p50 >= 0.1);
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        prop_assert_eq!(r.dispatched, 400 * fixed_fanout as u64);
+    }
+}
