@@ -1,0 +1,199 @@
+//! Minimal offline stand-in for `criterion`: a wall-clock micro-benchmark
+//! harness with criterion's macro/builder surface. Results print as
+//! `name ... time: X ns/iter (Y elem/s)` — no statistics engine, but the
+//! timing loop calibrates iteration counts the same way.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Element/byte throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Work items per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring enough
+    /// iterations for a stable per-iteration estimate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run for ~20ms (or up to sample_size heavy iterations).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Measure: aim for ~100ms of work, capped for slow routines.
+        let target = (100_000_000.0 / per.max(1.0)) as u64;
+        let iters = target
+            .clamp(1, 10_000_000)
+            .max(self.sample_size as u64 / 10);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.3} Melem/s)", n as f64 * 1e3 / b.ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " ({:.3} MiB/s)",
+                n as f64 * 1e9 / b.ns_per_iter / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} time: {:>12.1} ns/iter{rate}", b.ns_per_iter);
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: 100,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Accepts criterion's CLI configuration entry point (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the target sample count (used only to scale slow benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

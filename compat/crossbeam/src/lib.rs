@@ -1,0 +1,239 @@
+//! Minimal offline stand-in for `crossbeam`: an MPMC unbounded channel
+//! (clonable senders *and* receivers) plus a polling `select!` macro
+//! covering the two-arm `recv(..) -> msg => ..` form this workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half of an unbounded MPMC channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half of an unbounded MPMC channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error: all receivers dropped; returns the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: channel empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Result of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// No message queued and all senders dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.0.queue.lock().expect("channel poisoned");
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake blocked receivers so they observe disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.ready.wait(q).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().expect("channel poisoned");
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator: yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<'a, T> Iterator for Iter<'a, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    // Re-export the crate-root macro under `crossbeam::channel::select!`,
+    // the path the real crate exposes it at.
+    pub use crate::select;
+}
+
+/// Two-arm `select!` over receivers, implemented by polling. The arm
+/// bodies run *outside* the polling loop so `break`/`continue` inside
+/// them bind to the caller's own loops, as with the real macro.
+#[macro_export]
+macro_rules! select {
+    (recv($rx1:expr) -> $msg1:pat => $body1:expr,
+     recv($rx2:expr) -> $msg2:pat => $body2:expr $(,)?) => {{
+        enum __Sel<A, B> {
+            A(A),
+            B(B),
+        }
+        let __fired = loop {
+            match $rx1.try_recv() {
+                Ok(v) => break __Sel::A(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Sel::A(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx2.try_recv() {
+                Ok(v) => break __Sel::B(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Sel::B(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        };
+        match __fired {
+            __Sel::A($msg1) => $body1,
+            __Sel::B($msg2) => $body2,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn mpmc_round_trip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn select_prefers_ready_arm_and_sees_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_stop_tx, stop_rx) = unbounded::<()>();
+        tx.send(7).unwrap();
+        let got = select! {
+            recv(rx) -> msg => msg.unwrap(),
+            recv(stop_rx) -> _ => unreachable!("stop not signalled"),
+        };
+        assert_eq!(got, 7);
+    }
+}

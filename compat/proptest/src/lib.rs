@@ -1,0 +1,276 @@
+//! Minimal offline stand-in for `proptest`: deterministic random testing
+//! without shrinking. Each `proptest!` test derives its RNG seed from the
+//! test's module path and name, so failures reproduce exactly; set
+//! `PROPTEST_CASES` to change the per-test case count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// Per-test configuration (`cases` is the only knob this stand-in reads).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Builds the deterministic RNG for one named test.
+pub fn test_rng(name: &str) -> StdRng {
+    // FNV-1a over the test's full path: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy generating `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over booleans.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::Rng;
+
+    /// Generates booleans by fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The fair-coin boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts inside a property (this stand-in panics, which fails the case
+/// with the generated inputs in the panic backtrace).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` inside the case loop, so it is only usable at
+/// the top statement level of a property body (all this workspace needs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly picks one of several same-valued strategies per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$($strat),+]
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                Box::new(move |rng: &mut ::rand::rngs::StdRng| {
+                    $crate::strategy::Strategy::gen_value(&s, rng)
+                }) as Box<dyn Fn(&mut ::rand::rngs::StdRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Declares property tests: `fn name(pattern in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr)) => {};
+    (cfg = ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vectors(x in 5u64..10, v in crate::collection::vec(0u32..3, 2..6)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn tuples_and_bools(t in (0u64..4, crate::bool::ANY)) {
+            prop_assert!(t.0 < 4);
+            let _: bool = t.1;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_is_respected(_x in 0u64..2) {
+            // Runs exactly 3 times; nothing to assert beyond not crashing.
+        }
+    }
+
+    #[test]
+    fn oneof_flat_map_and_just() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_rng("oneof");
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        for _ in 0..50 {
+            assert!((1u32..=3).contains(&s.gen_value(&mut rng)));
+        }
+        let fm = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u64..10, n..=n));
+        for _ in 0..20 {
+            let v = fm.gen_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        let mapped = (0u32..5).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            assert!(mapped.gen_value(&mut rng) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_rng("same");
+        let mut b = crate::test_rng("same");
+        let s = 0u64..1_000_000;
+        for _ in 0..10 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Minimal offline stand-in for `serde`: a value-tree data model with
+//! `Serialize`/`Deserialize` traits and (via the `derive` feature) the
+//! matching derive macros. The observable JSON behaviour mirrors real
+//! serde where this workspace depends on it: structs are objects, unit
+//! enum variants are strings, data-carrying variants are
+//! single-key objects, newtype structs are transparent, and missing
+//! `Option` fields deserialize to `None`.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree both traits convert through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error (serialization is infallible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the value tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the value tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent; `None` means the
+    /// absence is an error. Overridden by `Option` (absent → `None`),
+    /// matching real serde's behaviour.
+    fn missing_field() -> Option<Self> {
+        None
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => {
+                        return Err(Error::msg(format_args!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format_args!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) if x <= i64::MAX as u64 => x as i64,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    ref other => {
+                        return Err(Error::msg(format_args!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format_args!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(x) => Ok(x as $t),
+                    Value::I64(x) => Ok(x as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json writes NaN as null
+                    ref other => Err(Error::msg(format_args!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format_args!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format_args!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn missing_field() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format_args!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(Error::msg(format_args!(
+                                "expected {expect}-tuple, got {} elements", items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format_args!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support routines for the derive macros. Not a stable API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Views a value as an object's entry list.
+    pub fn as_object<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::msg(format_args!(
+                "expected object for {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Views a value as an array of `n` elements.
+    pub fn as_array<'v>(v: &'v Value, n: usize, what: &str) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::msg(format_args!(
+                "expected {n} elements for {what}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::msg(format_args!(
+                "expected array for {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts a struct field; absent fields fall back to the type's
+    /// `missing_field` rule (`Option` → `None`, everything else errors).
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => {
+                T::missing_field().ok_or_else(|| Error::msg(format_args!("missing field {name}")))
+            }
+        }
+    }
+
+    /// Extracts a `#[serde(default)]` struct field.
+    pub fn field_default<T: Deserialize + Default>(
+        obj: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Splits an enum value into `(variant_name, payload)`: a bare string
+    /// is a unit variant; a single-key object carries a payload.
+    pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s, None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((&entries[0].0, Some(&entries[0].1)))
+            }
+            other => Err(Error::msg(format_args!(
+                "expected enum (string or single-key object), got {other:?}"
+            ))),
+        }
+    }
+
+    /// The payload a data-carrying variant must have.
+    pub fn payload<'v>(p: Option<&'v Value>, variant: &str) -> Result<&'v Value, Error> {
+        p.ok_or_else(|| Error::msg(format_args!("variant {variant} expects a payload")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<u32> = Vec::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (u16, f64) = Deserialize::from_value(&(7u16, 0.5f64).to_value()).unwrap();
+        assert_eq!(t, (7, 0.5));
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let obj = [("present".to_string(), Value::U64(1))];
+        let absent: Option<u64> = __private::field(&obj, "absent").unwrap();
+        assert_eq!(absent, None);
+        let present: Option<u64> = __private::field(&obj, "present").unwrap();
+        assert_eq!(present, Some(1));
+        let err: Result<u64, _> = __private::field(&obj, "absent");
+        assert!(err.is_err());
+    }
+}

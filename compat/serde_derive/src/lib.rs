@@ -1,0 +1,448 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-repo serde
+//! stand-in. Parses the item's token stream directly (no `syn`), covering
+//! exactly the shapes this workspace uses: non-generic named structs,
+//! tuple structs, and enums with unit / named-field / tuple variants.
+//! The only recognised field attribute is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`), reporting whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains("default") {
+                        has_default = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type, stopping at a top-level `,` (angle brackets
+/// tracked so `Map<K, V>` commas don't split fields).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, default) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, next);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field {name}, got {other:?}"),
+        }
+        i = skip_type(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, next);
+        i = skip_type(&toks, i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, _) = skip_attrs(&toks, i);
+        i = next;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive stand-in does not support generic type {name}");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for {other} items"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{elems}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: String = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{elems}])")
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: String = fields
+                                .iter()
+                                .map(|f| format!("{},", f.name))
+                                .collect();
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                     (::std::string::String::from(\"{vn}\"), \
+                                      ::serde::Value::Object(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default { "field_default" } else { "field" };
+                    format!(
+                        "{0}: ::serde::__private::{helper}(__obj, \"{0}\")?,",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __items = ::serde::__private::as_array(__v, {arity}, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name}({elems}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantKind::Tuple(arity) => {
+                            if *arity == 1 {
+                                format!(
+                                    "\"{vn}\" => {{\n\
+                                         let __p = ::serde::__private::payload(__payload, \"{vn}\")?;\n\
+                                         ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__p)?))\n\
+                                     }}"
+                                )
+                            } else {
+                                let elems: String = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(&__items[{i}])?,"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vn}\" => {{\n\
+                                         let __p = ::serde::__private::payload(__payload, \"{vn}\")?;\n\
+                                         let __items = ::serde::__private::as_array(__p, {arity}, \"{vn}\")?;\n\
+                                         ::std::result::Result::Ok({name}::{vn}({elems}))\n\
+                                     }}"
+                                )
+                            }
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    let helper =
+                                        if f.default { "field_default" } else { "field" };
+                                    format!(
+                                        "{0}: ::serde::__private::{helper}(__obj, \"{0}\")?,",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let __p = ::serde::__private::payload(__payload, \"{vn}\")?;\n\
+                                     let __obj = ::serde::__private::as_object(__p, \"{vn}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (__tag, __payload) = ::serde::__private::variant(__v)?;\n\
+                         match __tag {{\n\
+                             {arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -67,7 +67,12 @@ fn main() {
     for (label, quality) in [
         ("exact", ForecastQuality::Exact),
         ("size-class (pow2)", ForecastQuality::SizeClass),
-        ("blind (flat mean)", ForecastQuality::Blind { mean_value_bytes: mean_bytes }),
+        (
+            "blind (flat mean)",
+            ForecastQuality::Blind {
+                mean_value_bytes: mean_bytes,
+            },
+        ),
     ] {
         let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
         base.cluster.forecast = quality;
@@ -114,8 +119,8 @@ fn main() {
         "hedges/run",
     ]);
     for s in &hedging {
-        let hedges: f64 = s.runs.iter().map(|r| r.hedges_issued as f64).sum::<f64>()
-            / s.runs.len() as f64;
+        let hedges: f64 =
+            s.runs.iter().map(|r| r.hedges_issued as f64).sum::<f64>() / s.runs.len() as f64;
         t.push_row(vec![
             s.strategy.clone(),
             format!("{:.2}", s.p50_ms.mean),

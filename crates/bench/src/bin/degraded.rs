@@ -50,7 +50,13 @@ fn main() {
         Strategy::equal_max_model(),
     ];
 
-    let mut table = Table::new(vec!["server-0 speed", "strategy", "median(ms)", "95th(ms)", "99th(ms)"]);
+    let mut table = Table::new(vec![
+        "server-0 speed",
+        "strategy",
+        "median(ms)",
+        "95th(ms)",
+        "99th(ms)",
+    ]);
     for &factor in &[1.0, speed] {
         let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
         base.cluster.server_speed_factors = vec![factor];

@@ -9,7 +9,9 @@
 //! cargo run --release -p brb-bench --bin figure2 -- --json figure2.json
 //! ```
 
-use brb_bench::figure2::{check_claims, render_claims, render_figure2, run_figure2, Figure2Options};
+use brb_bench::figure2::{
+    check_claims, render_claims, render_figure2, run_figure2, Figure2Options,
+};
 
 fn main() {
     let mut opts = Figure2Options::default();

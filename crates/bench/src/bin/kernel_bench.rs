@@ -1,0 +1,195 @@
+//! Kernel wall-clock benchmark: measures the simulation substrate end to
+//! end and writes `BENCH_kernel.json`.
+//!
+//! Two sections:
+//!
+//! * **calendar** — the timer-wheel [`Calendar`] against the reference
+//!   [`HeapCalendar`] on a steady-state 1k-event window with engine-like
+//!   deltas (the `push_pop_1k_window` shape from `benches/micro.rs`).
+//! * **sweep** — a 3-strategy × 4-seed `figure2_small` sweep, sequential
+//!   vs. parallel ([`run_strategies_multi_seed_with_threads`]), with the
+//!   engine's own event counts folded into an events/second throughput
+//!   figure. On a multi-core host the speedup tracks the worker count;
+//!   the recorded `threads` field says what this machine offered.
+//!
+//! Usage: `cargo run --release -p brb-bench --bin kernel_bench [tasks]`
+//! (default 8000 tasks per cell; the JSON lands in the working directory).
+
+use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::experiment::{
+    run_strategies_multi_seed_sequential, run_strategies_multi_seed_with_threads, worker_count,
+    StrategySummary,
+};
+use brb_sim::{Calendar, HeapCalendar, SimTime};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed calendar implementation.
+#[derive(Debug, Serialize)]
+struct CalendarBench {
+    /// Nanoseconds per push+pop pair, steady state.
+    ns_per_op: f64,
+    /// Million operations per second.
+    mops: f64,
+}
+
+/// The calendar section: wheel vs. heap baseline.
+#[derive(Debug, Serialize)]
+struct CalendarSection {
+    wheel: CalendarBench,
+    heap_baseline: CalendarBench,
+    /// wheel speedup over the heap baseline (>1 means the wheel wins).
+    speedup: f64,
+}
+
+/// One timed sweep execution.
+#[derive(Debug, Serialize)]
+struct SweepRun {
+    wall_secs: f64,
+    /// Simulation events executed per wall-clock second, across cells.
+    events_per_sec: f64,
+}
+
+/// The end-to-end sweep section.
+#[derive(Debug, Serialize)]
+struct SweepSection {
+    strategies: Vec<String>,
+    seeds: Vec<u64>,
+    tasks_per_cell: usize,
+    /// Total simulation events across all cells.
+    total_events: u64,
+    sequential: SweepRun,
+    parallel: SweepRun,
+    /// Workers the parallel run used.
+    threads: usize,
+    /// parallel speedup over sequential (≈ thread count on idle cores).
+    speedup: f64,
+}
+
+/// The whole `BENCH_kernel.json` document.
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    calendar: CalendarSection,
+    sweep: SweepSection,
+}
+
+/// Steady-state push/pop timing over a 1k window with engine-like deltas
+/// (50–450µs ahead of the popped event).
+macro_rules! time_calendar {
+    ($cal:expr, $iters:expr) => {{
+        let mut cal = $cal;
+        for i in 0..1_000u64 {
+            cal.push(SimTime::from_nanos(i * 350), i);
+        }
+        let mut t = 100_000u64;
+        // Warm up the allocations and the branch predictor.
+        for _ in 0..50_000 {
+            let (when, tag) = cal.pop().unwrap();
+            t += 137;
+            cal.push(
+                SimTime::from_nanos(when.as_nanos() + 50_000 + t % 400_000),
+                tag,
+            );
+        }
+        let start = Instant::now();
+        for _ in 0..$iters {
+            let (when, tag) = cal.pop().unwrap();
+            t += 137;
+            cal.push(
+                SimTime::from_nanos(when.as_nanos() + 50_000 + t % 400_000),
+                tag,
+            );
+        }
+        let ns = start.elapsed().as_nanos() as f64 / $iters as f64;
+        CalendarBench {
+            ns_per_op: ns,
+            mops: 1e3 / ns,
+        }
+    }};
+}
+
+fn total_events(summaries: &[StrategySummary]) -> u64 {
+    summaries
+        .iter()
+        .flat_map(|s| s.runs.iter())
+        .map(|r| r.events)
+        .sum()
+}
+
+fn main() {
+    let tasks: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8_000);
+    const ITERS: u64 = 2_000_000;
+
+    eprintln!("calendar: timing wheel vs heap baseline ({ITERS} ops)...");
+    let wheel = time_calendar!(Calendar::new(), ITERS);
+    let heap = time_calendar!(HeapCalendar::new(), ITERS);
+    let cal_section = CalendarSection {
+        speedup: heap.ns_per_op / wheel.ns_per_op,
+        wheel,
+        heap_baseline: heap,
+    };
+
+    let strategies = vec![
+        Strategy::c3(),
+        Strategy::equal_max_credits(),
+        Strategy::equal_max_model(),
+    ];
+    let seeds = vec![1u64, 2, 3, 4];
+    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, tasks);
+    let threads = worker_count();
+
+    eprintln!(
+        "sweep: {} strategies x {} seeds x {tasks} tasks, sequential...",
+        strategies.len(),
+        seeds.len()
+    );
+    let start = Instant::now();
+    let seq_out = run_strategies_multi_seed_sequential(&base, &strategies, &seeds);
+    let seq_secs = start.elapsed().as_secs_f64();
+    let events = total_events(&seq_out);
+
+    eprintln!("sweep: parallel across {threads} threads...");
+    let start = Instant::now();
+    let par_out = run_strategies_multi_seed_with_threads(&base, &strategies, &seeds, threads);
+    let par_secs = start.elapsed().as_secs_f64();
+    assert_eq!(total_events(&par_out), events, "parallel run diverged");
+
+    let doc = KernelBench {
+        calendar: cal_section,
+        sweep: SweepSection {
+            strategies: strategies.iter().map(|s| s.name()).collect(),
+            seeds,
+            tasks_per_cell: tasks,
+            total_events: events,
+            sequential: SweepRun {
+                wall_secs: seq_secs,
+                events_per_sec: events as f64 / seq_secs,
+            },
+            parallel: SweepRun {
+                wall_secs: par_secs,
+                events_per_sec: events as f64 / par_secs,
+            },
+            threads,
+            speedup: seq_secs / par_secs,
+        },
+    };
+
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench document");
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("{json}");
+    eprintln!(
+        "calendar: wheel {:.1} ns/op vs heap {:.1} ns/op ({:.2}x); \
+         sweep: {:.2}s sequential vs {:.2}s parallel ({:.2}x on {} threads); \
+         wrote BENCH_kernel.json",
+        doc.calendar.wheel.ns_per_op,
+        doc.calendar.heap_baseline.ns_per_op,
+        doc.calendar.speedup,
+        doc.sweep.sequential.wall_secs,
+        doc.sweep.parallel.wall_secs,
+        doc.sweep.speedup,
+        doc.sweep.threads,
+    );
+}

@@ -34,7 +34,10 @@ fn main() {
         Strategy::equal_max_credits(),
         Strategy::equal_max_model(),
     ];
-    eprintln!("load sweep {loads:?} — {num_tasks} tasks x {} seeds", seeds.len());
+    eprintln!(
+        "load sweep {loads:?} — {num_tasks} tasks x {} seeds",
+        seeds.len()
+    );
     let t0 = std::time::Instant::now();
     let pts = load_sweep(&loads, &strategies, num_tasks, &seeds);
     eprintln!("completed in {:.1?}\n", t0.elapsed());

@@ -43,7 +43,13 @@ fn main() {
         let w = sim.world();
         let slug: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = format!("{out_dir}/timeline_{slug}.csv");
         let file = std::fs::File::create(&path).expect("create csv");

@@ -53,10 +53,7 @@ fn generate(args: &[String]) {
     let out = out.expect("--out PATH is required");
 
     let factory = RngFactory::new(seed);
-    let model = SoundCloudModel::build(
-        SoundCloudConfig::default(),
-        &mut factory.stream("catalog"),
-    );
+    let model = SoundCloudModel::build(SoundCloudConfig::default(), &mut factory.stream("catalog"));
     eprintln!(
         "catalog: {} playlists, mean length {:.2}; generating {tasks} tasks at {rate}/s ...",
         model.num_playlists(),
@@ -84,7 +81,10 @@ fn print_stats(trace: &Trace) {
         Some(s) => {
             println!("tasks            : {}", s.num_tasks);
             println!("requests         : {}", s.num_requests);
-            println!("mean fan-out     : {:.2} (max {})", s.mean_fanout, s.max_fanout);
+            println!(
+                "mean fan-out     : {:.2} (max {})",
+                s.mean_fanout, s.max_fanout
+            );
             println!(
                 "value sizes      : mean {:.0} B, max {} B",
                 s.mean_value_bytes, s.max_value_bytes

@@ -29,11 +29,31 @@ struct Op {
 }
 
 const OPS: [Op; 5] = [
-    Op { label: 'A', task: 1, server: 0 },
-    Op { label: 'B', task: 1, server: 1 },
-    Op { label: 'C', task: 1, server: 1 },
-    Op { label: 'D', task: 2, server: 2 },
-    Op { label: 'E', task: 2, server: 0 },
+    Op {
+        label: 'A',
+        task: 1,
+        server: 0,
+    },
+    Op {
+        label: 'B',
+        task: 1,
+        server: 1,
+    },
+    Op {
+        label: 'C',
+        task: 1,
+        server: 1,
+    },
+    Op {
+        label: 'D',
+        task: 2,
+        server: 2,
+    },
+    Op {
+        label: 'E',
+        task: 2,
+        server: 0,
+    },
 ];
 
 /// The outcome of scheduling the example under one policy.
@@ -140,7 +160,9 @@ pub fn verify_figure1() -> Result<(), String> {
     for policy in [PolicyKind::EqualMax, PolicyKind::UnifIncr] {
         let optimal = run_figure1(policy);
         if optimal.t2_completion != 1 || optimal.t1_completion != 2 {
-            return Err(format!("{policy:?} failed to find the optimum: {optimal:?}"));
+            return Err(format!(
+                "{policy:?} failed to find the optimum: {optimal:?}"
+            ));
         }
     }
     Ok(())

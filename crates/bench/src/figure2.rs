@@ -50,7 +50,13 @@ pub fn run_figure2(opts: &Figure2Options) -> Vec<StrategySummary> {
 
 /// Renders the Figure 2 table (ms, mean ± stddev across seeds).
 pub fn render_figure2(summaries: &[StrategySummary]) -> String {
-    let mut t = Table::new(vec!["strategy", "median(ms)", "95th(ms)", "99th(ms)", "seeds"]);
+    let mut t = Table::new(vec![
+        "strategy",
+        "median(ms)",
+        "95th(ms)",
+        "99th(ms)",
+        "seeds",
+    ]);
     for s in summaries {
         t.push_row(vec![
             s.strategy.clone(),
@@ -92,10 +98,7 @@ pub fn check_claims(summaries: &[StrategySummary]) -> Vec<ClaimCheck> {
     let mut checks = Vec::new();
 
     // Claim 1: credits within 38% of model at p99, per policy.
-    for (label, credits, model) in [
-        ("EqualMax", emc, emm),
-        ("UniformIncr", uic, uim),
-    ] {
+    for (label, credits, model) in [("EqualMax", emc, emm), ("UniformIncr", uic, uim)] {
         let ratio = credits.p99_ms.mean / model.p99_ms.mean;
         checks.push(ClaimCheck {
             claim: format!("{label}: credits within 38% of model at p99"),
@@ -138,9 +141,7 @@ pub fn check_claims(summaries: &[StrategySummary]) -> Vec<ClaimCheck> {
     checks.push(ClaimCheck {
         claim: "C3→BRB improvement factors in the paper's direction".into(),
         holds: f50 >= 1.3 && f95 >= 1.2 && f99 >= 1.5,
-        detail: format!(
-            "median {f50:.2}x, 95th {f95:.2}x, 99th {f99:.2}x (paper: up to 3x/3x/2x)"
-        ),
+        detail: format!("median {f50:.2}x, 95th {f95:.2}x, 99th {f99:.2}x (paper: up to 3x/3x/2x)"),
     });
 
     checks
@@ -173,8 +174,8 @@ mod tests {
     #[test]
     fn quick_figure2_preserves_ordering() {
         let opts = Figure2Options {
-            num_tasks: 8_000,
-            seeds: vec![1],
+            num_tasks: 12_000,
+            seeds: vec![1, 2],
         };
         let summaries = run_figure2(&opts);
         assert_eq!(summaries.len(), 5);

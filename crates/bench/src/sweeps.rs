@@ -127,7 +127,13 @@ pub fn policy_matrix(num_tasks: usize, seeds: &[u64]) -> Vec<StrategySummary> {
 
 /// Renders a sweep as a table with one row per (x, strategy).
 pub fn render_sweep(points: &[SweepPoint], x_label: &str) -> String {
-    let mut t = Table::new(vec![x_label, "strategy", "median(ms)", "95th(ms)", "99th(ms)"]);
+    let mut t = Table::new(vec![
+        x_label,
+        "strategy",
+        "median(ms)",
+        "95th(ms)",
+        "99th(ms)",
+    ]);
     for p in points {
         for s in &p.summaries {
             t.push_row(vec![
@@ -152,10 +158,7 @@ mod tests {
         assert_eq!(pts.len(), 2);
         let low = pts[0].summaries[0].p99_ms.mean;
         let high = pts[1].summaries[0].p99_ms.mean;
-        assert!(
-            high > low,
-            "p99 must grow with load: {low:.2} → {high:.2}"
-        );
+        assert!(high > low, "p99 must grow with load: {low:.2} → {high:.2}");
     }
 
     #[test]
@@ -181,7 +184,12 @@ mod tests {
 
     #[test]
     fn render_sweep_has_row_per_cell() {
-        let pts = load_sweep(&[0.5], &[Strategy::c3(), Strategy::equal_max_model()], 2_000, &[1]);
+        let pts = load_sweep(
+            &[0.5],
+            &[Strategy::c3(), Strategy::equal_max_model()],
+            2_000,
+            &[1],
+        );
         let s = render_sweep(&pts, "load");
         // Header + separator + 2 rows.
         assert_eq!(s.lines().count(), 4);

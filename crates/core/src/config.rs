@@ -10,7 +10,7 @@ use brb_sched::{CreditsConfig, PolicyKind};
 use brb_store::cost::ForecastQuality;
 use brb_store::service::{ServiceModel, ServiceNoise};
 use brb_workload::taskgen::SizeModel;
-use brb_workload::{FanoutDist, task_rate_for_load};
+use brb_workload::{task_rate_for_load, FanoutDist};
 use serde::{Deserialize, Serialize};
 
 /// The backend cluster being simulated.
@@ -67,7 +67,10 @@ impl ClusterConfig {
 
     /// The speed factor of one server (1.0 when unspecified).
     pub fn speed_of(&self, server: usize) -> f64 {
-        self.server_speed_factors.get(server).copied().unwrap_or(1.0)
+        self.server_speed_factors
+            .get(server)
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Aggregate service capacity in requests/second.
@@ -108,7 +111,11 @@ impl ClusterConfig {
         if self.server_speed_factors.len() > self.num_servers as usize {
             return Err("more speed factors than servers".into());
         }
-        if self.server_speed_factors.iter().any(|&f| f.is_nan() || f <= 0.0) {
+        if self
+            .server_speed_factors
+            .iter()
+            .any(|&f| f.is_nan() || f <= 0.0)
+        {
             return Err("speed factors must be positive".into());
         }
         self.latency.validate()
@@ -205,7 +212,11 @@ impl WorkloadConfig {
             return Err(format!("load {} out of sane range", self.load));
         }
         match &self.kind {
-            WorkloadKind::Synthetic { fanout, num_keys, zipf_exponent } => {
+            WorkloadKind::Synthetic {
+                fanout,
+                num_keys,
+                zipf_exponent,
+            } => {
                 fanout.validate()?;
                 if *num_keys == 0 {
                     return Err("empty key space".into());
@@ -214,7 +225,11 @@ impl WorkloadConfig {
                     return Err("negative zipf exponent".into());
                 }
             }
-            WorkloadKind::Playlist { num_tracks, num_playlists, .. } => {
+            WorkloadKind::Playlist {
+                num_tracks,
+                num_playlists,
+                ..
+            } => {
                 if *num_tracks == 0 || *num_playlists == 0 {
                     return Err("empty playlist catalog".into());
                 }
@@ -449,7 +464,11 @@ impl ExperimentConfig {
             WorkloadKind::Synthetic { num_keys, .. } => {
                 *num_keys = (num_tasks as u64 * 20).max(1_000)
             }
-            WorkloadKind::Playlist { num_tracks, num_playlists, .. } => {
+            WorkloadKind::Playlist {
+                num_tracks,
+                num_playlists,
+                ..
+            } => {
                 *num_tracks = (num_tasks as u64 * 10).max(1_000);
                 *num_playlists = (num_tasks as u64).max(100);
             }
@@ -462,7 +481,10 @@ impl ExperimentConfig {
         self.cluster.validate()?;
         self.workload.validate()?;
         if !(0.0..0.9).contains(&self.warmup_fraction) {
-            return Err(format!("warmup fraction {} out of range", self.warmup_fraction));
+            return Err(format!(
+                "warmup fraction {} out of range",
+                self.warmup_fraction
+            ));
         }
         if self.congestion_queue_threshold == 0 {
             return Err("congestion threshold must be positive".into());

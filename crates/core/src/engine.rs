@@ -26,7 +26,8 @@
 //!   cost.
 
 use crate::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
-use crate::task::BuiltTask;
+use crate::slab::Slab;
+use crate::task::TaskBuilder;
 use crate::timeline::{Timeline, TimelineSample};
 use brb_metrics::Histogram;
 use brb_net::{Fabric, NetNodeId};
@@ -47,6 +48,19 @@ use brb_workload::keyspace::{KeySpace, Popularity};
 use brb_workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
 use brb_workload::taskgen::{TaskGenerator, TaskSpec};
 use brb_workload::PoissonProcess;
+
+/// Slab key of a pooled [`InFlight`] record. Calendar events carry this
+/// 4-byte key instead of the record itself, and queues hold keys instead
+/// of payloads — the record lives in `EngineWorld::requests` from task
+/// arrival until its last referencing event has fired, then its slot is
+/// recycled for a later request. Steady state allocates nothing.
+pub type ReqId = u32;
+
+/// Slab key of a pooled controller-message payload (`Vec<(u16, f64)>` of
+/// per-server demands or grants). The vectors rotate through
+/// `EngineWorld::payload_pool`, so the measurement/adaptation tick chains
+/// stop allocating once the pool is warm.
+pub type PayloadId = u32;
 
 /// A request in flight through the system. Kept `Copy`-small: millions of
 /// these move through the calendar per run.
@@ -70,7 +84,11 @@ pub struct InFlight {
     pub is_hedge: bool,
 }
 
-/// The engine's event alphabet.
+/// The engine's event alphabet. Every payload is either a small scalar
+/// or a slab key ([`ReqId`]/[`PayloadId`]), keeping the enum at 24 bytes
+/// (asserted in tests) — calendar entries stay small and no event
+/// carries a heap allocation. The old alphabet moved a 32-byte
+/// [`InFlight`] or a `Vec` through every event.
 #[derive(Debug)]
 pub enum Ev {
     /// Task `task_idx` arrives at its client.
@@ -78,25 +96,28 @@ pub enum Ev {
     /// Re-attempt dispatch of held requests at a client.
     Pump(u16),
     /// A request reaches a server's queue.
-    ReqAtServer(u16, InFlight),
+    ReqAtServer(u16, ReqId),
     /// A core finishes serving a request (`service_ns` spent).
-    SvcDone(u16, InFlight, u64),
-    /// A response reaches the owning client (`from` server, feedback).
-    RespAtClient(InFlight, u16, ResponseFeedback),
+    SvcDone(u16, ReqId, u64),
+    /// A response reaches the owning client: `from` server, its queue
+    /// length on departure, and the service time — the full
+    /// [`ResponseFeedback`] is rebuilt at the client, where the response
+    /// time is stamped anyway.
+    RespAtClient(ReqId, u16, u32, u64),
     /// A request reaches the global queue (model realization).
-    ReqAtGlobal(InFlight),
+    ReqAtGlobal(ReqId),
     /// Clients measure and report demand (credits realization).
     MeasureTick,
     /// A demand report reaches the controller.
-    DemandAtController(u16, Vec<(u16, f64)>),
+    DemandAtController(u16, PayloadId),
     /// A congestion signal reaches the controller.
     CongestionAtController(u16),
     /// The controller re-allocates grants.
     AdaptTick,
     /// New grant rates reach a client.
-    GrantAtClient(u16, Vec<(u16, f64)>),
+    GrantAtClient(u16, PayloadId),
     /// Hedging timer: re-issue the request if it is still pending.
-    HedgeFire(InFlight),
+    HedgeFire(ReqId),
     /// Telemetry snapshot tick (only when telemetry is enabled).
     TelemetryTick,
 }
@@ -108,21 +129,22 @@ enum Realization {
     Model,
 }
 
-/// Server queue discipline.
+/// Server queue discipline. Queues hold slab keys, not records: a queued
+/// entry is 12 bytes and both disciplines report `len` in O(1).
 enum QueueImpl {
-    Fifo(std::collections::VecDeque<(Priority, InFlight)>),
-    Prio(PriorityQueue<InFlight>),
+    Fifo(std::collections::VecDeque<(Priority, ReqId)>),
+    Prio(PriorityQueue<ReqId>),
 }
 
 impl QueueImpl {
-    fn push(&mut self, p: Priority, r: InFlight) {
+    fn push(&mut self, p: Priority, r: ReqId) {
         match self {
             QueueImpl::Fifo(q) => q.push_back((p, r)),
             QueueImpl::Prio(q) => q.push(p, r),
         }
     }
 
-    fn pop(&mut self) -> Option<(Priority, InFlight)> {
+    fn pop(&mut self) -> Option<(Priority, ReqId)> {
         match self {
             QueueImpl::Fifo(q) => q.pop_front(),
             QueueImpl::Prio(q) => q.pop(),
@@ -159,7 +181,7 @@ struct ClientState {
     /// Token buckets per server (credits realization).
     buckets: Vec<CreditBucket>,
     /// Held requests per replica group, priority-ordered.
-    hold: Vec<PriorityQueue<InFlight>>,
+    hold: Vec<PriorityQueue<ReqId>>,
     held: usize,
     /// This client's in-flight count per server.
     outstanding: Vec<u64>,
@@ -231,8 +253,27 @@ pub struct EngineWorld {
     tasks: Vec<TaskState>,
     clients: Vec<ClientState>,
     servers: Vec<ServerState>,
-    global: Option<GlobalQueue<InFlight>>,
+    global: Option<GlobalQueue<ReqId>>,
     controller: Option<CreditController>,
+
+    /// Pooled in-flight records, keyed by the [`ReqId`]s events carry.
+    /// The `u8` is the count of outstanding event references (the
+    /// request chain plus, when hedging, the pending hedge timer); the
+    /// slot is recycled when it reaches zero.
+    requests: Slab<(InFlight, u8)>,
+    /// Pooled controller-message payloads in flight on the virtual wire.
+    payloads: Slab<Vec<(u16, f64)>>,
+    /// Spent payload vectors awaiting reuse.
+    payload_pool: Vec<Vec<(u16, f64)>>,
+    /// Spent per-task completion-flag vectors awaiting reuse.
+    done_pool: Vec<Vec<bool>>,
+    /// Per-server rate scratch for `handle_measure_tick`.
+    rate_scratch: Vec<f64>,
+    /// Per-client regroup scratch for `handle_adapt_tick`; inner vectors
+    /// rotate through `payload_pool`.
+    grant_scratch: Vec<Vec<(u16, f64)>>,
+    /// Reusable client-side task-build pipeline.
+    builder: TaskBuilder,
 
     warmup_ns: u64,
     completed: usize,
@@ -300,7 +341,11 @@ impl EngineWorld {
                 };
                 let model = SoundCloudModel::build(sc, &mut factory.stream("catalog"));
                 model
-                    .generate_trace(cfg.workload.num_tasks, task_rate, &mut factory.stream("workload"))
+                    .generate_trace(
+                        cfg.workload.num_tasks,
+                        task_rate,
+                        &mut factory.stream("workload"),
+                    )
                     .tasks
             }
         };
@@ -374,28 +419,27 @@ impl EngineWorld {
                     Strategy::Hedged { selector, .. } => Some(*selector),
                     _ => None,
                 };
-                let selector: Option<Box<dyn ReplicaSelector>> = selector_kind.map(|kind| {
-                    match kind {
+                let selector: Option<Box<dyn ReplicaSelector>> =
+                    selector_kind.map(|kind| match kind {
                         SelectorKind::Random => Box::new(RandomSelector::new(
                             factory.stream_seed(&format!("selector-{c}")),
                         ))
                             as Box<dyn ReplicaSelector>,
                         SelectorKind::RoundRobin => Box::new(RoundRobinSelector::new()),
-                        SelectorKind::LeastOutstanding => {
-                            Box::new(LeastOutstandingSelector::new())
-                        }
+                        SelectorKind::LeastOutstanding => Box::new(LeastOutstandingSelector::new()),
                         SelectorKind::Oracle => Box::new(OracleSelector::new()),
                         SelectorKind::C3 => Box::new(C3Selector::new(C3Config::paper_default(
                             cluster.num_clients,
                         ))),
-                    }
-                });
+                    });
                 ClientState {
                     selector,
                     buckets: (0..n_servers)
                         .map(|_| CreditBucket::new(fair_rate, (fair_rate * burst_secs).max(1.0)))
                         .collect(),
-                    hold: (0..num_groups).map(|_| PriorityQueue::new()).collect(),
+                    hold: (0..num_groups)
+                        .map(|_| PriorityQueue::with_capacity(32))
+                        .collect(),
                     held: 0,
                     outstanding: vec![0; n_servers],
                     dispatched_since_measure: vec![0; n_servers],
@@ -417,9 +461,9 @@ impl EngineWorld {
                         ..
                     }
                     | Strategy::Hedged { .. } => {
-                        QueueImpl::Fifo(std::collections::VecDeque::new())
+                        QueueImpl::Fifo(std::collections::VecDeque::with_capacity(64))
                     }
-                    _ => QueueImpl::Prio(PriorityQueue::new()),
+                    _ => QueueImpl::Prio(PriorityQueue::with_capacity(64)),
                 },
                 speed: cluster.speed_of(s),
                 cores: cluster.cores_per_server,
@@ -439,10 +483,9 @@ impl EngineWorld {
             _ => None,
         };
         let controller = match &realization {
-            Realization::Credits(cc) => Some(CreditController::new(
-                vec![server_cap; n_servers],
-                *cc,
-            )),
+            Realization::Credits(cc) => {
+                Some(CreditController::new(vec![server_cap; n_servers], *cc))
+            }
             _ => None,
         };
 
@@ -460,6 +503,7 @@ impl EngineWorld {
         let last_arrival = trace.last().map(|t| t.arrival_ns).unwrap_or(0);
         let warmup_ns = (last_arrival as f64 * cfg.warmup_fraction) as u64;
 
+        let num_clients = cluster.num_clients as usize;
         EngineWorld {
             cfg,
             realization,
@@ -477,6 +521,13 @@ impl EngineWorld {
             servers,
             global,
             controller,
+            requests: Slab::with_capacity(1024),
+            payloads: Slab::with_capacity(num_clients * 2),
+            payload_pool: Vec::with_capacity(num_clients * 2),
+            done_pool: Vec::with_capacity(64),
+            rate_scratch: Vec::new(),
+            grant_scratch: vec![Vec::new(); num_clients],
+            builder: TaskBuilder::default(),
             warmup_ns,
             completed: 0,
             measured_tasks: 0,
@@ -557,6 +608,12 @@ impl EngineWorld {
         self.finished
     }
 
+    /// Live pooled in-flight records. Zero after a run to exhaustion —
+    /// anything else is a reference-count leak in the event lifecycle.
+    pub fn live_requests(&self) -> usize {
+        self.requests.len()
+    }
+
     /// Mean server utilization over `span_ns` of virtual time.
     pub fn mean_utilization(&self, span_ns: u64) -> f64 {
         if span_ns == 0 {
@@ -590,6 +647,40 @@ impl EngineWorld {
         NetNodeId::new(self.cfg.cluster.num_clients as u64 + self.cfg.cluster.num_servers as u64)
     }
 
+    // ---- pooled-record lifecycle ----
+
+    /// Pools a record with `refs` outstanding event references.
+    fn alloc_req(&mut self, rec: InFlight, refs: u8) -> ReqId {
+        self.requests.insert((rec, refs))
+    }
+
+    /// The record behind a key.
+    fn req(&self, id: ReqId) -> &InFlight {
+        &self.requests.get(id).0
+    }
+
+    /// Consumes one event reference; the slot recycles at zero.
+    fn deref_req(&mut self, id: ReqId) {
+        let entry = self.requests.get_mut(id);
+        debug_assert!(entry.1 > 0, "request over-released");
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            self.requests.remove(id);
+        }
+    }
+
+    /// A cleared payload vector, reusing a pooled allocation when one is
+    /// available.
+    fn take_payload(&mut self) -> Vec<(u16, f64)> {
+        self.payload_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent payload vector to the pool.
+    fn recycle_payload(&mut self, mut payload: Vec<(u16, f64)>) {
+        payload.clear();
+        self.payload_pool.push(payload);
+    }
+
     fn handle_task_arrival(&mut self, ctx: &mut Ctx<'_, Ev>, task_idx: u32) {
         // Chain the next arrival.
         let next = task_idx as usize + 1;
@@ -600,11 +691,21 @@ impl EngineWorld {
             );
         }
 
-        let spec = &self.trace[task_idx as usize];
-        let built = BuiltTask::build(spec, &self.ring, &self.cost, self.policy);
+        self.builder.build(
+            &self.trace[task_idx as usize],
+            &self.ring,
+            &self.cost,
+            self.policy,
+        );
         let client = self.tasks[task_idx as usize].client;
-        self.tasks[task_idx as usize].done = vec![false; built.requests.len()];
-        for (req_idx, r) in built.requests.iter().enumerate() {
+        let mut done = self.done_pool.pop().unwrap_or_default();
+        done.clear();
+        done.resize(self.builder.requests.len(), false);
+        self.tasks[task_idx as usize].done = done;
+        // Detach the built requests so the slab and client state can be
+        // borrowed; the vector returns to the builder afterwards.
+        let built = std::mem::take(&mut self.builder.requests);
+        for (req_idx, r) in built.iter().enumerate() {
             let inflight = InFlight {
                 task_idx,
                 req_idx: req_idx as u16,
@@ -615,10 +716,12 @@ impl EngineWorld {
                 dispatched_ns: 0,
                 is_hedge: false,
             };
+            let id = self.alloc_req(inflight, 1);
             let cs = &mut self.clients[client as usize];
-            cs.hold[r.group.index()].push(r.priority, inflight);
+            cs.hold[r.group.index()].push(r.priority, id);
             cs.held += 1;
         }
+        self.builder.requests = built;
         let held_total: usize = self.clients.iter().map(|c| c.held).sum();
         self.counters.peak_held = self.counters.peak_held.max(held_total);
         self.pump(ctx, client);
@@ -634,65 +737,65 @@ impl EngineWorld {
 
         for g in 0..num_groups {
             loop {
-                let (head_prio, head) = {
+                let (head_id, head) = {
                     let q = &self.clients[client as usize].hold[g];
-                    match (q.peek_priority(), q.peek_item()) {
-                        (Some(p), Some(item)) => (p, *item),
-                        _ => break,
+                    match q.peek_item() {
+                        Some(&id) => (id, *self.req(id)),
+                        None => break,
                     }
                 };
-                let _ = head_prio;
                 match self.admit(now_ns, client, g, &head) {
                     Admission::Dispatch(server) => {
                         let cs = &mut self.clients[client as usize];
-                        let (_, mut req) = cs.hold[g].pop().expect("head vanished");
+                        let (_, id) = cs.hold[g].pop().expect("head vanished");
+                        debug_assert_eq!(id, head_id);
                         cs.held -= 1;
-                        req.dispatched_ns = now_ns;
                         cs.outstanding[server.index()] += 1;
                         cs.dispatched_since_measure[server.index()] += 1;
                         cs.dispatched_total += 1;
+                        self.requests.get_mut(id).0.dispatched_ns = now_ns;
                         self.counters.dispatched += 1;
-                        if self.tasks[req.task_idx as usize].arrival_ns >= self.warmup_ns {
+                        if self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns {
                             self.hold_time
-                                .record(now_ns - self.tasks[req.task_idx as usize].arrival_ns);
+                                .record(now_ns - self.tasks[head.task_idx as usize].arrival_ns);
                         }
                         let delay = self.one_way(
                             self.client_node(client),
                             self.server_node(server.raw() as u16),
-                            req.value_bytes as u64,
+                            head.value_bytes as u64,
                         );
-                        ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, req));
+                        ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, id));
                         if let Some(hedge_ns) = self.hedge_ns {
-                            ctx.schedule_in(
-                                SimDuration::from_nanos(hedge_ns),
-                                Ev::HedgeFire(req),
-                            );
+                            // The pending hedge timer holds a second
+                            // reference to the record.
+                            self.requests.get_mut(id).1 += 1;
+                            ctx.schedule_in(SimDuration::from_nanos(hedge_ns), Ev::HedgeFire(id));
                         }
                     }
                     Admission::ToGlobal => {
                         let cs = &mut self.clients[client as usize];
-                        let (_, mut req) = cs.hold[g].pop().expect("head vanished");
+                        let (_, id) = cs.hold[g].pop().expect("head vanished");
+                        debug_assert_eq!(id, head_id);
                         cs.held -= 1;
-                        req.dispatched_ns = now_ns;
+                        self.requests.get_mut(id).0.dispatched_ns = now_ns;
                         self.counters.dispatched += 1;
-                        if self.tasks[req.task_idx as usize].arrival_ns >= self.warmup_ns {
+                        if self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns {
                             self.hold_time
-                                .record(now_ns - self.tasks[req.task_idx as usize].arrival_ns);
+                                .record(now_ns - self.tasks[head.task_idx as usize].arrival_ns);
                         }
                         // The request still crosses the network to reach
                         // the (magic) shared queue.
                         let delay = self.one_way(
                             self.client_node(client),
                             self.server_node(self.group_replicas[g][0].raw() as u16),
-                            req.value_bytes as u64,
+                            head.value_bytes as u64,
                         );
-                        ctx.schedule_in(delay, Ev::ReqAtGlobal(req));
+                        ctx.schedule_in(delay, Ev::ReqAtGlobal(id));
                     }
                     Admission::Denied { retry_in_ns } => {
                         self.counters.rate_limited += 1;
                         let at = now_ns.saturating_add(retry_in_ns.max(1));
-                        earliest_retry =
-                            Some(earliest_retry.map_or(at, |e: u64| e.min(at)));
+                        earliest_retry = Some(earliest_retry.map_or(at, |e: u64| e.min(at)));
                         break;
                     }
                 }
@@ -768,13 +871,10 @@ impl EngineWorld {
                 for s in &self.group_replicas[group] {
                     let b = &mut cs.buckets[s.index()];
                     if b.tokens_at(now_ns) >= 1.0 {
-                        let load =
-                            cs.queue_ewma[s.index()] + cs.outstanding[s.index()] as f64 * w;
+                        let load = cs.queue_ewma[s.index()] + cs.outstanding[s.index()] as f64 * w;
                         let better = match best {
                             None => true,
-                            Some((bl, br, _)) => {
-                                load < bl || (load == bl && s.raw() < br)
-                            }
+                            Some((bl, br, _)) => load < bl || (load == bl && s.raw() < br),
                         };
                         if better {
                             best = Some((load, s.raw(), *s));
@@ -801,11 +901,12 @@ impl EngineWorld {
         }
     }
 
-    fn handle_req_at_server(&mut self, ctx: &mut Ctx<'_, Ev>, server: u16, req: InFlight) {
+    fn handle_req_at_server(&mut self, ctx: &mut Ctx<'_, Ev>, server: u16, id: ReqId) {
         let now_ns = ctx.now().as_nanos();
+        let priority = self.req(id).priority;
         let congested = {
             let srv = &mut self.servers[server as usize];
-            srv.queue.push(req.priority, req);
+            srv.queue.push(priority, id);
             srv.peak_queue = srv.peak_queue.max(srv.queue.len());
             match &self.realization {
                 // "once demand exceeds server capacity, a congestion
@@ -856,43 +957,35 @@ impl EngineWorld {
             if srv.busy_cores >= srv.cores {
                 return;
             }
-            let Some((_, req)) = srv.queue.pop() else {
+            let Some((_, id)) = srv.queue.pop() else {
                 return;
             };
             srv.busy_cores += 1;
+            let value_bytes = self.requests.get(id).0.value_bytes;
+            let srv = &mut self.servers[server as usize];
             let service = self
                 .service
-                .sample(req.value_bytes as u64, &mut srv.service_rng)
+                .sample(value_bytes as u64, &mut srv.service_rng)
                 .mul_f64(1.0 / srv.speed);
-            ctx.schedule_in(service, Ev::SvcDone(server, req, service.as_nanos()));
+            ctx.schedule_in(service, Ev::SvcDone(server, id, service.as_nanos()));
         }
     }
 
-    fn handle_svc_done(
-        &mut self,
-        ctx: &mut Ctx<'_, Ev>,
-        server: u16,
-        req: InFlight,
-        service_ns: u64,
-    ) {
+    fn handle_svc_done(&mut self, ctx: &mut Ctx<'_, Ev>, server: u16, id: ReqId, service_ns: u64) {
+        let req = self.requests.get(id).0;
         let queue_len = {
             let srv = &mut self.servers[server as usize];
             srv.busy_cores -= 1;
             srv.busy_ns += service_ns;
             srv.served += 1;
-            srv.queue.len() as u64
-        };
-        let feedback = ResponseFeedback {
-            response_time_ns: 0, // stamped at the client
-            queue_len,
-            service_time_ns: service_ns,
+            srv.queue.len() as u32
         };
         let delay = self.one_way(
             self.server_node(server),
             self.client_node(req.client),
             req.value_bytes as u64,
         );
-        ctx.schedule_in(delay, Ev::RespAtClient(req, server, feedback));
+        ctx.schedule_in(delay, Ev::RespAtClient(id, server, queue_len, service_ns));
 
         match self.realization {
             Realization::Model => self.model_pull(ctx, server),
@@ -900,12 +993,13 @@ impl EngineWorld {
         }
     }
 
-    fn handle_req_at_global(&mut self, ctx: &mut Ctx<'_, Ev>, req: InFlight) {
+    fn handle_req_at_global(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
+        let req = self.requests.get(id).0;
         let group = GroupId::new(req.group as u64);
         self.global
             .as_mut()
             .expect("model realization")
-            .push(group, req.priority, req);
+            .push(group, req.priority, id);
         // Wake the idle replica with the most free cores (deterministic
         // tie-break on id); it will pull the global best it may serve.
         let candidate = self.group_replicas[req.group as usize]
@@ -939,29 +1033,39 @@ impl EngineWorld {
                 .as_mut()
                 .expect("model realization")
                 .pull_for(ServerId::new(server as u64), &self.ring);
-            let Some((_, _, req)) = pulled else {
+            let Some((_, _, id)) = pulled else {
                 return;
             };
+            let value_bytes = self.requests.get(id).0.value_bytes;
             let srv = &mut self.servers[server as usize];
             srv.busy_cores += 1;
             let service = self
                 .service
-                .sample(req.value_bytes as u64, &mut srv.service_rng)
+                .sample(value_bytes as u64, &mut srv.service_rng)
                 .mul_f64(1.0 / srv.speed);
-            ctx.schedule_in(service, Ev::SvcDone(server, req, service.as_nanos()));
+            ctx.schedule_in(service, Ev::SvcDone(server, id, service.as_nanos()));
         }
     }
 
     fn handle_resp_at_client(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
-        req: InFlight,
+        id: ReqId,
         from: u16,
-        mut feedback: ResponseFeedback,
+        queue_len: u32,
+        service_ns: u64,
     ) {
+        let req = self.requests.get(id).0;
+        // This response consumes its event reference; the copied record
+        // carries everything the handler needs.
+        self.deref_req(id);
         let now_ns = ctx.now().as_nanos();
         let c = req.client as usize;
-        feedback.response_time_ns = now_ns.saturating_sub(req.dispatched_ns);
+        let feedback = ResponseFeedback {
+            response_time_ns: now_ns.saturating_sub(req.dispatched_ns),
+            queue_len: queue_len as u64,
+            service_time_ns: service_ns,
+        };
         {
             let cs = &mut self.clients[c];
             cs.outstanding[from as usize] = cs.outstanding[from as usize].saturating_sub(1);
@@ -974,7 +1078,9 @@ impl EngineWorld {
         }
 
         let task = &mut self.tasks[req.task_idx as usize];
-        if task.done[req.req_idx as usize] {
+        // A recycled (empty) `done` vector means the task already
+        // completed — only a hedge duplicate can arrive that late.
+        if task.done.get(req.req_idx as usize).copied().unwrap_or(true) {
             // Late duplicate under hedging: the work was wasted but the
             // response must not double-complete the request.
             self.counters.duplicate_responses += 1;
@@ -983,13 +1089,21 @@ impl EngineWorld {
         task.done[req.req_idx as usize] = true;
         task.pending -= 1;
         let post_warmup = task.arrival_ns >= self.warmup_ns;
+        let task_completed = task.pending == 0;
+        let task_arrival_ns = task.arrival_ns;
+        if task_completed {
+            // Recycle the completion flags; later hedge events observe
+            // the empty vector as "task done".
+            let done = std::mem::take(&mut task.done);
+            self.done_pool.push(done);
+        }
         if post_warmup {
             self.request_latency.record(feedback.response_time_ns);
         }
-        if task.pending == 0 {
+        if task_completed {
             self.completed += 1;
             if post_warmup {
-                self.task_latency.record(now_ns - task.arrival_ns);
+                self.task_latency.record(now_ns - task_arrival_ns);
                 self.measured_tasks += 1;
             }
             if self.completed == self.tasks.len() {
@@ -1013,9 +1127,17 @@ impl EngineWorld {
     /// size distribution, doubling the biggest requests alone can push
     /// the cluster past saturation (a runaway we reproduce in the
     /// ablation by disabling this gate via a sub-service-time trigger).
-    fn handle_hedge_fire(&mut self, ctx: &mut Ctx<'_, Ev>, req: InFlight) {
+    fn handle_hedge_fire(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
+        let req = self.requests.get(id).0;
+        // The timer's reference is consumed whatever happens next.
+        self.deref_req(id);
         debug_assert!(!req.is_hedge, "hedges are never re-hedged");
-        if self.tasks[req.task_idx as usize].done[req.req_idx as usize] {
+        let done = self.tasks[req.task_idx as usize]
+            .done
+            .get(req.req_idx as usize)
+            .copied()
+            .unwrap_or(true); // recycled vector ⇒ task completed
+        if done {
             return; // answered in time — no duplicate needed
         }
         let hedge_ns = self.hedge_ns.expect("hedge timer without hedging");
@@ -1038,6 +1160,7 @@ impl EngineWorld {
                 let mut dup = req;
                 dup.is_hedge = true;
                 dup.dispatched_ns = now_ns;
+                let dup_id = self.alloc_req(dup, 1);
                 let cs = &mut self.clients[req.client as usize];
                 cs.outstanding[server.index()] += 1;
                 cs.dispatched_since_measure[server.index()] += 1;
@@ -1049,7 +1172,7 @@ impl EngineWorld {
                     self.server_node(server.raw() as u16),
                     dup.value_bytes as u64,
                 );
-                ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, dup));
+                ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, dup_id));
             }
             // Rate-limited or non-direct realization: skip the hedge
             // rather than queueing duplicate work.
@@ -1067,10 +1190,12 @@ impl EngineWorld {
         let n_servers = self.cfg.cluster.num_servers as usize;
 
         for c in 0..self.clients.len() {
-            let mut demands: Vec<(u16, f64)> = Vec::with_capacity(n_servers);
+            let mut demands = self.take_payload();
             {
+                self.rate_scratch.clear();
+                self.rate_scratch.resize(n_servers, 0.0);
                 let cs = &mut self.clients[c];
-                let mut rates = vec![0.0f64; n_servers];
+                let rates = &mut self.rate_scratch;
                 for (s, rate) in rates.iter_mut().enumerate() {
                     *rate = cs.dispatched_since_measure[s] as f64 / dt_secs;
                     cs.dispatched_since_measure[s] = 0;
@@ -1099,9 +1224,12 @@ impl EngineWorld {
                     }
                 }
             }
-            if !demands.is_empty() {
+            if demands.is_empty() {
+                self.recycle_payload(demands);
+            } else {
+                let payload = self.payloads.insert(demands);
                 let delay = self.one_way(self.client_node(c as u16), self.controller_node(), 256);
-                ctx.schedule_in(delay, Ev::DemandAtController(c as u16, demands));
+                ctx.schedule_in(delay, Ev::DemandAtController(c as u16, payload));
             }
         }
         if !self.finished {
@@ -1119,36 +1247,47 @@ impl EngineWorld {
             .as_mut()
             .expect("credits realization")
             .allocate();
-        // Regroup per client for delivery.
-        let mut per_client: Vec<Vec<(u16, f64)>> = vec![Vec::new(); self.clients.len()];
+        // Regroup per client into the reusable scratch; each non-empty
+        // grant vector is swapped against a pooled one and shipped by
+        // slab key, so delivery allocates nothing in steady state.
+        for scratch in &mut self.grant_scratch {
+            scratch.clear();
+        }
         for (s, table) in grants.iter().enumerate() {
             for (client, rate) in table {
-                per_client[client.index()].push((s as u16, *rate));
+                self.grant_scratch[client.index()].push((s as u16, *rate));
             }
         }
-        for (c, grant) in per_client.into_iter().enumerate() {
-            if !grant.is_empty() {
-                let delay = self.one_way(self.controller_node(), self.client_node(c as u16), 256);
-                ctx.schedule_in(delay, Ev::GrantAtClient(c as u16, grant));
+        for c in 0..self.clients.len() {
+            if self.grant_scratch[c].is_empty() {
+                continue;
             }
+            let replacement = self.take_payload();
+            let grant = std::mem::replace(&mut self.grant_scratch[c], replacement);
+            let payload = self.payloads.insert(grant);
+            let delay = self.one_way(self.controller_node(), self.client_node(c as u16), 256);
+            ctx.schedule_in(delay, Ev::GrantAtClient(c as u16, payload));
         }
         if !self.finished {
             ctx.schedule_in(SimDuration::from_nanos(interval_ns), Ev::AdaptTick);
         }
     }
 
-    fn handle_grant(&mut self, ctx: &mut Ctx<'_, Ev>, client: u16, grants: Vec<(u16, f64)>) {
+    fn handle_grant(&mut self, ctx: &mut Ctx<'_, Ev>, client: u16, payload: PayloadId) {
+        let grants = self.payloads.remove(payload);
         let Realization::Credits(cc) = &self.realization else {
+            self.recycle_payload(grants);
             return;
         };
         let burst_secs = cc.burst_secs;
         let now_ns = ctx.now().as_nanos();
         {
             let cs = &mut self.clients[client as usize];
-            for (s, rate) in grants {
+            for &(s, rate) in &grants {
                 cs.buckets[s as usize].set_rate(now_ns, rate, burst_secs);
             }
         }
+        self.recycle_payload(grants);
         self.counters.grants_delivered += 1;
         if self.clients[client as usize].held > 0 {
             self.pump(ctx, client);
@@ -1177,19 +1316,23 @@ impl World for EngineWorld {
             }
             Ev::ReqAtServer(s, req) => self.handle_req_at_server(ctx, s, req),
             Ev::SvcDone(s, req, ns) => self.handle_svc_done(ctx, s, req, ns),
-            Ev::RespAtClient(req, from, fb) => self.handle_resp_at_client(ctx, req, from, fb),
+            Ev::RespAtClient(id, from, queue_len, service_ns) => {
+                self.handle_resp_at_client(ctx, id, from, queue_len, service_ns)
+            }
             Ev::ReqAtGlobal(req) => self.handle_req_at_global(ctx, req),
             Ev::MeasureTick => self.handle_measure_tick(ctx),
-            Ev::DemandAtController(client, demands) => {
+            Ev::DemandAtController(client, payload) => {
                 self.counters.demand_reports += 1;
+                let demands = self.payloads.remove(payload);
                 let ctrl = self.controller.as_mut().expect("credits realization");
-                for (s, rate) in demands {
+                for &(s, rate) in &demands {
                     ctrl.report_demand(
                         brb_store::ids::ClientId::new(client as u64),
                         ServerId::new(s as u64),
                         rate,
                     );
                 }
+                self.recycle_payload(demands);
             }
             Ev::CongestionAtController(s) => {
                 self.controller
@@ -1229,13 +1372,42 @@ mod tests {
         assert!(w.counters.dispatched >= 2_000);
     }
 
+    /// Calendar entries are the hot-path currency: the event enum must
+    /// stay pointer-small so millions of entries stream through cache.
+    #[test]
+    fn event_enum_stays_small() {
+        assert!(
+            std::mem::size_of::<Ev>() <= 24,
+            "Ev grew to {} bytes",
+            std::mem::size_of::<Ev>()
+        );
+    }
+
+    /// The pooled-record lifecycle must balance exactly: after a run to
+    /// exhaustion no slab entry may survive, for every realization —
+    /// including hedging, whose timers hold second references.
+    #[test]
+    fn request_slab_drains_for_every_strategy() {
+        let mut strategies = Strategy::figure2_set();
+        strategies.push(Strategy::hedged_default());
+        for (i, strategy) in strategies.into_iter().enumerate() {
+            let sim = run(strategy, 20 + i as u64, 1_000);
+            let w = sim.world();
+            assert!(w.is_finished());
+            assert_eq!(w.live_requests(), 0, "strategy {i} leaked records");
+        }
+    }
+
     #[test]
     fn credits_completes_all_tasks_and_reports_demand() {
         let sim = run(Strategy::equal_max_credits(), 2, 2_000);
         let w = sim.world();
         assert!(w.is_finished());
         assert_eq!(w.completed_tasks(), 2_000);
-        assert!(w.counters.demand_reports > 0, "controller never heard demand");
+        assert!(
+            w.counters.demand_reports > 0,
+            "controller never heard demand"
+        );
         assert!(w.counters.grants_delivered > 0, "no grants delivered");
     }
 
@@ -1389,8 +1561,8 @@ mod tests {
     /// re-issuing them to a healthy replica rescues the tail.
     #[test]
     fn hedging_absorbs_a_degraded_server() {
-        let run_with_slow_server = |strategy: Strategy| {
-            let mut cfg = ExperimentConfig::figure2_small(strategy, 9, 5_000);
+        let run_with_slow_server = |strategy: Strategy, seed: u64| {
+            let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 5_000);
             // Slow but stable (ρ ≈ 0.83 at the slow server): hedges can
             // rescue its stragglers on healthy replicas. A server *past*
             // saturation cannot be hedged around — duplicates only deepen
@@ -1403,17 +1575,28 @@ mod tests {
             sim.run();
             sim
         };
-        let plain = run_with_slow_server(Strategy::Direct {
+        // Mean p99 across seeds: single short runs are noise-dominated
+        // at the tail, the direction claim is about the expectation.
+        let mean_p99 = |strategy: &Strategy| -> f64 {
+            let seeds = [9u64, 10, 11];
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let sim = run_with_slow_server(strategy.clone(), seed);
+                    sim.world().task_latency.value_at_percentile(99.0) as f64
+                })
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let plain_p99 = mean_p99(&Strategy::Direct {
             selector: SelectorKind::Random,
             policy: PolicyKind::Fifo,
             priority_queues: false,
         });
-        let hedged = run_with_slow_server(Strategy::Hedged {
+        let hedged_p99 = mean_p99(&Strategy::Hedged {
             selector: SelectorKind::Random,
             delay_us: 5_000,
         });
-        let plain_p99 = plain.world().task_latency.value_at_percentile(99.0);
-        let hedged_p99 = hedged.world().task_latency.value_at_percentile(99.0);
         assert!(
             hedged_p99 < plain_p99,
             "hedging should rescue stragglers: {hedged_p99}ns vs {plain_p99}ns"
@@ -1424,11 +1607,21 @@ mod tests {
     fn model_beats_fifo_c3_at_the_tail() {
         // The ideal realization should not lose to the realizable baseline
         // (sanity direction check at small scale; the full claim is
-        // validated in the figure2 bench).
-        let c3 = run(Strategy::c3(), 42, 4_000);
-        let model = run(Strategy::equal_max_model(), 42, 4_000);
-        let c3_p99 = c3.world().task_latency.value_at_percentile(99.0);
-        let model_p99 = model.world().task_latency.value_at_percentile(99.0);
+        // validated in the figure2 bench). Averaged over a few seeds:
+        // a single 4k-task run's p99 rests on ~40 samples.
+        let mean_p99 = |strategy: Strategy| -> f64 {
+            let seeds = [42u64, 43, 44];
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let sim = run(strategy.clone(), seed, 4_000);
+                    sim.world().task_latency.value_at_percentile(99.0) as f64
+                })
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let c3_p99 = mean_p99(Strategy::c3());
+        let model_p99 = mean_p99(Strategy::equal_max_model());
         assert!(
             model_p99 < c3_p99,
             "model p99 {model_p99}ns should beat C3 p99 {c3_p99}ns"

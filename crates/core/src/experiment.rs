@@ -1,11 +1,20 @@
 //! Experiment runners: single seeded runs and the paper's multi-seed
 //! averaged comparisons.
+//!
+//! [`run_strategies_multi_seed`] fans its (strategy × seed) cells out
+//! across OS threads — each cell is an independent deterministic
+//! simulation, so the sweep scales with cores while producing results
+//! byte-identical to the sequential path (guarded by a test). Worker
+//! count comes from [`worker_count`] (`BRB_THREADS` overrides the
+//! detected parallelism).
 
 use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::{Counters, EngineWorld};
 use brb_metrics::{Percentiles, SeedSummary};
 use brb_sim::Simulation;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The result of one seeded run of one strategy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -155,30 +164,133 @@ impl StrategySummary {
     }
 }
 
+/// The sweep worker count: `BRB_THREADS` when set (and positive), else
+/// the detected available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("BRB_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builds the (strategy × seed) cell configurations in result order.
+fn cells_of(
+    base: &ExperimentConfig,
+    strategies: &[Strategy],
+    seeds: &[u64],
+) -> Vec<ExperimentConfig> {
+    strategies
+        .iter()
+        .flat_map(|strategy| {
+            seeds.iter().map(move |&seed| {
+                let mut cfg = base.clone();
+                cfg.strategy = strategy.clone();
+                cfg.seed = seed;
+                cfg
+            })
+        })
+        .collect()
+}
+
+/// Runs independent experiment cells across `worker_count()` scoped
+/// threads, returning results in input order. Work-stealing via an
+/// atomic cursor: cells differ wildly in cost (credits machinery vs.
+/// direct dispatch), so static chunking would leave cores idle.
+fn run_cells(cells: Vec<ExperimentConfig>) -> Vec<RunResult> {
+    run_cells_with(cells, worker_count())
+}
+
+fn run_cells_with(cells: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult> {
+    let threads = threads.min(cells.len());
+    if threads <= 1 {
+        return cells.into_iter().map(run_experiment).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = cells.get(i) else { break };
+                let result = run_experiment(cfg.clone());
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell completes")
+        })
+        .collect()
+}
+
 /// Runs every strategy over every seed with the same base configuration —
 /// the harness behind Figure 2 and the ablation sweeps. The same seed is
 /// reused across strategies (common random numbers), so the workload trace
 /// is identical for every strategy under a given seed.
+///
+/// Cells run in parallel across [`worker_count`] threads; each cell is a
+/// self-contained deterministic simulation (its own RNG streams, its own
+/// calendar), so the output is byte-identical to
+/// [`run_strategies_multi_seed_sequential`] regardless of thread count
+/// or interleaving.
 pub fn run_strategies_multi_seed(
     base: &ExperimentConfig,
     strategies: &[Strategy],
     seeds: &[u64],
 ) -> Vec<StrategySummary> {
-    strategies
-        .iter()
-        .map(|strategy| {
-            let runs: Vec<RunResult> = seeds
-                .iter()
-                .map(|&seed| {
-                    let mut cfg = base.clone();
-                    cfg.strategy = strategy.clone();
-                    cfg.seed = seed;
-                    run_experiment(cfg)
-                })
-                .collect();
-            StrategySummary::from_runs(runs)
-        })
-        .collect()
+    let results = run_cells(cells_of(base, strategies, seeds));
+    summarize(results, seeds.len())
+}
+
+/// [`run_strategies_multi_seed`] with an explicit worker count — for
+/// differential tests and benchmarks that must not depend on the
+/// machine's parallelism or the `BRB_THREADS` environment.
+pub fn run_strategies_multi_seed_with_threads(
+    base: &ExperimentConfig,
+    strategies: &[Strategy],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<StrategySummary> {
+    let results = run_cells_with(cells_of(base, strategies, seeds), threads);
+    summarize(results, seeds.len())
+}
+
+/// The single-threaded reference path: identical results to
+/// [`run_strategies_multi_seed`], kept for differential tests and as the
+/// wall-clock baseline in `--bin kernel_bench`.
+pub fn run_strategies_multi_seed_sequential(
+    base: &ExperimentConfig,
+    strategies: &[Strategy],
+    seeds: &[u64],
+) -> Vec<StrategySummary> {
+    let results = cells_of(base, strategies, seeds)
+        .into_iter()
+        .map(run_experiment)
+        .collect();
+    summarize(results, seeds.len())
+}
+
+/// Groups flat per-cell results (strategy-major order) into summaries.
+fn summarize(results: Vec<RunResult>, seeds_per_strategy: usize) -> Vec<StrategySummary> {
+    assert!(seeds_per_strategy > 0, "need at least one seed");
+    assert_eq!(results.len() % seeds_per_strategy, 0);
+    let mut out = Vec::with_capacity(results.len() / seeds_per_strategy);
+    let mut iter = results.into_iter();
+    while iter.len() > 0 {
+        let runs: Vec<RunResult> = iter.by_ref().take(seeds_per_strategy).collect();
+        out.push(StrategySummary::from_runs(runs));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -230,12 +342,44 @@ mod tests {
         // Common random numbers: dispatched request counts must match
         // exactly across strategies for the same seed.
         let base = small(Strategy::c3(), 0);
-        let out = run_strategies_multi_seed(
-            &base,
-            &[Strategy::c3(), Strategy::unif_incr_model()],
-            &[9],
-        );
+        let out =
+            run_strategies_multi_seed(&base, &[Strategy::c3(), Strategy::unif_incr_model()], &[9]);
         assert_eq!(out[0].runs[0].dispatched, out[1].runs[0].dispatched);
+    }
+
+    /// The parallel runner must be invisible in the results: every
+    /// `RunResult` serializes byte-identically to the sequential path's,
+    /// for every (strategy, seed) cell, even with more workers than
+    /// cells (maximum interleaving).
+    #[test]
+    fn parallel_runner_matches_sequential_byte_for_byte() {
+        let base = small(Strategy::c3(), 0);
+        let strategies = [
+            Strategy::c3(),
+            Strategy::equal_max_credits(),
+            Strategy::equal_max_model(),
+        ];
+        let seeds = [1u64, 2];
+        let seq = run_strategies_multi_seed_sequential(&base, &strategies, &seeds);
+        // More workers than cells maximizes interleaving.
+        let par = run_strategies_multi_seed_with_threads(&base, &strategies, &seeds, 8);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.strategy, p.strategy);
+            assert_eq!(s.runs.len(), p.runs.len());
+            for (sr, pr) in s.runs.iter().zip(&p.runs) {
+                let sj = serde_json::to_string(sr).unwrap();
+                let pj = serde_json::to_string(pr).unwrap();
+                assert_eq!(sj, pj, "cell ({}, seed {}) diverged", sr.strategy, sr.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        // Whatever the machine or BRB_THREADS says, a sweep always gets
+        // at least one worker.
+        assert!(worker_count() >= 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod engine;
 pub mod experiment;
+pub mod slab;
 pub mod task;
 pub mod timeline;
 
@@ -31,5 +32,6 @@ pub use config::{
 };
 pub use engine::EngineWorld;
 pub use experiment::{run_experiment, run_strategies_multi_seed, RunResult, StrategySummary};
-pub use task::{BuiltRequest, BuiltTask};
+pub use slab::Slab;
+pub use task::{BuiltRequest, BuiltTask, TaskBuilder};
 pub use timeline::{Timeline, TimelineSample};

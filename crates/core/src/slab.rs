@@ -1,0 +1,148 @@
+//! A minimal index-keyed slab: O(1) insert/remove with free-list reuse.
+//!
+//! The engine pools its hot-path records here — [`InFlight`] requests and
+//! controller message payloads — so calendar events carry a 4-byte
+//! [`u32`] key instead of an owned payload, and a steady-state run does
+//! no per-event heap allocation: freed slots (and the `Vec` payloads in
+//! them) are recycled for the next request.
+//!
+//! [`InFlight`]: crate::engine::InFlight
+
+/// An index-keyed arena with a free list.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            len: 0,
+        }
+    }
+
+    /// Stores `value`, returning its key. Reuses freed slots before
+    /// growing.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.entries[idx as usize].is_none(), "free-list corruption");
+            self.entries[idx as usize] = Some(value);
+            idx
+        } else {
+            let idx = u32::try_from(self.entries.len()).expect("slab exceeds u32 keys");
+            self.entries.push(Some(value));
+            idx
+        }
+    }
+
+    /// Borrows the entry at `key`.
+    ///
+    /// # Panics
+    /// Panics if `key` is vacant — a vacant access is a lifecycle bug
+    /// (an event referring to a freed record), never a recoverable state.
+    pub fn get(&self, key: u32) -> &T {
+        self.entries[key as usize]
+            .as_ref()
+            .expect("slab key is vacant")
+    }
+
+    /// Mutably borrows the entry at `key`.
+    ///
+    /// # Panics
+    /// Panics if `key` is vacant.
+    pub fn get_mut(&mut self, key: u32) -> &mut T {
+        self.entries[key as usize]
+            .as_mut()
+            .expect("slab key is vacant")
+    }
+
+    /// Removes and returns the entry at `key`, recycling the slot.
+    ///
+    /// # Panics
+    /// Panics if `key` is vacant.
+    pub fn remove(&mut self, key: u32) -> T {
+        let value = self.entries[key as usize]
+            .take()
+            .expect("slab key is vacant");
+        self.free.push(key);
+        self.len -= 1;
+        value
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trips() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(*slab.get(a), "a");
+        assert_eq!(*slab.get(b), "b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), "a");
+        assert_eq!(slab.len(), 1);
+        *slab.get_mut(b) = "b2";
+        assert_eq!(*slab.get(b), "b2");
+    }
+
+    #[test]
+    fn freed_slots_are_reused_before_growth() {
+        let mut slab = Slab::with_capacity(4);
+        let keys: Vec<u32> = (0..4).map(|i| slab.insert(i)).collect();
+        for &k in &keys {
+            slab.remove(k);
+        }
+        assert!(slab.is_empty());
+        // Re-inserting reuses the same four slots, no growth.
+        let reused: Vec<u32> = (0..4).map(|i| slab.insert(i + 10)).collect();
+        let mut all: Vec<u32> = keys.clone();
+        all.sort_unstable();
+        let mut got = reused.clone();
+        got.sort_unstable();
+        assert_eq!(all, got);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn vacant_access_panics() {
+        let mut slab = Slab::new();
+        let k = slab.insert(1);
+        slab.remove(k);
+        slab.get(k);
+    }
+}

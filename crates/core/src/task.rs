@@ -44,62 +44,97 @@ impl BuiltTask {
     /// Splits `spec` into sub-tasks per replica group, forecasts costs and
     /// assigns priorities under `policy`.
     pub fn build(spec: &TaskSpec, ring: &Ring, cost: &CostModel, policy: PolicyKind) -> BuiltTask {
+        let mut builder = TaskBuilder::default();
+        builder.build(spec, ring, cost, policy);
+        BuiltTask {
+            arrival_ns: spec.arrival_ns,
+            requests: builder.requests.clone(),
+            bottleneck_cost_ns: builder.bottleneck_cost_ns,
+            num_subtasks: builder.num_subtasks,
+        }
+    }
+}
+
+/// Reusable scratch for the client-side task pipeline. The engine builds
+/// millions of tasks per sweep; owning the intermediate vectors here
+/// (groups, costs, sub-task maps, priorities, built requests) makes a
+/// steady-state [`TaskBuilder::build`] allocation-free.
+#[derive(Debug, Default)]
+pub struct TaskBuilder {
+    groups: Vec<GroupId>,
+    costs: Vec<u64>,
+    subtask_of_group: Vec<(GroupId, usize)>,
+    request_subtask: Vec<usize>,
+    subtask_costs: Vec<u64>,
+    priorities: Vec<Priority>,
+    /// The built requests of the last [`build`][TaskBuilder::build] call,
+    /// in the task's original request order.
+    pub requests: Vec<BuiltRequest>,
+    /// The bottleneck sub-task's total forecast cost (ns).
+    pub bottleneck_cost_ns: u64,
+    /// Number of distinct sub-tasks (replica groups touched).
+    pub num_subtasks: usize,
+}
+
+impl TaskBuilder {
+    /// Splits `spec` into sub-tasks, forecasts costs and assigns
+    /// priorities under `policy`, leaving the result in
+    /// [`requests`][TaskBuilder::requests] (valid until the next call).
+    ///
+    /// # Panics
+    /// Panics if the task has no requests.
+    pub fn build(&mut self, spec: &TaskSpec, ring: &Ring, cost: &CostModel, policy: PolicyKind) {
         let n = spec.requests.len();
         assert!(n > 0, "task {} has no requests", spec.id);
 
         // Forecast per-request costs and map keys to replica groups.
-        let mut groups: Vec<GroupId> = Vec::with_capacity(n);
-        let mut costs: Vec<u64> = Vec::with_capacity(n);
+        self.groups.clear();
+        self.costs.clear();
         for r in &spec.requests {
-            groups.push(ring.group_of_key(r.key));
-            costs.push(cost.forecast_ns(r.value_bytes));
+            self.groups.push(ring.group_of_key(r.key));
+            self.costs.push(cost.forecast_ns(r.value_bytes));
         }
 
         // Dense sub-task indices in first-touch order; cost of a sub-task
         // is the sum of its requests' costs (they may serialize on one
         // replica).
-        let mut subtask_of_group: Vec<(GroupId, usize)> = Vec::new();
-        let mut request_subtask: Vec<usize> = Vec::with_capacity(n);
-        let mut subtask_costs: Vec<u64> = Vec::new();
-        for (i, &g) in groups.iter().enumerate() {
-            let idx = match subtask_of_group.iter().find(|(gg, _)| *gg == g) {
+        self.subtask_of_group.clear();
+        self.request_subtask.clear();
+        self.subtask_costs.clear();
+        for (i, &g) in self.groups.iter().enumerate() {
+            let idx = match self.subtask_of_group.iter().find(|(gg, _)| *gg == g) {
                 Some((_, idx)) => *idx,
                 None => {
-                    let idx = subtask_costs.len();
-                    subtask_of_group.push((g, idx));
-                    subtask_costs.push(0);
+                    let idx = self.subtask_costs.len();
+                    self.subtask_of_group.push((g, idx));
+                    self.subtask_costs.push(0);
                     idx
                 }
             };
-            request_subtask.push(idx);
-            subtask_costs[idx] += costs[i];
+            self.request_subtask.push(idx);
+            self.subtask_costs[idx] += self.costs[i];
         }
 
         let view = TaskView {
             arrival_ns: spec.arrival_ns,
-            request_costs: &costs,
-            request_subtask: &request_subtask,
-            subtask_costs: &subtask_costs,
+            request_costs: &self.costs,
+            request_subtask: &self.request_subtask,
+            subtask_costs: &self.subtask_costs,
         };
         debug_assert!(view.validate().is_ok(), "{:?}", view.validate());
-        let bottleneck_cost_ns = view.bottleneck_cost();
-        let priorities = policy.assign(&view);
+        self.bottleneck_cost_ns = view.bottleneck_cost();
+        policy.assign_into(&view, &mut self.priorities);
+        self.num_subtasks = self.subtask_costs.len();
 
-        let requests = (0..n)
-            .map(|i| BuiltRequest {
+        self.requests.clear();
+        for i in 0..n {
+            self.requests.push(BuiltRequest {
                 key: spec.requests[i].key,
                 value_bytes: spec.requests[i].value_bytes,
-                group: groups[i],
-                cost_ns: costs[i],
-                priority: priorities[i],
-            })
-            .collect();
-
-        BuiltTask {
-            arrival_ns: spec.arrival_ns,
-            requests,
-            bottleneck_cost_ns,
-            num_subtasks: subtask_costs.len(),
+                group: self.groups[i],
+                cost_ns: self.costs[i],
+                priority: self.priorities[i],
+            });
         }
     }
 }
@@ -185,11 +220,7 @@ mod tests {
             PolicyKind::UnifIncr,
         );
         // Find the big request; it must carry the smallest priority value.
-        let big = t
-            .requests
-            .iter()
-            .max_by_key(|r| r.value_bytes)
-            .unwrap();
+        let big = t.requests.iter().max_by_key(|r| r.value_bytes).unwrap();
         for r in &t.requests {
             assert!(big.priority <= r.priority);
         }
@@ -225,7 +256,12 @@ mod tests {
     #[test]
     fn single_request_task() {
         let ring = Ring::paper_default();
-        let t = BuiltTask::build(&spec(&[(42, 300)]), &ring, &cost_model(), PolicyKind::UnifIncr);
+        let t = BuiltTask::build(
+            &spec(&[(42, 300)]),
+            &ring,
+            &cost_model(),
+            PolicyKind::UnifIncr,
+        );
         assert_eq!(t.num_subtasks, 1);
         assert_eq!(t.bottleneck_cost_ns, t.requests[0].cost_ns);
         // Sole request has zero slack.

@@ -48,7 +48,7 @@ impl Timeline {
     /// Appends a snapshot (times must be non-decreasing).
     pub fn push(&mut self, sample: TimelineSample) {
         debug_assert!(
-            self.samples.last().map_or(true, |p| p.t_ns <= sample.t_ns),
+            self.samples.last().is_none_or(|p| p.t_ns <= sample.t_ns),
             "timeline must be time-ordered"
         );
         self.samples.push(sample);
@@ -84,7 +84,9 @@ impl Timeline {
                 *acc += q as f64;
             }
         }
-        sums.iter().map(|&x| x / self.samples.len() as f64).collect()
+        sums.iter()
+            .map(|&x| x / self.samples.len() as f64)
+            .collect()
     }
 
     /// Writes the timeline as CSV: one row per sample, one column per

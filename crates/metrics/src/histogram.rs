@@ -175,7 +175,9 @@ impl Histogram {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = ((q * self.total as f64).ceil() as u64).max(1).min(self.total);
+        let target = ((q * self.total as f64).ceil() as u64)
+            .max(1)
+            .min(self.total);
         let mut running = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             running += c;
@@ -281,8 +283,8 @@ impl Histogram {
 
     fn value_from_index(&self, index: usize) -> u64 {
         let mut bucket_idx = (index >> self.sub_bucket_half_count_magnitude) as isize - 1;
-        let mut sub_idx =
-            (index & ((self.sub_bucket_half_count as usize) - 1)) + self.sub_bucket_half_count as usize;
+        let mut sub_idx = (index & ((self.sub_bucket_half_count as usize) - 1))
+            + self.sub_bucket_half_count as usize;
         if bucket_idx < 0 {
             sub_idx -= self.sub_bucket_half_count as usize;
             bucket_idx = 0;
@@ -299,16 +301,16 @@ impl Histogram {
     /// Largest value indistinguishable from `value`.
     fn highest_equivalent(&self, value: u64) -> u64 {
         let bucket_idx = self.bucket_index(value);
-        let lower = (self.sub_bucket_index(value, bucket_idx) as u64)
-            << (bucket_idx + self.unit_magnitude);
+        let lower =
+            (self.sub_bucket_index(value, bucket_idx) as u64) << (bucket_idx + self.unit_magnitude);
         lower + self.size_of_equivalent_range(value) - 1
     }
 
     /// Midpoint of the bucket containing `value`.
     fn median_equivalent(&self, value: u64) -> u64 {
         let bucket_idx = self.bucket_index(value);
-        let lower = (self.sub_bucket_index(value, bucket_idx) as u64)
-            << (bucket_idx + self.unit_magnitude);
+        let lower =
+            (self.sub_bucket_index(value, bucket_idx) as u64) << (bucket_idx + self.unit_magnitude);
         lower + (self.size_of_equivalent_range(value) >> 1)
     }
 }

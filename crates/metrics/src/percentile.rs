@@ -128,7 +128,9 @@ mod tests {
         // Deterministic pseudo-random latencies between 100µs and 10ms.
         let mut x: u64 = 0x12345678;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ns = 100_000 + (x >> 40) % 9_900_000;
             h.record(ns);
             samples.push(ns as f64 / 1e6);

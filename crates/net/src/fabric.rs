@@ -83,7 +83,9 @@ impl Fabric {
 
     /// The latency model used for the directed pair.
     pub fn model_for(&self, from: NetNodeId, to: NetNodeId) -> &LatencyModel {
-        self.overrides.get(&(from, to)).unwrap_or(&self.default_model)
+        self.overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_model)
     }
 
     /// Samples the total one-way delay for a `bytes`-sized message.

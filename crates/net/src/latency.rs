@@ -180,9 +180,15 @@ mod tests {
         let mut samples: Vec<u64> = (0..50_000).map(|_| m.sample(&mut rng).as_nanos()).collect();
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
-        assert!((median - 50_000.0).abs() / 50_000.0 < 0.03, "median {median}");
+        assert!(
+            (median - 50_000.0).abs() / 50_000.0 < 0.03,
+            "median {median}"
+        );
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        assert!((mean - m.mean_ns()).abs() / m.mean_ns() < 0.03, "mean {mean}");
+        assert!(
+            (mean - m.mean_ns()).abs() / m.mean_ns() < 0.03,
+            "mean {mean}"
+        );
         assert!(mean > median, "log-normal is right-skewed");
     }
 
@@ -205,9 +211,21 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_params() {
-        assert!(LatencyModel::Uniform { lo_ns: 5, hi_ns: 1 }.validate().is_err());
-        assert!(LatencyModel::LogNormal { median_ns: 0, sigma: 0.1 }.validate().is_err());
-        assert!(LatencyModel::LogNormal { median_ns: 1, sigma: -1.0 }.validate().is_err());
+        assert!(LatencyModel::Uniform { lo_ns: 5, hi_ns: 1 }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::LogNormal {
+            median_ns: 0,
+            sigma: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::LogNormal {
+            median_ns: 1,
+            sigma: -1.0
+        }
+        .validate()
+        .is_err());
         assert!(LatencyModel::Spiky {
             base_ns: 1,
             p_spike: 1.5,

@@ -59,7 +59,7 @@ pub struct CreditsConfig {
 impl Default for CreditsConfig {
     fn default() -> Self {
         CreditsConfig {
-            measurement_interval_ns: 100_000_000, // 100 ms
+            measurement_interval_ns: 100_000_000,  // 100 ms
             adaptation_interval_ns: 1_000_000_000, // 1 s (paper)
             backoff: 0.9,
             recovery: 1.25,
@@ -422,7 +422,10 @@ mod tests {
             c.allocate();
         }
         let scale = c.scale_of(ServerId::new(0));
-        assert!((scale - floor).abs() < 1e-9, "scale {scale} vs floor {floor}");
+        assert!(
+            (scale - floor).abs() < 1e-9,
+            "scale {scale} vs floor {floor}"
+        );
     }
 
     #[test]

@@ -78,7 +78,17 @@ pub trait PriorityPolicy {
 
     /// Assigns one priority per request (same order as
     /// `view.request_costs`). Lower priorities serve first.
-    fn assign(&self, view: &TaskView<'_>) -> Vec<Priority>;
+    fn assign(&self, view: &TaskView<'_>) -> Vec<Priority> {
+        let mut out = Vec::new();
+        self.assign_into(view, &mut out);
+        out
+    }
+
+    /// Allocation-free [`assign`][PriorityPolicy::assign]: clears `out`
+    /// and fills it with one priority per request. The engine's hot path
+    /// calls this with a reused buffer — millions of tasks per sweep,
+    /// zero priority-vector allocations.
+    fn assign_into(&self, view: &TaskView<'_>, out: &mut Vec<Priority>);
 
     /// Whether this policy uses task structure (for reporting).
     fn is_task_aware(&self) -> bool;
@@ -138,37 +148,44 @@ impl PriorityPolicy for PolicyKind {
         )
     }
 
-    fn assign(&self, view: &TaskView<'_>) -> Vec<Priority> {
+    fn assign_into(&self, view: &TaskView<'_>, out: &mut Vec<Priority>) {
         debug_assert!(view.validate().is_ok(), "{:?}", view.validate());
         let n = view.request_costs.len();
+        out.clear();
         match self {
-            PolicyKind::Fifo => vec![Priority::from_deadline_ns(view.arrival_ns); n],
+            PolicyKind::Fifo => {
+                out.resize(n, Priority::from_deadline_ns(view.arrival_ns));
+            }
             PolicyKind::EqualMax => {
                 let b = view.bottleneck_cost();
-                vec![Priority::from_cost_ns(b); n]
+                out.resize(n, Priority::from_cost_ns(b));
             }
             PolicyKind::UnifIncr => {
                 let b = view.bottleneck_cost();
-                view.request_costs
-                    .iter()
-                    .map(|&c| Priority::from_cost_ns(b.saturating_sub(c)))
-                    .collect()
+                out.extend(
+                    view.request_costs
+                        .iter()
+                        .map(|&c| Priority::from_cost_ns(b.saturating_sub(c))),
+                );
             }
             PolicyKind::UnifIncrSubtask => {
                 let b = view.bottleneck_cost();
-                view.request_subtask
-                    .iter()
-                    .map(|&s| Priority::from_cost_ns(b.saturating_sub(view.subtask_costs[s])))
-                    .collect()
+                out.extend(
+                    view.request_subtask
+                        .iter()
+                        .map(|&s| Priority::from_cost_ns(b.saturating_sub(view.subtask_costs[s]))),
+                );
             }
-            PolicyKind::Sjf => view
-                .request_costs
-                .iter()
-                .map(|&c| Priority::from_cost_ns(c))
-                .collect(),
+            PolicyKind::Sjf => {
+                out.extend(
+                    view.request_costs
+                        .iter()
+                        .map(|&c| Priority::from_cost_ns(c)),
+                );
+            }
             PolicyKind::Edf => {
                 let deadline = view.arrival_ns.saturating_add(view.bottleneck_cost());
-                vec![Priority::from_deadline_ns(deadline); n]
+                out.resize(n, Priority::from_deadline_ns(deadline));
             }
         }
     }
@@ -242,7 +259,7 @@ mod tests {
         assert_eq!(p[0], Priority(150)); // 200-50
         assert_eq!(p[1], Priority(50)); // 200-150
         assert_eq!(p[2], Priority(80)); // 200-120
-        // Sub-task variant collapses requests of a group to one rank.
+                                        // Sub-task variant collapses requests of a group to one rank.
         let ps = PolicyKind::UnifIncrSubtask.assign(&v);
         assert_eq!(ps[0], ps[1]);
         assert_eq!(ps[0], Priority(0)); // 200-200
@@ -291,7 +308,14 @@ mod tests {
         let names: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(
             names,
-            ["fifo", "equal-max", "unif-incr", "unif-incr-subtask", "sjf", "edf"]
+            [
+                "fifo",
+                "equal-max",
+                "unif-incr",
+                "unif-incr-subtask",
+                "sjf",
+                "edf"
+            ]
         );
     }
 

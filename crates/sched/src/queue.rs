@@ -112,9 +112,26 @@ impl<T> PriorityQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `cap` items — hot-path
+    /// queues (client hold queues, server queues) are built once per run
+    /// and should never reallocate in steady state.
+    pub fn with_capacity(cap: usize) -> Self {
+        PriorityQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Borrows the item the next `pop` would return.
     pub fn peek_item(&self) -> Option<&T> {
         self.heap.peek().map(|e| &e.item)
+    }
+
+    /// Drops all items, keeping the allocation *and* the sequence
+    /// counter (so FIFO tie-breaking stays globally consistent across
+    /// reuse).
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -203,6 +220,21 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "b5");
         assert_eq!(q.pop().unwrap().1, "d5");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_seq_counter() {
+        let mut q = PriorityQueue::with_capacity(8);
+        q.push(Priority(5), "before-a");
+        q.push(Priority(5), "before-b");
+        q.clear();
+        assert!(q.is_empty());
+        // Ties pushed after a clear still pop after re-pushed earlier
+        // items would have — the seq counter must survive the clear.
+        q.push(Priority(5), "after-a");
+        q.push(Priority(5), "after-b");
+        assert_eq!(q.pop().unwrap().1, "after-a");
+        assert_eq!(q.pop().unwrap().1, "after-b");
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl C3Config {
         if self.rate_interval_ns == 0 {
             return Err("rate_interval must be positive".into());
         }
-        if !(self.min_rate > 0.0 && self.min_rate <= self.initial_rate
+        if !(self.min_rate > 0.0
+            && self.min_rate <= self.initial_rate
             && self.initial_rate <= self.max_rate)
         {
             return Err("need 0 < min_rate <= initial_rate <= max_rate".into());
@@ -254,8 +255,7 @@ impl C3Selector {
                 let s_bar = st.service_ns.get_or(100_000.0); // 100µs default
                 let r_bar = st.response_ns.get_or(s_bar);
                 let q_bar = st.queue_len.get_or(0.0);
-                let q_hat =
-                    1.0 + st.outstanding as f64 * self.config.concurrency_weight + q_bar;
+                let q_hat = 1.0 + st.outstanding as f64 * self.config.concurrency_weight + q_bar;
                 (r_bar - s_bar) + q_hat.powi(3) * s_bar
             }
         }

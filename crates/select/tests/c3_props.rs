@@ -1,6 +1,8 @@
 //! Property-based tests on the C3 baseline's scoring and rate control.
 
-use brb_select::{C3Config, C3Selector, ReplicaSelector, ResponseFeedback, Selection, SelectionCtx};
+use brb_select::{
+    C3Config, C3Selector, ReplicaSelector, ResponseFeedback, Selection, SelectionCtx,
+};
 use brb_store::ids::ServerId;
 use proptest::prelude::*;
 

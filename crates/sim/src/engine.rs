@@ -50,8 +50,16 @@ impl<'a, E> Ctx<'a, E> {
     /// Schedules `event` after a relative delay `d` (possibly zero: the
     /// event then runs at the same instant, after all earlier-scheduled
     /// events for this instant).
+    ///
+    /// # Panics
+    /// Panics if `now + d` overflows virtual time — a silent wrap would
+    /// schedule into the past and break causal ordering, the same
+    /// invariant [`Ctx::schedule_at`] guards.
     pub fn schedule_in(&mut self, d: SimDuration, event: E) {
-        let at = self.now + d;
+        let at = self
+            .now
+            .checked_add(d)
+            .unwrap_or_else(|| panic!("schedule_in overflows virtual time ({} + {d})", self.now));
         self.calendar.push(at, event);
     }
 
@@ -183,8 +191,16 @@ impl<W: World> Simulation<W> {
     }
 
     /// Schedules an event after a relative delay.
+    ///
+    /// # Panics
+    /// Panics if `now + d` overflows virtual time (see
+    /// [`Ctx::schedule_in`]).
     pub fn schedule_in(&mut self, d: SimDuration, event: W::Event) {
-        self.calendar.push(self.now + d, event);
+        let at = self
+            .now
+            .checked_add(d)
+            .unwrap_or_else(|| panic!("schedule_in overflows virtual time ({} + {d})", self.now));
+        self.calendar.push(at, event);
     }
 
     /// Executes a single event, if any; returns its timestamp.

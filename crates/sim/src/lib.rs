@@ -53,7 +53,7 @@ pub mod ids;
 pub mod rng;
 pub mod time;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, HeapCalendar};
 pub use engine::{Ctx, RunLimit, RunOutcome, RunStats, Simulation, World};
 pub use rng::{DetRng, RngFactory};
 pub use time::{SimDuration, SimTime};

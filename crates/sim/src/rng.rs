@@ -45,7 +45,9 @@ impl RngFactory {
     /// for per-entity streams such as "server-noise" 0..N.
     pub fn indexed_stream(&self, label: &str, index: u64) -> DetRng {
         let base = self.stream_seed(label);
-        StdRng::seed_from_u64(splitmix64(base ^ splitmix64(index.wrapping_add(0x9E37_79B9))))
+        StdRng::seed_from_u64(splitmix64(
+            base ^ splitmix64(index.wrapping_add(0x9E37_79B9)),
+        ))
     }
 
     /// The derived 64-bit seed for `label` (exposed for tests and for
@@ -97,7 +99,9 @@ mod tests {
         let f = RngFactory::new(42);
         let mut a = f.stream("arrivals");
         let mut b = f.stream("sizes");
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -105,7 +109,9 @@ mod tests {
     fn different_seeds_decorrelate() {
         let mut a = RngFactory::new(1).stream("x");
         let mut b = RngFactory::new(2).stream("x");
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

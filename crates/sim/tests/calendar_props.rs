@@ -1,7 +1,96 @@
-//! Property-based tests for the DES kernel's ordering guarantees.
+//! Property-based tests for the DES kernel's ordering guarantees,
+//! including differential tests of the timer-wheel [`Calendar`] against
+//! the reference [`HeapCalendar`].
 
-use brb_sim::{Calendar, Ctx, RunLimit, SimDuration, SimTime, Simulation, World};
+use brb_sim::{Calendar, Ctx, HeapCalendar, RunLimit, SimDuration, SimTime, Simulation, World};
 use proptest::prelude::*;
+
+/// One step of a randomized calendar workout.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at an absolute offset from the last popped time.
+    PushAhead(u64),
+    /// Push at exactly the last popped time (the zero-delay case).
+    PushNow,
+    /// Pop one event.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Offsets span every wheel level and the overflow tier.
+        (0u64..200_000).prop_map(Op::PushAhead),
+        (0u64..50_000_000).prop_map(Op::PushAhead),
+        (0u64..2_000_000_000_000).prop_map(Op::PushAhead),
+        Just(Op::PushNow),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// The timer wheel pops in *exactly* the same order as the reference
+    /// binary-heap calendar for arbitrary interleavings of pushes and
+    /// pops — including same-instant ties and pushes at the instant
+    /// currently being drained (what `schedule_in(ZERO)` produces).
+    #[test]
+    fn wheel_matches_heap_on_interleavings(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut wheel = Calendar::new();
+        let mut heap = HeapCalendar::new();
+        let mut tag = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::PushAhead(offset) => {
+                    let t = SimTime::from_nanos(now.saturating_add(offset));
+                    wheel.push(t, tag);
+                    heap.push(t, tag);
+                    tag += 1;
+                }
+                Op::PushNow => {
+                    let t = SimTime::from_nanos(now);
+                    wheel.push(t, tag);
+                    heap.push(t, tag);
+                    tag += 1;
+                }
+                Op::Pop => {
+                    let got = wheel.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want, "pop order diverged");
+                    if let Some((t, _)) = got {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: the full remaining order must agree.
+        loop {
+            let got = wheel.pop();
+            let want = heap.pop();
+            prop_assert_eq!(got, want, "drain order diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `with_capacity` changes nothing observable about the wheel.
+    #[test]
+    fn wheel_with_capacity_matches_heap(times in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut wheel = Calendar::with_capacity(256);
+        let mut heap = HeapCalendar::with_capacity(256);
+        for (i, &t) in times.iter().enumerate() {
+            wheel.push(SimTime::from_nanos(t), i);
+            heap.push(SimTime::from_nanos(t), i);
+        }
+        while let Some(want) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(want));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, and events that share

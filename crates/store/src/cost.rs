@@ -83,7 +83,10 @@ mod tests {
     fn exact_matches_service_expectation() {
         let c = CostModel::exact(service());
         for bytes in [1u64, 300, 5_000, 1 << 20] {
-            assert_eq!(c.forecast_ns(bytes), service().expected_ns(bytes).round() as u64);
+            assert_eq!(
+                c.forecast_ns(bytes),
+                service().expected_ns(bytes).round() as u64
+            );
         }
     }
 
@@ -91,9 +94,15 @@ mod tests {
     fn size_class_rounds_up() {
         let c = CostModel::new(service(), ForecastQuality::SizeClass);
         // 300 → class 512.
-        assert_eq!(c.forecast_ns(300), service().expected_ns(512).round() as u64);
+        assert_eq!(
+            c.forecast_ns(300),
+            service().expected_ns(512).round() as u64
+        );
         // Exact powers of two map to themselves.
-        assert_eq!(c.forecast_ns(512), service().expected_ns(512).round() as u64);
+        assert_eq!(
+            c.forecast_ns(512),
+            service().expected_ns(512).round() as u64
+        );
         // Class forecasts never underestimate the exact forecast.
         for bytes in 1..2_000u64 {
             assert!(c.forecast_ns(bytes) >= CostModel::exact(service()).forecast_ns(bytes));

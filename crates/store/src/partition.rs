@@ -116,7 +116,10 @@ impl Ring {
     /// The replica groups `server` belongs to (exactly R groups when
     /// `num_partitions >= num_servers`).
     pub fn groups_of_server(&self, server: ServerId) -> Vec<GroupId> {
-        assert!(server.raw() < self.num_servers as u64, "server out of range");
+        assert!(
+            server.raw() < self.num_servers as u64,
+            "server out of range"
+        );
         let n = self.num_servers as u64;
         (0..self.replication as u64)
             .map(|i| GroupId::new((server.raw() + n - i) % n))

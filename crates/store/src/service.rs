@@ -144,9 +144,11 @@ impl ServiceModel {
     /// size `mean_value_bytes`.
     pub fn mean_ns(&self, mean_value_bytes: f64) -> f64 {
         match self {
-            ServiceModel::SizeLinear { .. } => self.expected_ns(0)
-                + (self.expected_ns(1_000_000) - self.expected_ns(0)) * mean_value_bytes
-                    / 1_000_000.0,
+            ServiceModel::SizeLinear { .. } => {
+                self.expected_ns(0)
+                    + (self.expected_ns(1_000_000) - self.expected_ns(0)) * mean_value_bytes
+                        / 1_000_000.0
+            }
             ServiceModel::Exponential { mean_ns } => *mean_ns,
             ServiceModel::Deterministic { ns } => *ns,
         }
@@ -174,7 +176,8 @@ mod tests {
 
     #[test]
     fn calibration_hits_target_mean() {
-        let m = ServiceModel::calibrated_size_linear(285_714.0, MEAN_BYTES, 0.5, ServiceNoise::None);
+        let m =
+            ServiceModel::calibrated_size_linear(285_714.0, MEAN_BYTES, 0.5, ServiceNoise::None);
         // A request of exactly mean size costs exactly the mean.
         assert!((m.expected_ns(300) - 285_714.0).abs() < 1.0);
         assert!((m.mean_ns(MEAN_BYTES) - 285_714.0).abs() < 1.0);

@@ -92,7 +92,9 @@ mod tests {
         // or wrongly-shaped gap samplers.
         let p = PoissonProcess::new(1_000.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let gaps: Vec<f64> = (0..50_000).map(|_| p.sample_gap_ns(&mut rng) as f64).collect();
+        let gaps: Vec<f64> = (0..50_000)
+            .map(|_| p.sample_gap_ns(&mut rng) as f64)
+            .collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
         let cv = var.sqrt() / mean;

@@ -210,7 +210,10 @@ mod tests {
             *key_sets.entry(keys).or_insert(0u32) += 1;
         }
         let max_repeat = key_sets.values().copied().max().unwrap();
-        assert!(max_repeat > 5, "no playlist fetched repeatedly ({max_repeat})");
+        assert!(
+            max_repeat > 5,
+            "no playlist fetched repeatedly ({max_repeat})"
+        );
     }
 
     #[test]

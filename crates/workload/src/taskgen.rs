@@ -233,7 +233,11 @@ mod tests {
         let n = 100_000u64;
         let mean = (0..n).map(|k| m.size_of(k) as f64).sum::<f64>() / n as f64;
         let rel = (mean - m.mean_bytes()).abs() / m.mean_bytes();
-        assert!(rel < 0.05, "population mean {mean} vs model {}", m.mean_bytes());
+        assert!(
+            rel < 0.05,
+            "population mean {mean} vs model {}",
+            m.mean_bytes()
+        );
     }
 
     #[test]
@@ -264,8 +268,14 @@ mod tests {
             id: 0,
             arrival_ns: 0,
             requests: vec![
-                RequestSpec { key: 1, value_bytes: 10 },
-                RequestSpec { key: 2, value_bytes: 32 },
+                RequestSpec {
+                    key: 1,
+                    value_bytes: 10,
+                },
+                RequestSpec {
+                    key: 2,
+                    value_bytes: 32,
+                },
             ],
         };
         assert_eq!(t.total_bytes(), 42);

@@ -56,9 +56,7 @@ fn main() {
         Strategy::hedged_default(),
     ];
 
-    println!(
-        "{num_tasks} tasks, paper cluster, seed 1 — lower is better\n"
-    );
+    println!("{num_tasks} tasks, paper cluster, seed 1 — lower is better\n");
     println!(
         "{:<36} {:>10} {:>10} {:>10} {:>6}",
         "strategy", "median(ms)", "95th(ms)", "99th(ms)", "util"

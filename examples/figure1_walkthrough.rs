@@ -26,11 +26,20 @@ fn main() {
         request_subtask: &[0, 1],
         subtask_costs: &[1, 1],
     };
-    println!("T1 sub-tasks: {{A}} cost 1 on S1, {{B,C}} cost 2 on S2 -> bottleneck = {}", t1.bottleneck_cost());
-    println!("T2 sub-tasks: {{D}} cost 1 on S3, {{E}} cost 1 on S1 -> bottleneck = {}\n", t2.bottleneck_cost());
+    println!(
+        "T1 sub-tasks: {{A}} cost 1 on S1, {{B,C}} cost 2 on S2 -> bottleneck = {}",
+        t1.bottleneck_cost()
+    );
+    println!(
+        "T2 sub-tasks: {{D}} cost 1 on S3, {{E}} cost 1 on S1 -> bottleneck = {}\n",
+        t2.bottleneck_cost()
+    );
 
     println!("== Step 2: priority assignment ==\n");
-    for (name, policy) in [("EqualMax", PolicyKind::EqualMax), ("UnifIncr", PolicyKind::UnifIncr)] {
+    for (name, policy) in [
+        ("EqualMax", PolicyKind::EqualMax),
+        ("UnifIncr", PolicyKind::UnifIncr),
+    ] {
         let p1: Vec<Priority> = policy.assign(&t1);
         let p2: Vec<Priority> = policy.assign(&t2);
         println!(

@@ -46,7 +46,11 @@ fn slow_controller_cannot_deadlock_the_system() {
 #[test]
 fn fast_adaptation_remains_stable() {
     let slow = run_experiment(ExperimentConfig::figure2_small(credits_cfg(1.0), 3, 20_000));
-    let fast = run_experiment(ExperimentConfig::figure2_small(credits_cfg(0.25), 3, 20_000));
+    let fast = run_experiment(ExperimentConfig::figure2_small(
+        credits_cfg(0.25),
+        3,
+        20_000,
+    ));
     assert_eq!(fast.completed_tasks, slow.completed_tasks);
     assert!(
         fast.task_latency_ms.p99 < slow.task_latency_ms.p99 * 3.0,

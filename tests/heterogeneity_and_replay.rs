@@ -101,12 +101,18 @@ fn replay_rejects_unordered_traces() {
         TaskSpec {
             id: 0,
             arrival_ns: 100,
-            requests: vec![RequestSpec { key: 1, value_bytes: 10 }],
+            requests: vec![RequestSpec {
+                key: 1,
+                value_bytes: 10,
+            }],
         },
         TaskSpec {
             id: 1,
             arrival_ns: 50,
-            requests: vec![RequestSpec { key: 2, value_bytes: 10 }],
+            requests: vec![RequestSpec {
+                key: 2,
+                value_bytes: 10,
+            }],
         },
     ];
     let cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 2);
