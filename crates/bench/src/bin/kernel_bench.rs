@@ -1,11 +1,15 @@
 //! Kernel wall-clock benchmark: measures the simulation substrate end to
 //! end and writes `BENCH_kernel.json`.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **calendar** — the timer-wheel [`Calendar`] against the reference
 //!   [`HeapCalendar`] on a steady-state 1k-event window with engine-like
 //!   deltas (the `push_pop_1k_window` shape from `benches/micro.rs`).
+//! * **model** — the `brb_sim::dist` fast samplers against the baselines
+//!   they replaced: ziggurat vs. Box–Muller standard normals, ziggurat
+//!   vs. inverse-CDF exponentials, and O(1) alias-table Zipf draws vs.
+//!   the old cumulative-table binary search.
 //! * **sweep** — a 3-strategy × 4-seed `figure2_small` sweep, sequential
 //!   vs. parallel ([`run_strategies_multi_seed_with_threads`]), with the
 //!   engine's own event counts folded into an events/second throughput
@@ -20,8 +24,12 @@ use brb_core::experiment::{
     run_strategies_multi_seed_sequential, run_strategies_multi_seed_with_threads, worker_count,
     StrategySummary,
 };
-use brb_sim::{Calendar, HeapCalendar, SimTime};
+use brb_sim::dist::{standard_exp, standard_exp_inv_cdf, standard_normal};
+use brb_sim::{BoxMuller, Calendar, DetRng, HeapCalendar, SimTime};
+use brb_workload::Zipf;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::hint::black_box;
 use std::time::Instant;
 
 /// One timed calendar implementation.
@@ -40,6 +48,44 @@ struct CalendarSection {
     heap_baseline: CalendarBench,
     /// wheel speedup over the heap baseline (>1 means the wheel wins).
     speedup: f64,
+}
+
+/// Ziggurat vs. Box–Muller standard normals.
+#[derive(Debug, Serialize)]
+struct NormalBench {
+    ziggurat_ns: f64,
+    box_muller_ns: f64,
+    /// box_muller / ziggurat (>1 means the ziggurat wins).
+    speedup: f64,
+}
+
+/// Ziggurat vs. inverse-CDF standard exponentials.
+#[derive(Debug, Serialize)]
+struct ExpBench {
+    ziggurat_ns: f64,
+    inverse_cdf_ns: f64,
+    /// inverse_cdf / ziggurat.
+    speedup: f64,
+}
+
+/// Alias-table vs. cumulative-scan Zipf rank draws.
+#[derive(Debug, Serialize)]
+struct ZipfBench {
+    /// Ranks in the sampled universe.
+    universe: u64,
+    alias_ns: f64,
+    cdf_scan_ns: f64,
+    /// cdf_scan / alias.
+    speedup: f64,
+}
+
+/// The model-math section: the `brb_sim::dist` fast path against the
+/// baselines it replaced.
+#[derive(Debug, Serialize)]
+struct ModelSection {
+    normal: NormalBench,
+    exp: ExpBench,
+    zipf: ZipfBench,
 }
 
 /// One timed sweep execution.
@@ -70,7 +116,72 @@ struct SweepSection {
 #[derive(Debug, Serialize)]
 struct KernelBench {
     calendar: CalendarSection,
+    model: ModelSection,
     sweep: SweepSection,
+}
+
+/// Nanoseconds per draw of `f`, accumulated so the draws cannot be
+/// optimized away.
+fn time_draws<F: FnMut(&mut DetRng) -> f64>(seed: u64, iters: u64, mut f: F) -> f64 {
+    let mut rng = DetRng::seed_from_u64(seed);
+    // Warm caches and branch predictors.
+    let mut acc = 0.0;
+    for _ in 0..(iters / 10).max(1) {
+        acc += f(&mut rng);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        acc += f(&mut rng);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    black_box(acc);
+    ns
+}
+
+/// Times the model-math samplers against their baselines.
+fn bench_model() -> ModelSection {
+    const DRAWS: u64 = 8_000_000;
+    let ziggurat_ns = time_draws(1, DRAWS, standard_normal);
+    let mut bm = BoxMuller::new();
+    let box_muller_ns = time_draws(2, DRAWS, |r| bm.sample(r));
+    let zig_exp_ns = time_draws(3, DRAWS, standard_exp);
+    let inverse_cdf_ns = time_draws(4, DRAWS, standard_exp_inv_cdf);
+
+    // Zipf over a 100k-rank universe (the synthetic workload's scale).
+    const UNIVERSE: u64 = 100_000;
+    const ZIPF_DRAWS: u64 = 2_000_000;
+    let zipf = Zipf::new(UNIVERSE, 0.9);
+    let alias_ns = time_draws(5, ZIPF_DRAWS, |r| zipf.sample(r) as f64);
+    // The pre-alias baseline: binary search over the cumulative table.
+    let mut cdf = Vec::with_capacity(UNIVERSE as usize);
+    let mut acc = 0.0;
+    for rank in 0..UNIVERSE {
+        acc += zipf.pmf(rank);
+        cdf.push(acc);
+    }
+    let cdf_scan_ns = time_draws(6, ZIPF_DRAWS, |r| {
+        let u = r.random::<f64>();
+        cdf.partition_point(|&c| c < u).min(UNIVERSE as usize - 1) as f64
+    });
+
+    ModelSection {
+        normal: NormalBench {
+            ziggurat_ns,
+            box_muller_ns,
+            speedup: box_muller_ns / ziggurat_ns,
+        },
+        exp: ExpBench {
+            ziggurat_ns: zig_exp_ns,
+            inverse_cdf_ns,
+            speedup: inverse_cdf_ns / zig_exp_ns,
+        },
+        zipf: ZipfBench {
+            universe: UNIVERSE,
+            alias_ns,
+            cdf_scan_ns,
+            speedup: cdf_scan_ns / alias_ns,
+        },
+    }
 }
 
 /// Steady-state push/pop timing over a 1k window with engine-like deltas
@@ -132,6 +243,9 @@ fn main() {
         heap_baseline: heap,
     };
 
+    eprintln!("model: ziggurat/alias samplers vs baselines...");
+    let model = bench_model();
+
     let strategies = vec![
         Strategy::c3(),
         Strategy::equal_max_credits(),
@@ -159,6 +273,7 @@ fn main() {
 
     let doc = KernelBench {
         calendar: cal_section,
+        model,
         sweep: SweepSection {
             strategies: strategies.iter().map(|s| s.name()).collect(),
             seeds,
@@ -182,11 +297,22 @@ fn main() {
     println!("{json}");
     eprintln!(
         "calendar: wheel {:.1} ns/op vs heap {:.1} ns/op ({:.2}x); \
+         model: normal {:.1} vs {:.1} ns ({:.2}x), exp {:.1} vs {:.1} ns ({:.2}x), \
+         zipf {:.1} vs {:.1} ns ({:.2}x); \
          sweep: {:.2}s sequential vs {:.2}s parallel ({:.2}x on {} threads); \
          wrote BENCH_kernel.json",
         doc.calendar.wheel.ns_per_op,
         doc.calendar.heap_baseline.ns_per_op,
         doc.calendar.speedup,
+        doc.model.normal.ziggurat_ns,
+        doc.model.normal.box_muller_ns,
+        doc.model.normal.speedup,
+        doc.model.exp.ziggurat_ns,
+        doc.model.exp.inverse_cdf_ns,
+        doc.model.exp.speedup,
+        doc.model.zipf.alias_ns,
+        doc.model.zipf.cdf_scan_ns,
+        doc.model.zipf.speedup,
         doc.sweep.sequential.wall_secs,
         doc.sweep.parallel.wall_secs,
         doc.sweep.speedup,

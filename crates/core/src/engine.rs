@@ -32,7 +32,7 @@ use crate::timeline::{Timeline, TimelineSample};
 use brb_metrics::Histogram;
 use brb_net::{Fabric, NetNodeId};
 use brb_sched::{
-    CreditBucket, CreditController, CreditsConfig, GlobalQueue, PolicyKind, Priority,
+    CreditBucket, CreditController, CreditsConfig, GlobalQueue, GrantTable, PolicyKind, Priority,
     PriorityQueue, RequestQueue,
 };
 use brb_select::{
@@ -48,6 +48,7 @@ use brb_workload::keyspace::{KeySpace, Popularity};
 use brb_workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
 use brb_workload::taskgen::{TaskGenerator, TaskSpec};
 use brb_workload::PoissonProcess;
+use std::sync::Arc;
 
 /// Slab key of a pooled [`InFlight`] record. Calendar events carry this
 /// 4-byte key instead of the record itself, and queues hold keys instead
@@ -249,7 +250,9 @@ pub struct EngineWorld {
     latency_rng: DetRng,
     group_replicas: Vec<Vec<ServerId>>,
 
-    trace: Vec<TaskSpec>,
+    /// The workload trace, shared (not copied) across the strategy cells
+    /// of a sweep seed — the engine only reads it.
+    trace: Arc<Vec<TaskSpec>>,
     tasks: Vec<TaskState>,
     clients: Vec<ClientState>,
     servers: Vec<ServerState>,
@@ -269,6 +272,10 @@ pub struct EngineWorld {
     done_pool: Vec<Vec<bool>>,
     /// Per-server rate scratch for `handle_measure_tick`.
     rate_scratch: Vec<f64>,
+    /// Pooled grant table refilled by `CreditController::allocate_into`
+    /// each adaptation tick — the tick chain allocates nothing once the
+    /// table's rows are warm.
+    grant_table: GrantTable,
     /// Per-client regroup scratch for `handle_adapt_tick`; inner vectors
     /// rotate through `payload_pool`.
     grant_scratch: Vec<Vec<(u16, f64)>>,
@@ -301,13 +308,25 @@ impl EngineWorld {
     /// # Panics
     /// Panics if the configuration fails validation.
     pub fn new(cfg: ExperimentConfig) -> Self {
+        // Validation happens in `generate_trace` (and `with_trace`).
+        let trace = Self::generate_trace(&cfg);
+        Self::with_trace(cfg, trace)
+    }
+
+    /// Generates the workload trace a configuration implies. Only the
+    /// seed and the workload section matter — the strategy does not —
+    /// so sweep runners generate each seed's trace **once** and share it
+    /// across the strategies of that seed (the paper's common-random-
+    /// numbers methodology, now also an optimization: the same trace is
+    /// not re-derived per strategy cell).
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn generate_trace(cfg: &ExperimentConfig) -> Vec<TaskSpec> {
         cfg.validate().expect("invalid experiment config");
         let factory = RngFactory::new(cfg.seed);
-        let cluster = &cfg.cluster;
-
-        // Workload → trace.
-        let task_rate = cfg.workload.task_rate(cluster);
-        let trace: Vec<TaskSpec> = match &cfg.workload.kind {
+        let task_rate = cfg.workload.task_rate(&cfg.cluster);
+        match &cfg.workload.kind {
             WorkloadKind::Synthetic {
                 fanout,
                 num_keys,
@@ -348,8 +367,7 @@ impl EngineWorld {
                     )
                     .tasks
             }
-        };
-        Self::with_trace(cfg, trace)
+        }
     }
 
     /// Builds the world around an externally-supplied trace — replay a
@@ -361,6 +379,16 @@ impl EngineWorld {
     /// Panics if the config is invalid, the trace is empty, contains an
     /// empty task or is not ordered by arrival time.
     pub fn with_trace(cfg: ExperimentConfig, trace: Vec<TaskSpec>) -> Self {
+        Self::with_shared_trace(cfg, Arc::new(trace))
+    }
+
+    /// [`Self::with_trace`] without taking ownership of the task list:
+    /// sweep runners hand every strategy cell of a seed the *same*
+    /// trace allocation instead of deep-copying ~megabytes per cell.
+    ///
+    /// # Panics
+    /// As for [`Self::with_trace`].
+    pub fn with_shared_trace(cfg: ExperimentConfig, trace: Arc<Vec<TaskSpec>>) -> Self {
         cfg.validate().expect("invalid experiment config");
         assert!(!trace.is_empty(), "trace must contain at least one task");
         assert!(
@@ -526,6 +554,7 @@ impl EngineWorld {
             payload_pool: Vec::with_capacity(num_clients * 2),
             done_pool: Vec::with_capacity(64),
             rate_scratch: Vec::new(),
+            grant_table: GrantTable::new(),
             grant_scratch: vec![Vec::new(); num_clients],
             builder: TaskBuilder::default(),
             warmup_ns,
@@ -1242,20 +1271,21 @@ impl EngineWorld {
             return;
         };
         let interval_ns = cc.adaptation_interval_ns;
-        let grants = self
-            .controller
+        // Refill the pooled grant table in place (closing the ROADMAP
+        // open item: the old `allocate()` built a fresh table each tick).
+        self.controller
             .as_mut()
             .expect("credits realization")
-            .allocate();
+            .allocate_into(&mut self.grant_table);
         // Regroup per client into the reusable scratch; each non-empty
         // grant vector is swapped against a pooled one and shipped by
         // slab key, so delivery allocates nothing in steady state.
         for scratch in &mut self.grant_scratch {
             scratch.clear();
         }
-        for (s, table) in grants.iter().enumerate() {
-            for (client, rate) in table {
-                self.grant_scratch[client.index()].push((s as u16, *rate));
+        for (s, row) in self.grant_table.iter() {
+            for &(client, rate) in row {
+                self.grant_scratch[client.index()].push((s as u16, rate));
             }
         }
         for c in 0..self.clients.len() {
@@ -1557,60 +1587,71 @@ mod tests {
         );
     }
 
-    /// Hedging's canonical win: a degraded server strands requests, and
-    /// re-issuing them to a healthy replica rescues the tail.
+    /// Hedging's canonical win (Dean & Barroso): *transient* stragglers
+    /// — rare network spikes at moderate utilization — are rescued by
+    /// re-issuing the request, because a healthy duplicate path almost
+    /// certainly avoids the spike and spare capacity absorbs the ~2%
+    /// extra load. (A *sustained* bottleneck — e.g. a persistently slow
+    /// replica near saturation — is exactly what hedging cannot fix:
+    /// duplicates add load precisely where there is no headroom, which
+    /// the aggressive-trigger ablation demonstrates.)
     #[test]
-    fn hedging_absorbs_a_degraded_server() {
-        let run_with_slow_server = |strategy: Strategy, seed: u64| {
-            let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 5_000);
-            // Slow but stable (ρ ≈ 0.83 at the slow server): hedges can
-            // rescue its stragglers on healthy replicas. A server *past*
-            // saturation cannot be hedged around — duplicates only deepen
-            // the collapse (see aggressive_hedging_runs_away).
-            cfg.cluster.server_speed_factors = vec![0.6];
-            cfg.workload.load = 0.5;
+    fn hedging_absorbs_transient_latency_spikes() {
+        let run_with_spikes = |strategy: Strategy, seed: u64| {
+            let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 4_000);
+            cfg.workload.load = 0.3;
+            // 1% of messages eat a 10–20ms in-network spike — far above
+            // the 5ms hedge trigger, so spiked requests get re-issued.
+            cfg.cluster.latency = brb_net::LatencyModel::Spiky {
+                base_ns: 50_000,
+                p_spike: 0.01,
+                spike_lo_ns: 10_000_000,
+                spike_hi_ns: 20_000_000,
+            };
             let world = EngineWorld::new(cfg);
             let mut sim = Simulation::new(world);
             EngineWorld::prime(&mut sim);
             sim.run();
             sim
         };
-        // Mean p99 across seeds: single short runs are noise-dominated
-        // at the tail, the direction claim is about the expectation.
-        let mean_p99 = |strategy: &Strategy| -> f64 {
-            let seeds = [9u64, 10, 11];
-            seeds
-                .iter()
-                .map(|&seed| {
-                    let sim = run_with_slow_server(strategy.clone(), seed);
-                    sim.world().task_latency.value_at_percentile(99.0) as f64
-                })
-                .sum::<f64>()
-                / seeds.len() as f64
-        };
-        let plain_p99 = mean_p99(&Strategy::Direct {
-            selector: SelectorKind::Random,
-            policy: PolicyKind::Fifo,
-            priority_queues: false,
-        });
-        let hedged_p99 = mean_p99(&Strategy::Hedged {
-            selector: SelectorKind::Random,
-            delay_us: 5_000,
-        });
-        assert!(
-            hedged_p99 < plain_p99,
-            "hedging should rescue stragglers: {hedged_p99}ns vs {plain_p99}ns"
-        );
+        for seed in [9u64, 10, 11] {
+            let plain = run_with_spikes(
+                Strategy::Direct {
+                    selector: SelectorKind::Random,
+                    policy: PolicyKind::Fifo,
+                    priority_queues: false,
+                },
+                seed,
+            );
+            let hedged = run_with_spikes(
+                Strategy::Hedged {
+                    selector: SelectorKind::Random,
+                    delay_us: 5_000,
+                },
+                seed,
+            );
+            let plain_p99 = plain.world().task_latency.value_at_percentile(99.0) as f64;
+            let hedged_p99 = hedged.world().task_latency.value_at_percentile(99.0) as f64;
+            assert!(hedged.world().counters.hedges_issued > 0, "trigger idle");
+            // The win is large (≈3×), so demand a solid margin, not a
+            // coin-flip direction.
+            assert!(
+                hedged_p99 < plain_p99 * 0.6,
+                "seed {seed}: hedging should absorb spikes: {hedged_p99}ns vs {plain_p99}ns"
+            );
+        }
     }
 
     #[test]
     fn model_beats_fifo_c3_at_the_tail() {
         // The ideal realization should not lose to the realizable baseline
         // (sanity direction check at small scale; the full claim is
-        // validated in the figure2 bench). Averaged over a few seeds:
-        // a single 4k-task run's p99 rests on ~40 samples.
+        // validated in the figure2 bench). Averaged over eight seeds: a
+        // single 4k-task run's p99 rests on ~40 samples, and per-seed
+        // comparisons between *independently evolving* runs swing ±10% —
+        // the direction claim is about the expectation.
         let mean_p99 = |strategy: Strategy| -> f64 {
-            let seeds = [42u64, 43, 44];
+            let seeds = [40u64, 41, 42, 43, 44, 45, 46, 47];
             seeds
                 .iter()
                 .map(|&seed| {

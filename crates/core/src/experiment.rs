@@ -12,9 +12,10 @@ use crate::config::{ExperimentConfig, Strategy};
 use crate::engine::{Counters, EngineWorld};
 use brb_metrics::{Percentiles, SeedSummary};
 use brb_sim::Simulation;
+use brb_workload::taskgen::TaskSpec;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The result of one seeded run of one strategy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -179,47 +180,98 @@ pub fn worker_count() -> usize {
         .unwrap_or(1)
 }
 
-/// Builds the (strategy × seed) cell configurations in result order.
-fn cells_of(
+/// Generates one seed's workload trace from the sweep's base config.
+fn trace_of(base: &ExperimentConfig, seed: u64) -> Vec<TaskSpec> {
+    let mut cfg = base.clone();
+    cfg.seed = seed;
+    EngineWorld::generate_trace(&cfg)
+}
+
+/// Runs one cell against its seed's shared trace.
+fn run_cell(cfg: ExperimentConfig, trace: Arc<Vec<TaskSpec>>) -> RunResult {
+    run_world(EngineWorld::with_shared_trace(cfg, trace))
+}
+
+/// Runs independent experiment cells across scoped threads, returning
+/// results in strategy-major input order. Work-stealing via an atomic
+/// cursor: cells differ wildly in cost (credits machinery vs. direct
+/// dispatch), so static chunking would leave cores idle.
+///
+/// Traces are generated once per seed — they depend only on
+/// `(seed, workload)`, never on the strategy, so the strategies of a
+/// seed share one allocation behind an `Arc` (the paper's
+/// common-random-numbers setup, now also an optimization). Cells
+/// *execute* seed-major: a seed's trace is generated lazily by the
+/// first worker that needs it and dropped as soon as its last strategy
+/// cell completes, so live traces are bounded by the worker count (a
+/// figure2-scale trace is tens of megabytes; a sweep must not pin one
+/// per seed for its whole duration).
+fn run_cells_with(
     base: &ExperimentConfig,
     strategies: &[Strategy],
     seeds: &[u64],
-) -> Vec<ExperimentConfig> {
-    strategies
-        .iter()
-        .flat_map(|strategy| {
-            seeds.iter().map(move |&seed| {
-                let mut cfg = base.clone();
-                cfg.strategy = strategy.clone();
-                cfg.seed = seed;
-                cfg
-            })
-        })
-        .collect()
-}
-
-/// Runs independent experiment cells across `worker_count()` scoped
-/// threads, returning results in input order. Work-stealing via an
-/// atomic cursor: cells differ wildly in cost (credits machinery vs.
-/// direct dispatch), so static chunking would leave cores idle.
-fn run_cells(cells: Vec<ExperimentConfig>) -> Vec<RunResult> {
-    run_cells_with(cells, worker_count())
-}
-
-fn run_cells_with(cells: Vec<ExperimentConfig>, threads: usize) -> Vec<RunResult> {
-    let threads = threads.min(cells.len());
+    threads: usize,
+) -> Vec<RunResult> {
+    let num_cells = strategies.len() * seeds.len();
+    let threads = threads.min(num_cells);
+    let cell_cfg = |si: usize, ti: usize| {
+        let mut cfg = base.clone();
+        cfg.strategy = strategies[si].clone();
+        cfg.seed = seeds[ti];
+        cfg
+    };
     if threads <= 1 {
-        return cells.into_iter().map(run_experiment).collect();
+        // Seed-major execution, strategy-major result order.
+        let mut slots: Vec<Option<RunResult>> = (0..num_cells).map(|_| None).collect();
+        for ti in 0..seeds.len() {
+            let trace = Arc::new(trace_of(base, seeds[ti]));
+            for si in 0..strategies.len() {
+                slots[si * seeds.len() + ti] = Some(run_cell(cell_cfg(si, ti), Arc::clone(&trace)));
+            }
+        }
+        return slots
+            .into_iter()
+            .map(|r| r.expect("every cell runs"))
+            .collect();
     }
+    // Seed-major work order (the result slot index stays strategy-major).
+    let order: Vec<(usize, usize)> = (0..seeds.len())
+        .flat_map(|ti| (0..strategies.len()).map(move |si| (si, ti)))
+        .collect();
+    // Lazily-generated shared traces plus a per-seed countdown of
+    // outstanding cells; the slot is emptied when the count hits zero.
+    let traces: Vec<Mutex<Option<Arc<Vec<TaskSpec>>>>> =
+        seeds.iter().map(|_| Mutex::new(None)).collect();
+    let remaining: Vec<AtomicUsize> = seeds
+        .iter()
+        .map(|_| AtomicUsize::new(strategies.len()))
+        .collect();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RunResult>>> = (0..num_cells).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cfg) = cells.get(i) else { break };
-                let result = run_experiment(cfg.clone());
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(si, ti)) = order.get(j) else { break };
+                let trace = {
+                    let mut slot = traces[ti].lock().expect("trace slot poisoned");
+                    match &*slot {
+                        Some(t) => Arc::clone(t),
+                        None => {
+                            let t = Arc::new(trace_of(base, seeds[ti]));
+                            *slot = Some(Arc::clone(&t));
+                            t
+                        }
+                    }
+                };
+                let result = run_cell(cell_cfg(si, ti), trace);
+                if remaining[ti].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last cell of this seed: release the trace.
+                    traces[ti].lock().expect("trace slot poisoned").take();
+                }
+                *slots[si * seeds.len() + ti]
+                    .lock()
+                    .expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -248,8 +300,7 @@ pub fn run_strategies_multi_seed(
     strategies: &[Strategy],
     seeds: &[u64],
 ) -> Vec<StrategySummary> {
-    let results = run_cells(cells_of(base, strategies, seeds));
-    summarize(results, seeds.len())
+    run_strategies_multi_seed_with_threads(base, strategies, seeds, worker_count())
 }
 
 /// [`run_strategies_multi_seed`] with an explicit worker count — for
@@ -261,7 +312,7 @@ pub fn run_strategies_multi_seed_with_threads(
     seeds: &[u64],
     threads: usize,
 ) -> Vec<StrategySummary> {
-    let results = run_cells_with(cells_of(base, strategies, seeds), threads);
+    let results = run_cells_with(base, strategies, seeds, threads);
     summarize(results, seeds.len())
 }
 
@@ -273,10 +324,7 @@ pub fn run_strategies_multi_seed_sequential(
     strategies: &[Strategy],
     seeds: &[u64],
 ) -> Vec<StrategySummary> {
-    let results = cells_of(base, strategies, seeds)
-        .into_iter()
-        .map(run_experiment)
-        .collect();
+    let results = run_cells_with(base, strategies, seeds, 1);
     summarize(results, seeds.len())
 }
 
@@ -349,10 +397,13 @@ mod tests {
 
     /// The parallel runner must be invisible in the results: every
     /// `RunResult` serializes byte-identically to the sequential path's,
-    /// for every (strategy, seed) cell, even with more workers than
-    /// cells (maximum interleaving).
+    /// for every (strategy, seed) cell, for **every worker count** — the
+    /// shapes `BRB_THREADS` can force — including more workers than
+    /// cells (maximum interleaving). With the ziggurat/alias samplers in
+    /// the hot path, this is also the end-to-end proof that the new
+    /// draw sequences are scheduling-independent.
     #[test]
-    fn parallel_runner_matches_sequential_byte_for_byte() {
+    fn any_thread_count_matches_sequential_byte_for_byte() {
         let base = small(Strategy::c3(), 0);
         let strategies = [
             Strategy::c3(),
@@ -361,19 +412,30 @@ mod tests {
         ];
         let seeds = [1u64, 2];
         let seq = run_strategies_multi_seed_sequential(&base, &strategies, &seeds);
-        // More workers than cells maximizes interleaving.
-        let par = run_strategies_multi_seed_with_threads(&base, &strategies, &seeds, 8);
-        assert_eq!(seq.len(), par.len());
-        for (s, p) in seq.iter().zip(&par) {
-            assert_eq!(s.strategy, p.strategy);
-            assert_eq!(s.runs.len(), p.runs.len());
-            for (sr, pr) in s.runs.iter().zip(&p.runs) {
-                let sj = serde_json::to_string(sr).unwrap();
-                let pj = serde_json::to_string(pr).unwrap();
-                assert_eq!(sj, pj, "cell ({}, seed {}) diverged", sr.strategy, sr.seed);
+        for threads in [1usize, 2, 3, 8] {
+            let par = run_strategies_multi_seed_with_threads(&base, &strategies, &seeds, threads);
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.strategy, p.strategy);
+                assert_eq!(s.runs.len(), p.runs.len());
+                for (sr, pr) in s.runs.iter().zip(&p.runs) {
+                    let sj = serde_json::to_string(sr).unwrap();
+                    let pj = serde_json::to_string(pr).unwrap();
+                    assert_eq!(
+                        sj, pj,
+                        "cell ({}, seed {}) diverged at {threads} threads",
+                        sr.strategy, sr.seed
+                    );
+                }
             }
         }
     }
+
+    // Note: `BRB_THREADS` itself is exercised end-to-end by the
+    // `kernel_bench` CI step (the emitted JSON records the worker count).
+    // Mutating the environment from an in-process test would race the
+    // other tests' `env::var` reads — worker-count *behavior* is covered
+    // shape by shape above instead.
 
     #[test]
     fn worker_count_is_positive() {

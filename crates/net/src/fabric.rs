@@ -83,6 +83,12 @@ impl Fabric {
 
     /// The latency model used for the directed pair.
     pub fn model_for(&self, from: NetNodeId, to: NetNodeId) -> &LatencyModel {
+        // Fast path for the (common) homogeneous fabric: skip the hash
+        // probe entirely — `delay` runs a few times per request, so the
+        // lookup is hot even though the map is almost always empty.
+        if self.overrides.is_empty() {
+            return &self.default_model;
+        }
         self.overrides
             .get(&(from, to))
             .unwrap_or(&self.default_model)

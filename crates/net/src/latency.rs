@@ -109,7 +109,9 @@ impl LatencyModel {
             LatencyModel::Constant { delay_ns } => *delay_ns,
             LatencyModel::Uniform { lo_ns, hi_ns } => rng.random_range(*lo_ns..=*hi_ns),
             LatencyModel::LogNormal { median_ns, sigma } => {
-                let z = standard_normal(rng);
+                // Ziggurat standard normal from `brb_sim::dist` — the
+                // delay path runs per message, so the draw is hot.
+                let z = brb_sim::dist::standard_normal(rng);
                 let ns = (*median_ns as f64) * (sigma * z).exp();
                 ns.round().max(0.0).min(u64::MAX as f64) as u64
             }
@@ -128,14 +130,6 @@ impl LatencyModel {
         };
         SimDuration::from_nanos(ns)
     }
-}
-
-/// Standard normal via Box–Muller (two uniforms, one output — simple and
-/// deterministic under a fixed stream; throughput is irrelevant here).
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

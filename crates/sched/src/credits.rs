@@ -29,6 +29,71 @@ use brb_store::ids::{ClientId, ServerId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Grant rates for one adaptation epoch: per server, the granted
+/// requests/second of every reporting client, **sorted by client id**.
+///
+/// The sorted dense layout replaces the old `Vec<HashMap<ClientId, f64>>`
+/// for two reasons recorded in ROADMAP's open items: iteration order (and
+/// therefore every f64 summation the engine derives from a table) is
+/// deterministic, and the table can be **pooled** —
+/// [`CreditController::allocate_into`] refills a caller-owned table
+/// without allocating once its vectors are warm.
+#[derive(Debug, Clone, Default)]
+pub struct GrantTable {
+    per_server: Vec<Vec<(ClientId, f64)>>,
+}
+
+impl GrantTable {
+    /// An empty table (fills on the first [`CreditController::allocate_into`]).
+    pub fn new() -> Self {
+        GrantTable::default()
+    }
+
+    /// Number of servers covered by the table.
+    pub fn num_servers(&self) -> usize {
+        self.per_server.len()
+    }
+
+    /// The `(client, rate)` grants of one server, sorted by client id.
+    pub fn server(&self, server: ServerId) -> &[(ClientId, f64)] {
+        &self.per_server[server.index()]
+    }
+
+    /// Grant rows in server order: `(server index, sorted grants)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[(ClientId, f64)])> {
+        self.per_server
+            .iter()
+            .enumerate()
+            .map(|(s, g)| (s, g.as_slice()))
+    }
+
+    /// The rate granted to `client` at `server`, if the client reported.
+    pub fn rate(&self, server: ServerId, client: ClientId) -> Option<f64> {
+        let grants = self.per_server.get(server.index())?;
+        grants
+            .binary_search_by_key(&client, |&(c, _)| c)
+            .ok()
+            .map(|i| grants[i].1)
+    }
+
+    /// Sum of granted rates at one server.
+    pub fn total_rate(&self, server: ServerId) -> f64 {
+        self.per_server[server.index()]
+            .iter()
+            .map(|&(_, r)| r)
+            .sum()
+    }
+
+    /// Clears all rows, keeping their capacity, and sizes the table for
+    /// `num_servers` rows.
+    fn reset(&mut self, num_servers: usize) {
+        for row in &mut self.per_server {
+            row.clear();
+        }
+        self.per_server.resize_with(num_servers, Vec::new);
+    }
+}
+
 /// Controller tuning.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CreditsConfig {
@@ -96,18 +161,17 @@ impl CreditsConfig {
     }
 }
 
-/// Grant rates for one adaptation epoch: `grants[server][client]` in
-/// requests/second.
-pub type GrantTable = Vec<HashMap<ClientId, f64>>;
-
 /// The logically-centralized credit controller.
 #[derive(Debug, Clone)]
 pub struct CreditController {
     config: CreditsConfig,
     /// Full capacity of each server (requests/s).
     capacities: Vec<f64>,
-    /// Latest reported demand rate per server per client.
-    demands: Vec<HashMap<ClientId, f64>>,
+    /// Latest reported demand rate per server per client, **sorted by
+    /// client id** — dense pairs instead of a hash map, so demand sums
+    /// run in one deterministic order and epoch allocation is
+    /// allocation-free once the rows are warm.
+    demands: Vec<Vec<(ClientId, f64)>>,
     /// Usable-capacity scale per server, in (0, 1].
     scales: Vec<f64>,
     /// Congestion signals received since the last adaptation.
@@ -132,7 +196,7 @@ impl CreditController {
         CreditController {
             config,
             capacities,
-            demands: vec![HashMap::new(); n],
+            demands: vec![Vec::new(); n],
             scales: vec![1.0; n],
             congested: vec![false; n],
             epochs: 0,
@@ -150,7 +214,11 @@ impl CreditController {
     pub fn report_demand(&mut self, client: ClientId, server: ServerId, rate_rps: f64) {
         let s = server.index();
         assert!(s < self.capacities.len(), "unknown server {server}");
-        self.demands[s].insert(client, rate_rps.max(0.0));
+        let row = &mut self.demands[s];
+        match row.binary_search_by_key(&client, |&(c, _)| c) {
+            Ok(i) => row[i].1 = rate_rps.max(0.0),
+            Err(i) => row.insert(i, (client, rate_rps.max(0.0))),
+        }
     }
 
     /// Records a congestion signal from `server` ("once demand exceeds
@@ -171,11 +239,13 @@ impl CreditController {
         self.epochs
     }
 
-    /// Runs one adaptation epoch: updates per-server scales from
-    /// congestion state and returns the new grant table. Congestion flags
-    /// reset; demand reports persist until overwritten.
-    pub fn allocate(&mut self) -> GrantTable {
-        let mut grants: GrantTable = Vec::with_capacity(self.capacities.len());
+    /// Runs one adaptation epoch into a caller-pooled table: updates
+    /// per-server scales from congestion state and refills `grants`
+    /// in place — the steady-state tick allocates nothing once the
+    /// table's rows have warmed to the client population. Congestion
+    /// flags reset; demand reports persist until overwritten.
+    pub fn allocate_into(&mut self, grants: &mut GrantTable) {
+        grants.reset(self.capacities.len());
         for s in 0..self.capacities.len() {
             // AIMD-flavored usable capacity.
             if self.congested[s] {
@@ -185,7 +255,7 @@ impl CreditController {
             }
             self.congested[s] = false;
 
-            let total_demand: f64 = self.demands[s].values().sum();
+            let total_demand: f64 = self.demands[s].iter().map(|&(_, d)| d).sum();
             // Backoff exists to spread transient hot spots, not to cap
             // throughput: never throttle usable capacity below demand
             // pressure, or sustained high load (demand ≈ capacity) makes
@@ -193,8 +263,8 @@ impl CreditController {
             // never drain a queue.
             let pressure = (total_demand / self.capacities[s]).min(1.0);
             let usable = self.capacities[s] * self.scales[s].max(pressure);
-            let mut table = HashMap::with_capacity(self.demands[s].len());
-            for (&client, &demand) in &self.demands[s] {
+            let row = &mut grants.per_server[s];
+            for &(client, demand) in &self.demands[s] {
                 let share = if total_demand <= usable {
                     // Uncontended: grant demand plus headroom.
                     demand * self.config.headroom
@@ -202,11 +272,19 @@ impl CreditController {
                     // Contended: proportional share of usable capacity.
                     usable * demand / total_demand
                 };
-                table.insert(client, share.max(self.config.min_rate));
+                // Demands are sorted by client id, so pushing in order
+                // keeps the row sorted.
+                row.push((client, share.max(self.config.min_rate)));
             }
-            grants.push(table);
         }
         self.epochs += 1;
+    }
+
+    /// [`Self::allocate_into`] into a fresh table — the convenience form
+    /// for tests and cold paths.
+    pub fn allocate(&mut self) -> GrantTable {
+        let mut grants = GrantTable::new();
+        self.allocate_into(&mut grants);
         grants
     }
 }
@@ -359,8 +437,11 @@ mod tests {
         c.report_demand(ClientId::new(0), ServerId::new(0), 1_000.0);
         c.report_demand(ClientId::new(1), ServerId::new(0), 2_000.0);
         let g = c.allocate();
-        assert!((g[0][&ClientId::new(0)] - 1_000.0 * headroom).abs() < 1e-9);
-        assert!((g[0][&ClientId::new(1)] - 2_000.0 * headroom).abs() < 1e-9);
+        let s0 = ServerId::new(0);
+        let g0 = g.rate(s0, ClientId::new(0)).unwrap();
+        let g1 = g.rate(s0, ClientId::new(1)).unwrap();
+        assert!((g0 - 1_000.0 * headroom).abs() < 1e-9);
+        assert!((g1 - 2_000.0 * headroom).abs() < 1e-9);
     }
 
     #[test]
@@ -377,7 +458,7 @@ mod tests {
         }
         c.signal_congestion(ServerId::new(0));
         let g = c.allocate();
-        let total: f64 = g[0].values().sum();
+        let total = g.total_rate(ServerId::new(0));
         assert!(
             total >= 10_000.0 - 1e-6,
             "grants {total} fell below saturated capacity"
@@ -390,8 +471,8 @@ mod tests {
         c.report_demand(ClientId::new(0), ServerId::new(0), 30_000.0);
         c.report_demand(ClientId::new(1), ServerId::new(0), 10_000.0);
         let g = c.allocate();
-        let g0 = g[0][&ClientId::new(0)];
-        let g1 = g[0][&ClientId::new(1)];
+        let g0 = g.rate(ServerId::new(0), ClientId::new(0)).unwrap();
+        let g1 = g.rate(ServerId::new(0), ClientId::new(1)).unwrap();
         // Proportional 3:1 split of capacity.
         assert!((g0 / g1 - 3.0).abs() < 1e-9, "{g0} vs {g1}");
         assert!((g0 + g1 - 10_000.0).abs() < 1e-6);
@@ -433,7 +514,9 @@ mod tests {
         let mut c = controller(1, 10_000.0);
         c.report_demand(ClientId::new(0), ServerId::new(0), 0.0);
         let g = c.allocate();
-        assert_eq!(g[0][&ClientId::new(0)], 10.0);
+        assert_eq!(g.rate(ServerId::new(0), ClientId::new(0)), Some(10.0));
+        // A client that never reported has no grant row entry.
+        assert_eq!(g.rate(ServerId::new(0), ClientId::new(9)), None);
     }
 
     #[test]
@@ -445,12 +528,53 @@ mod tests {
             }
         }
         let g = c.allocate();
-        for table in &g {
-            let total: f64 = table.values().sum();
+        for (s, row) in g.iter() {
+            let total: f64 = row.iter().map(|&(_, r)| r).sum();
             // min_rate floors can push slightly above usable capacity, but
             // never above capacity + clients × min_rate.
-            assert!(total <= 14_000.0 + 18.0 * 10.0 + 1e-6, "total {total}");
+            assert!(
+                total <= 14_000.0 + 18.0 * 10.0 + 1e-6,
+                "server {s} total {total}"
+            );
         }
+    }
+
+    /// `allocate_into` must be a drop-in for `allocate`: refilling a
+    /// reused (dirty) table yields exactly the rates a fresh table gets,
+    /// with rows sorted by client id.
+    #[test]
+    fn allocate_into_reuses_table_without_residue() {
+        let mut a = controller(2, 10_000.0);
+        let mut b = controller(2, 10_000.0);
+        let mut pooled = GrantTable::new();
+        for epoch in 0..5u64 {
+            // Vary the reporting population so rows shrink and grow.
+            for client in 0..(2 + epoch % 3) {
+                // Out-of-order reports must still produce sorted rows.
+                let client = (2 + epoch % 3) - 1 - client;
+                for server in 0..2u64 {
+                    let rate = 1_000.0 * (client + 1) as f64;
+                    a.report_demand(ClientId::new(client), ServerId::new(server), rate);
+                    b.report_demand(ClientId::new(client), ServerId::new(server), rate);
+                }
+            }
+            if epoch % 2 == 0 {
+                a.signal_congestion(ServerId::new(1));
+                b.signal_congestion(ServerId::new(1));
+            }
+            a.allocate_into(&mut pooled);
+            let fresh = b.allocate();
+            assert_eq!(pooled.num_servers(), fresh.num_servers());
+            for server in 0..2u64 {
+                let s = ServerId::new(server);
+                assert_eq!(pooled.server(s), fresh.server(s), "epoch {epoch}");
+                assert!(
+                    pooled.server(s).windows(2).all(|w| w[0].0 < w[1].0),
+                    "row not sorted at epoch {epoch}"
+                );
+            }
+        }
+        assert_eq!(a.epochs(), 5);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod policy;
 pub mod priority;
 pub mod queue;
 
-pub use credits::{CreditBucket, CreditController, CreditsConfig};
+pub use credits::{CreditBucket, CreditController, CreditsConfig, GrantTable};
 pub use global_queue::GlobalQueue;
 pub use policy::{PolicyKind, PriorityPolicy, TaskView};
 pub use priority::Priority;

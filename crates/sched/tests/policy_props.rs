@@ -158,7 +158,7 @@ proptest! {
             c.report_demand(ClientId::new(i as u64), ServerId::new(0), d);
         }
         let grants = c.allocate();
-        let total: f64 = grants[0].values().sum();
+        let total = grants.total_rate(ServerId::new(0));
         let total_demand: f64 = demands.iter().sum();
         let cfg = *c.config();
         if total_demand > capacity {
@@ -169,7 +169,9 @@ proptest! {
             let shares: Vec<(f64, f64)> = demands
                 .iter()
                 .enumerate()
-                .map(|(i, &d)| (d, grants[0][&ClientId::new(i as u64)]))
+                .map(|(i, &d)| {
+                    (d, grants.rate(ServerId::new(0), ClientId::new(i as u64)).unwrap())
+                })
                 .filter(|&(_, g)| g > cfg.min_rate * 1.01)
                 .collect();
             for w in shares.windows(2) {
@@ -185,7 +187,7 @@ proptest! {
         } else {
             // Uncontended: everyone gets demand × headroom (or the floor).
             for (i, &d) in demands.iter().enumerate() {
-                let g = grants[0][&ClientId::new(i as u64)];
+                let g = grants.rate(ServerId::new(0), ClientId::new(i as u64)).unwrap();
                 let expect = (d * cfg.headroom).max(cfg.min_rate);
                 prop_assert!((g - expect).abs() < 1e-6);
             }

@@ -24,7 +24,6 @@ use crate::feedback::{ResponseFeedback, Selection, SelectionCtx};
 use crate::ReplicaSelector;
 use brb_store::ids::ServerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// C3 tuning parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -212,13 +211,52 @@ struct ServerState {
     queue_len: Ewma,
     outstanding: u64,
     rate: RateState,
+    /// Cached score Ψ, maintained **incrementally**: recomputed only when
+    /// one of its inputs changes (response feedback, an outstanding-count
+    /// change at dispatch) instead of per candidate per selection — the
+    /// old path re-derived every score O(n log n) times inside the sort
+    /// comparator.
+    score: f64,
+}
+
+impl ServerState {
+    fn new(cfg: &C3Config) -> Self {
+        let mut st = ServerState {
+            response_ns: Ewma::default(),
+            service_ns: Ewma::default(),
+            queue_len: Ewma::default(),
+            outstanding: 0,
+            rate: RateState::new(cfg),
+            score: 0.0,
+        };
+        st.refresh_score(cfg);
+        st
+    }
+
+    /// Recomputes the cached Ψ from the current EWMAs and outstanding
+    /// count: `(R̄ − s̄) + q̂³·s̄` with `q̂ = 1 + os·w + q̄`.
+    fn refresh_score(&mut self, cfg: &C3Config) {
+        let s_bar = self.service_ns.get_or(100_000.0); // 100µs default
+        let r_bar = self.response_ns.get_or(s_bar);
+        let q_bar = self.queue_len.get_or(0.0);
+        let q_hat = 1.0 + self.outstanding as f64 * cfg.concurrency_weight + q_bar;
+        self.score = (r_bar - s_bar) + q_hat * q_hat * q_hat * s_bar;
+    }
 }
 
 /// The C3 replica selector (one instance per client).
+///
+/// Per-server state lives in a dense vector indexed by server id (grown
+/// on first contact) rather than a hash map, and candidate ranking reuses
+/// a scratch buffer — a `select` allocates nothing and hashes nothing.
 #[derive(Debug)]
 pub struct C3Selector {
     config: C3Config,
-    servers: HashMap<ServerId, ServerState>,
+    /// Dense per-server state; `None` until the first selection touches
+    /// the server.
+    servers: Vec<Option<ServerState>>,
+    /// Reusable candidate-ranking buffer for [`Self::select`].
+    rank_scratch: Vec<(f64, ServerId)>,
 }
 
 impl C3Selector {
@@ -230,42 +268,36 @@ impl C3Selector {
         config.validate().expect("invalid C3 config");
         C3Selector {
             config,
-            servers: HashMap::new(),
+            servers: Vec::new(),
+            rank_scratch: Vec::new(),
         }
     }
 
     fn state_mut(&mut self, server: ServerId) -> &mut ServerState {
-        let cfg = self.config;
-        self.servers.entry(server).or_insert_with(|| ServerState {
-            response_ns: Ewma::default(),
-            service_ns: Ewma::default(),
-            queue_len: Ewma::default(),
-            outstanding: 0,
-            rate: RateState::new(&cfg),
-        })
+        let idx = server.index();
+        if idx >= self.servers.len() {
+            self.servers.resize_with(idx + 1, || None);
+        }
+        let cfg = &self.config;
+        self.servers[idx].get_or_insert_with(|| ServerState::new(cfg))
     }
 
     /// The C3 score Ψ for one server — lower is better. Unknown servers
     /// score as if idle with a small default service time, so cold
     /// replicas get probed.
     pub fn score(&self, server: ServerId) -> f64 {
-        match self.servers.get(&server) {
-            None => 0.0,
-            Some(st) => {
-                let s_bar = st.service_ns.get_or(100_000.0); // 100µs default
-                let r_bar = st.response_ns.get_or(s_bar);
-                let q_bar = st.queue_len.get_or(0.0);
-                let q_hat = 1.0 + st.outstanding as f64 * self.config.concurrency_weight + q_bar;
-                (r_bar - s_bar) + q_hat.powi(3) * s_bar
-            }
+        match self.servers.get(server.index()) {
+            Some(Some(st)) => st.score,
+            _ => 0.0,
         }
     }
 
     /// The current send-rate limit toward `server` (diagnostics).
     pub fn rate_limit(&self, server: ServerId) -> f64 {
-        self.servers
-            .get(&server)
-            .map_or(self.config.initial_rate, |s| s.rate.rate)
+        match self.servers.get(server.index()) {
+            Some(Some(st)) => st.rate.rate,
+            _ => self.config.initial_rate,
+        }
     }
 }
 
@@ -276,33 +308,37 @@ impl ReplicaSelector for C3Selector {
 
     fn select(&mut self, ctx: &SelectionCtx<'_>) -> Selection {
         debug_assert!(!ctx.candidates.is_empty());
-        // Rank candidates by score (stable on server id for determinism).
-        let mut ranked: Vec<ServerId> = ctx.candidates.to_vec();
-        ranked.sort_by(|a, b| {
-            self.score(*a)
-                .partial_cmp(&self.score(*b))
+        // Rank candidates by their cached scores (stable on server id for
+        // determinism) in the reusable scratch — no allocation, and each
+        // score is a single cached read instead of a recomputation.
+        self.rank_scratch.clear();
+        for &s in ctx.candidates {
+            self.rank_scratch.push((self.score(s), s));
+        }
+        self.rank_scratch.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.raw().cmp(&b.raw()))
+                .then_with(|| a.1.raw().cmp(&b.1.raw()))
         });
         // Dispatch to the best-ranked server whose rate limiter admits us
         // (C3's backpressure: skip rate-limited replicas).
         let cfg = self.config;
-        for server in &ranked {
-            let st = self.state_mut(*server);
+        for k in 0..self.rank_scratch.len() {
+            let server = self.rank_scratch[k].1;
+            let st = self.state_mut(server);
             if st.rate.try_take(ctx.now_ns, &cfg) {
                 st.outstanding += 1;
-                return Selection::Dispatch(*server);
+                st.refresh_score(&cfg);
+                return Selection::Dispatch(server);
             }
         }
         // All limited: report the soonest retry.
-        let retry = ranked
-            .iter()
-            .map(|s| {
-                let st = self.state_mut(*s);
-                st.rate.ns_until_token(ctx.now_ns, &cfg)
-            })
-            .min()
-            .unwrap_or(1_000_000);
+        let mut retry = u64::MAX;
+        for k in 0..self.rank_scratch.len() {
+            let server = self.rank_scratch[k].1;
+            let st = self.state_mut(server);
+            retry = retry.min(st.rate.ns_until_token(ctx.now_ns, &cfg));
+        }
         Selection::RateLimited {
             retry_in_ns: retry.max(1),
         }
@@ -316,12 +352,17 @@ impl ReplicaSelector for C3Selector {
         st.response_ns.update(fb.response_time_ns as f64, alpha);
         st.service_ns.update(fb.service_time_ns as f64, alpha);
         st.queue_len.update(fb.queue_len as f64, alpha);
+        // Feedback changed every score input: refresh the cache once.
+        st.refresh_score(&cfg);
         st.rate.received_in_window += 1;
         st.rate.maybe_adapt(now_ns, &cfg);
     }
 
     fn outstanding(&self, server: ServerId) -> u64 {
-        self.servers.get(&server).map_or(0, |s| s.outstanding)
+        match self.servers.get(server.index()) {
+            Some(Some(st)) => st.outstanding,
+            _ => 0,
+        }
     }
 }
 
@@ -487,6 +528,43 @@ mod tests {
     fn unknown_servers_score_zero_and_get_probed() {
         let c3 = C3Selector::new(cfg());
         assert_eq!(c3.score(ServerId::new(9)), 0.0);
+    }
+
+    /// Differential: the incrementally-maintained score cache must equal
+    /// a from-scratch evaluation of Ψ after every mutation — feedback,
+    /// dispatch (outstanding bump) and rate-limited probing alike.
+    #[test]
+    fn cached_scores_equal_recomputation() {
+        let config = cfg();
+        let mut c3 = C3Selector::new(config);
+        let servers = [ServerId::new(0), ServerId::new(1), ServerId::new(2)];
+        let check = |c3: &C3Selector| {
+            for s in servers {
+                if let Some(Some(st)) = c3.servers.get(s.index()) {
+                    let s_bar = st.service_ns.get_or(100_000.0);
+                    let r_bar = st.response_ns.get_or(s_bar);
+                    let q_bar = st.queue_len.get_or(0.0);
+                    let q_hat = 1.0 + st.outstanding as f64 * config.concurrency_weight + q_bar;
+                    let want = (r_bar - s_bar) + q_hat * q_hat * q_hat * s_bar;
+                    assert_eq!(c3.score(s), want, "stale cache for {s}");
+                }
+            }
+        };
+        let mut now = 1_000_000u64;
+        for i in 0..200u64 {
+            match i % 3 {
+                0 => {
+                    let _ = c3.select(&ctx(now, &servers));
+                }
+                1 => c3.on_response(servers[(i % 2) as usize], now, &fb(300 + i * 7, i % 5, 280)),
+                _ => {
+                    let s = servers[(i % 3) as usize];
+                    c3.on_response(s, now, &fb(10_000, 40, 300));
+                }
+            }
+            check(&c3);
+            now += 100_000;
+        }
     }
 
     #[test]

@@ -48,12 +48,14 @@
 //! ```
 
 pub mod calendar;
+pub mod dist;
 pub mod engine;
 pub mod ids;
 pub mod rng;
 pub mod time;
 
 pub use calendar::{Calendar, HeapCalendar};
+pub use dist::{standard_exp, standard_normal, AliasTable, BoxMuller};
 pub use engine::{Ctx, RunLimit, RunOutcome, RunStats, Simulation, World};
 pub use rng::{DetRng, RngFactory};
 pub use time::{SimDuration, SimTime};

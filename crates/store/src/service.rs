@@ -37,7 +37,9 @@ impl ServiceNoise {
         match self {
             ServiceNoise::None => 1.0,
             ServiceNoise::LogNormal { sigma } => {
-                let z = standard_normal(rng);
+                // Ziggurat standard normal: exact distribution, no
+                // transcendentals on the common path (`brb_sim::dist`).
+                let z = brb_sim::dist::standard_normal(rng);
                 (sigma * z - sigma * sigma / 2.0).exp()
             }
         }
@@ -132,8 +134,9 @@ impl ServiceModel {
                 self.expected_ns(bytes) * noise.sample_factor(rng)
             }
             ServiceModel::Exponential { mean_ns } => {
-                let u: f64 = rng.random();
-                -mean_ns * (1.0 - u).ln()
+                // Ziggurat standard exponential; always finite (the old
+                // inverse CDF rode on `ln(1 − u)` staying away from 0).
+                mean_ns * brb_sim::dist::standard_exp(rng)
             }
             ServiceModel::Deterministic { ns } => *ns,
         };
@@ -158,12 +161,6 @@ impl ServiceModel {
     pub fn mean_rate(&self, mean_value_bytes: f64) -> f64 {
         1e9 / self.mean_ns(mean_value_bytes)
     }
-}
-
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -265,5 +262,111 @@ mod tests {
     #[should_panic(expected = "base fraction")]
     fn bad_fraction_rejected() {
         ServiceModel::calibrated_size_linear(1.0, 1.0, 1.5, ServiceNoise::None);
+    }
+
+    /// An `Rng` that always returns the extreme bit pattern, driving
+    /// every uniform toward the `u → 1` edge where a naive `ln(1 − u)`
+    /// or `ln(u1)` would blow up.
+    struct EdgeRng;
+
+    impl rand::Rng for EdgeRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    /// Regression: the `u = 1` / `u1 = 0` logarithm edges must never
+    /// produce an infinite (or NaN) draw. The extreme bit pattern pushes
+    /// every uniform as close to 1 as an `f64` in `[0, 1)` allows — the
+    /// exact inputs that used to ride on `ln` staying away from zero.
+    #[test]
+    fn sampling_edges_never_produce_infinite_times() {
+        let mut edge = EdgeRng;
+        for _ in 0..1_000 {
+            let e = brb_sim::dist::standard_exp_inv_cdf(&mut edge);
+            assert!(e.is_finite() && e >= 0.0, "inverse-CDF exp blew up: {e}");
+        }
+        let mut bm = brb_sim::BoxMuller::new();
+        for _ in 0..1_000 {
+            let z = bm.sample(&mut edge);
+            assert!(z.is_finite(), "Box–Muller blew up: {z}");
+        }
+        // And over a long honest stream: every service draw stays finite
+        // and positive for the exponential and noisy size-linear models.
+        let models = [
+            ServiceModel::Exponential { mean_ns: 50_000.0 },
+            ServiceModel::calibrated_size_linear(
+                285_714.0,
+                MEAN_BYTES,
+                0.5,
+                ServiceNoise::LogNormal { sigma: 0.4 },
+            ),
+        ];
+        let mut rng = StdRng::seed_from_u64(13);
+        for m in models {
+            for _ in 0..200_000 {
+                let ns = m.sample(300, &mut rng).as_nanos();
+                assert!(
+                    (1..u64::MAX / 2).contains(&ns),
+                    "bad sample {ns} from {m:?}"
+                );
+            }
+        }
+    }
+
+    /// Statistical equivalence: routing the log-normal noise through the
+    /// ziggurat must leave the service-time distribution unchanged
+    /// relative to the Box–Muller baseline — same mean, variance and
+    /// tail quantile within sampling tolerance.
+    #[test]
+    fn ziggurat_noise_matches_box_muller_baseline() {
+        let sigma = 0.3f64;
+        let model = ServiceModel::calibrated_size_linear(
+            285_714.0,
+            MEAN_BYTES,
+            0.5,
+            ServiceNoise::LogNormal { sigma },
+        );
+        let n = 200_000usize;
+        // Actual model path (ziggurat under the hood).
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut zig: Vec<f64> = (0..n)
+            .map(|_| model.sample(300, &mut rng).as_nanos() as f64)
+            .collect();
+        // Baseline path: same mean-corrected log-normal factor, Z from
+        // the cached-pair Box–Muller.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut bm = brb_sim::BoxMuller::new();
+        let expected = model.expected_ns(300);
+        let mut base: Vec<f64> = (0..n)
+            .map(|_| {
+                let z = bm.sample(&mut rng);
+                (expected * (sigma * z - sigma * sigma / 2.0).exp()).max(1.0)
+            })
+            .collect();
+        let stats = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var =
+                xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+            (mean, var)
+        };
+        let (zm, zv) = stats(&zig);
+        let (bm_mean, bv) = stats(&base);
+        assert!((zm - bm_mean).abs() / bm_mean < 0.01, "{zm} vs {bm_mean}");
+        assert!(
+            (zv.sqrt() - bv.sqrt()).abs() / bv.sqrt() < 0.02,
+            "stddev {} vs {}",
+            zv.sqrt(),
+            bv.sqrt()
+        );
+        zig.sort_by(f64::total_cmp);
+        base.sort_by(f64::total_cmp);
+        let p99 = (n as f64 * 0.99) as usize;
+        assert!(
+            (zig[p99] - base[p99]).abs() / base[p99] < 0.02,
+            "p99 {} vs {}",
+            zig[p99],
+            base[p99]
+        );
     }
 }

@@ -9,7 +9,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A distribution over task fan-outs (requests per task), always ≥ 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FanoutDist {
     /// Every task has exactly `k` requests.
     Fixed(u32),
@@ -108,15 +108,21 @@ impl FanoutDist {
     }
 
     /// Draws a fan-out (≥ 1).
+    ///
+    /// Empirical mixtures scan the weight list per draw; generators on
+    /// hot paths should build a [`FanoutSampler`] once and draw through
+    /// its O(1) alias table instead.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         debug_assert!(self.validate().is_ok());
         match self {
             FanoutDist::Fixed(k) => *k,
             FanoutDist::Uniform { min, max } => rng.random_range(*min..=*max),
             FanoutDist::Geometric { p } => {
-                // Inverse CDF of the geometric on {0,1,...}, then shift by 1.
+                // Inverse CDF of the geometric on {0,1,...}, then shift
+                // by 1. `1 − u ∈ (0, 1]` keeps the numerator finite; the
+                // clamp bounds the (measure-zero) u → 1 edge.
                 let u: f64 = rng.random();
-                let g = (1.0 - u).ln() / (1.0 - p).ln();
+                let g = (1.0 - u).max(f64::MIN_POSITIVE).ln() / (1.0 - p).ln();
                 1 + g.floor().max(0.0).min(u32::MAX as f64 - 2.0) as u32
             }
             FanoutDist::Empirical { ranges } => {
@@ -131,6 +137,53 @@ impl FanoutDist {
                 let &(lo, hi, _) = ranges.last().expect("validated non-empty");
                 rng.random_range(lo..=hi)
             }
+        }
+    }
+}
+
+/// A compiled fan-out sampler: the weighted-range scan of
+/// [`FanoutDist::Empirical`] is replaced by an O(1) Vose alias draw over
+/// the range classes ([`brb_sim::AliasTable`]); the other variants
+/// delegate to [`FanoutDist::sample`] unchanged. Build once per
+/// generator, draw millions of times.
+#[derive(Debug, Clone)]
+pub struct FanoutSampler {
+    dist: FanoutDist,
+    /// Alias table over the mixture's range classes (`Empirical` only).
+    classes: Option<brb_sim::AliasTable>,
+}
+
+impl FanoutSampler {
+    /// Compiles `dist` (validating it).
+    ///
+    /// # Panics
+    /// Panics if the distribution fails [`FanoutDist::validate`].
+    pub fn new(dist: FanoutDist) -> Self {
+        dist.validate().expect("invalid fan-out distribution");
+        let classes = match &dist {
+            FanoutDist::Empirical { ranges } => {
+                let weights: Vec<f64> = ranges.iter().map(|&(_, _, w)| w).collect();
+                Some(brb_sim::AliasTable::new(&weights))
+            }
+            _ => None,
+        };
+        FanoutSampler { dist, classes }
+    }
+
+    /// The distribution this sampler was compiled from.
+    pub fn dist(&self) -> &FanoutDist {
+        &self.dist
+    }
+
+    /// Draws a fan-out (≥ 1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match (&self.dist, &self.classes) {
+            (FanoutDist::Empirical { ranges }, Some(classes)) => {
+                let (lo, hi, _) = ranges[classes.sample(rng)];
+                rng.random_range(lo..=hi)
+            }
+            (dist, _) => dist.sample(rng),
         }
     }
 }
@@ -201,6 +254,43 @@ mod tests {
                 assert!(d.sample(&mut rng) >= 1);
             }
         }
+    }
+
+    /// The compiled sampler must reproduce the mixture: same mean, same
+    /// class masses, same support as the scanning reference.
+    #[test]
+    fn fanout_sampler_matches_scan_reference() {
+        let d = FanoutDist::soundcloud_like();
+        let s = FanoutSampler::new(d.clone());
+        assert_eq!(s.dist(), &d);
+        let n = 200_000u64;
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut mean = 0.0;
+        let mut tail = 0u64;
+        for _ in 0..n {
+            let f = s.sample(&mut rng);
+            assert!((1..=128).contains(&f));
+            mean += f as f64;
+            if f > 50 {
+                tail += 1;
+            }
+        }
+        mean /= n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.03, "mean {mean}");
+        // Same ~2% heavy-tail mass as the scanning sampler's test.
+        assert!(
+            (1_000..4_000).contains(&(tail * 100_000 / n)),
+            "tail {tail}"
+        );
+        // Non-empirical variants delegate unchanged.
+        let fixed = FanoutSampler::new(FanoutDist::Fixed(5));
+        assert_eq!(fixed.sample(&mut rng), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform fan-out range")]
+    fn fanout_sampler_rejects_invalid_dist() {
+        FanoutSampler::new(FanoutDist::Uniform { min: 9, max: 2 });
     }
 
     #[test]

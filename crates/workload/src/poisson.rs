@@ -1,8 +1,10 @@
 //! Poisson arrival process.
 //!
 //! Task inter-arrival times are exponential with rate λ; the paper sets λ
-//! to 70% of system capacity. Sampling uses the inverse CDF
-//! `Δt = −ln(1−u)/λ`.
+//! to 70% of system capacity. Gaps are drawn as `Δt = E/λ` with `E` a
+//! standard exponential from the ziggurat sampler in `brb_sim::dist` —
+//! exact, always finite, and transcendental-free on the common path
+//! (the old inverse CDF paid a `ln` per arrival).
 
 use rand::Rng;
 
@@ -39,8 +41,7 @@ impl PoissonProcess {
     /// Draws one exponential gap in nanoseconds (at least 1 ns so arrivals
     /// are strictly ordered).
     pub fn sample_gap_ns<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.random();
-        let secs = -(1.0 - u).ln() / self.rate_per_sec;
+        let secs = brb_sim::dist::standard_exp(rng) / self.rate_per_sec;
         ((secs * 1e9).round() as u64).max(1)
     }
 

@@ -15,7 +15,7 @@
 //!   its tracks — giving correlated key sets across tasks, unlike
 //!   independent per-request sampling.
 
-use crate::fanout::FanoutDist;
+use crate::fanout::{FanoutDist, FanoutSampler};
 use crate::keyspace::{KeySpace, Popularity};
 use crate::poisson::PoissonProcess;
 use crate::taskgen::{RequestSpec, SizeModel, TaskSpec};
@@ -60,8 +60,11 @@ impl Default for SoundCloudConfig {
 #[derive(Debug, Clone)]
 pub struct SoundCloudModel {
     config: SoundCloudConfig,
-    /// Track keys per playlist (distinct within a playlist).
-    playlists: Vec<Vec<u64>>,
+    /// Requests per playlist, value sizes resolved at build time: tracks
+    /// are distinct within a playlist and a track's byte size is a fixed
+    /// property of its key, so trace generation can reuse these verbatim
+    /// instead of re-deriving sizes for every fetching task.
+    playlists: Vec<Vec<RequestSpec>>,
     playlist_pop: Zipf,
 }
 
@@ -70,11 +73,11 @@ impl SoundCloudModel {
     /// `rng` (a dedicated labelled stream) for all structural randomness.
     pub fn build<R: Rng>(config: SoundCloudConfig, rng: &mut R) -> Self {
         assert!(config.num_playlists > 0, "need at least one playlist");
-        config.length_dist.validate().expect("invalid length dist");
+        let lengths = FanoutSampler::new(config.length_dist.clone());
         let tracks = KeySpace::new(config.num_tracks, Popularity::Zipf(config.track_zipf));
         let mut playlists = Vec::with_capacity(config.num_playlists as usize);
         for _ in 0..config.num_playlists {
-            let want = config.length_dist.sample(rng) as usize;
+            let want = lengths.sample(rng) as usize;
             let len = want.min(config.num_tracks as usize);
             let mut members = Vec::with_capacity(len);
             let mut seen = HashSet::with_capacity(len);
@@ -83,7 +86,10 @@ impl SoundCloudModel {
                 let key = tracks.sample_key(rng);
                 attempts += 1;
                 if seen.insert(key) || attempts > len * 64 {
-                    members.push(key);
+                    members.push(RequestSpec {
+                        key,
+                        value_bytes: config.sizes.size_of(key),
+                    });
                 }
             }
             playlists.push(members);
@@ -106,8 +112,8 @@ impl SoundCloudModel {
         self.playlists.len()
     }
 
-    /// The tracks of playlist `i`.
-    pub fn playlist(&self, i: usize) -> &[u64] {
+    /// The requests (track key + resolved value size) of playlist `i`.
+    pub fn playlist(&self, i: usize) -> &[RequestSpec] {
         &self.playlists[i]
     }
 
@@ -131,17 +137,12 @@ impl SoundCloudModel {
         for id in 0..num_tasks {
             let arrival_ns = arrivals.next_arrival_ns(rng);
             let pl = self.playlist_pop.sample(rng) as usize;
-            let requests: Vec<RequestSpec> = self.playlists[pl]
-                .iter()
-                .map(|&key| RequestSpec {
-                    key,
-                    value_bytes: self.config.sizes.size_of(key),
-                })
-                .collect();
             tasks.push(TaskSpec {
                 id: id as u64,
                 arrival_ns,
-                requests,
+                // Sizes were resolved once at build time; a fetch is a
+                // straight copy of the playlist's request list.
+                requests: self.playlists[pl].clone(),
             });
         }
         Trace::new(tasks)
@@ -168,9 +169,13 @@ mod tests {
         let m = small_model(1);
         for i in 0..m.num_playlists() {
             let p = m.playlist(i);
-            let distinct: HashSet<u64> = p.iter().copied().collect();
+            let distinct: HashSet<u64> = p.iter().map(|r| r.key).collect();
             assert_eq!(distinct.len(), p.len(), "playlist {i} repeats a track");
             assert!(!p.is_empty());
+            // Build-time sizes match the key-deterministic size model.
+            for r in p {
+                assert_eq!(r.value_bytes, m.config().sizes.size_of(r.key));
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 //! Generalized Pareto fit. This keeps client-side cost forecasts coherent:
 //! two requests for the same key always forecast the same cost.
 
-use crate::fanout::FanoutDist;
+use crate::fanout::{FanoutDist, FanoutSampler};
 use crate::keyspace::KeySpace;
 use crate::pareto::GeneralizedPareto;
 use crate::poisson::PoissonProcess;
@@ -98,7 +98,7 @@ fn splitmix64(mut z: u64) -> u64 {
 #[derive(Debug)]
 pub struct TaskGenerator<R: Rng> {
     arrivals: PoissonProcess,
-    fanout: FanoutDist,
+    fanout: FanoutSampler,
     keyspace: KeySpace,
     sizes: SizeModel,
     rng: R,
@@ -116,10 +116,11 @@ impl<R: Rng> TaskGenerator<R> {
         sizes: SizeModel,
         rng: R,
     ) -> Self {
-        fanout.validate().expect("invalid fan-out distribution");
         TaskGenerator {
             arrivals,
-            fanout,
+            // Compiles (and validates) the distribution: empirical
+            // mixtures draw through an O(1) alias table.
+            fanout: FanoutSampler::new(fanout),
             keyspace,
             sizes,
             rng,
