@@ -1,0 +1,835 @@
+//! Minimal offline stand-in for the `toml` crate, covering the subset
+//! this workspace reads and writes:
+//!
+//! * table headers `[a.b]` and arrays of tables `[[a.b]]` (dotted paths)
+//! * `key = value` pairs with bare, quoted, and dotted keys
+//! * basic (`"..."` with escapes) and literal (`'...'`) strings
+//! * integers (sign + underscores), floats (incl. `inf`/`nan`), booleans
+//! * arrays (may span lines) and single-line inline tables
+//! * `#` comments
+//!
+//! No datetimes, no multi-line strings. Like the sibling `serde_json`
+//! stand-in, conversion goes through the in-repo [`serde::Value`] tree:
+//! structs are tables, unit enum variants are strings, data-carrying
+//! variants are single-key tables. `Option::None` fields are *omitted*
+//! on output (TOML has no null) and absent keys deserialize to `None`.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A TOML parse/serialize error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Deserializes a value from a TOML document.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes a value as a TOML document (the value must map to a table).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = value.to_value();
+    let mut out = String::new();
+    emit_table(&v, &mut Vec::new(), &mut out)?;
+    Ok(out)
+}
+
+/// Alias for [`to_string`]; the document layout is already "pretty"
+/// (nested tables become `[section]` blocks).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl fmt::Display) -> Error {
+        Error::msg(format_args!("TOML line {}: {msg}", self.line))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, and newlines.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Requires end-of-line (allowing a trailing comment) after a
+    /// key/value pair or header.
+    fn expect_eol(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(b'\r') => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'\n') => {
+                        self.bump();
+                        Ok(())
+                    }
+                    _ => Err(self.err("bare carriage return")),
+                }
+            }
+            Some(c) => Err(self.err(format_args!("expected end of line, got {:?}", c as char))),
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let mut root = Value::Object(Vec::new());
+        // Path of the currently open `[table]` / `[[table]]` header.
+        let mut current: Vec<String> = Vec::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => break,
+                Some(b'[') => {
+                    self.bump();
+                    let array_of_tables = self.peek() == Some(b'[');
+                    if array_of_tables {
+                        self.bump();
+                    }
+                    self.skip_ws();
+                    let path = self.parse_key_path()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b']') {
+                        return Err(self.err("expected ']' closing table header"));
+                    }
+                    if array_of_tables && self.bump() != Some(b']') {
+                        return Err(self.err("expected ']]' closing array-of-tables header"));
+                    }
+                    self.expect_eol()?;
+                    if array_of_tables {
+                        push_array_table(&mut root, &path).map_err(|m| self.err(m))?;
+                    } else {
+                        open_table(&mut root, &path, true).map_err(|m| self.err(m))?;
+                    }
+                    current = path;
+                }
+                Some(_) => {
+                    let path = self.parse_key_path()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.err("expected '=' after key"));
+                    }
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    self.expect_eol()?;
+                    let mut full = current.clone();
+                    full.extend(path);
+                    insert(&mut root, &full, value).map_err(|m| self.err(m))?;
+                }
+            }
+        }
+        Ok(root)
+    }
+
+    /// A dotted key path: `a.b."c d"`.
+    fn parse_key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = vec![self.parse_key()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.bump();
+                self.skip_ws();
+                path.push(self.parse_key()?);
+            } else {
+                break;
+            }
+        }
+        Ok(path)
+    }
+
+    fn parse_key(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("bare keys are ASCII")
+                    .to_string())
+            }
+            other => Err(self.err(format_args!("expected key, got {other:?}"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') | Some(b'f') if self.looks_like_bool() => {
+                if self.bytes[self.pos..].starts_with(b"true") {
+                    self.pos += 4;
+                    Ok(Value::Bool(true))
+                } else {
+                    self.pos += 5;
+                    Ok(Value::Bool(false))
+                }
+            }
+            Some(_) => self.parse_number(),
+            None => Err(self.err("expected value, got end of input")),
+        }
+    }
+
+    fn looks_like_bool(&self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        for lit in [&b"true"[..], &b"false"[..]] {
+            if rest.starts_with(lit) {
+                // Not a prefix of a longer bare token.
+                return !matches!(rest.get(lit.len()),
+                    Some(c) if c.is_ascii_alphanumeric() || *c == b'_' || *c == b'-');
+            }
+        }
+        false
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') | Some(b'U') => {
+                        let digits = if self.bytes[self.pos - 1] == b'u' {
+                            4
+                        } else {
+                            8
+                        };
+                        let mut code = 0u32;
+                        for _ in 0..digits {
+                            let d = self
+                                .bump()
+                                .and_then(|c| (c as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad unicode escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode scalar"))?,
+                        );
+                    }
+                    other => {
+                        return Err(self.err(format_args!("unknown escape {other:?}")));
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 scalar.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    for _ in 1..width {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.bump();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated literal string")),
+                Some(b'\'') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        .to_string();
+                    self.bump();
+                    return Ok(s);
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.bump();
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia(); // arrays may span lines
+            match self.peek() {
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                None => return Err(self.err("unterminated array")),
+                _ => {
+                    items.push(self.parse_value()?);
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.bump();
+                        }
+                        Some(b']') => {}
+                        other => {
+                            return Err(self.err(format_args!("expected ',' or ']', got {other:?}")))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.bump();
+        let mut obj = Value::Object(Vec::new());
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(obj);
+        }
+        loop {
+            self.skip_ws();
+            let path = self.parse_key_path()?;
+            self.skip_ws();
+            if self.bump() != Some(b'=') {
+                return Err(self.err("expected '=' in inline table"));
+            }
+            self.skip_ws();
+            let value = self.parse_value()?;
+            insert(&mut obj, &path, value).map_err(|m| self.err(m))?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(obj),
+                other => return Err(self.err(format_args!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'+' | b'-' | b'.' | b'_'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let clean: String = raw.chars().filter(|&c| c != '_').collect();
+        let (sign_neg, body) = match clean.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, clean.strip_prefix('+').unwrap_or(&clean)),
+        };
+        if body == "inf" {
+            return Ok(Value::F64(if sign_neg {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }));
+        }
+        if body == "nan" {
+            return Ok(Value::F64(f64::NAN));
+        }
+        let is_float = body.contains('.') || body.contains('e') || body.contains('E');
+        if is_float {
+            clean
+                .parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.err(format_args!("invalid float {raw:?}")))
+        } else if sign_neg {
+            clean
+                .parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| self.err(format_args!("invalid integer {raw:?}")))
+        } else {
+            body.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| self.err(format_args!("invalid integer {raw:?}")))
+        }
+    }
+}
+
+/// Walks (creating as needed) to the table at `path`, returning an error
+/// on type conflicts. `explicit` marks a `[header]` definition, which may
+/// open a fresh table or re-enter one created implicitly by a longer
+/// path, but must not redefine a key holding a non-table value.
+fn open_table<'v>(
+    root: &'v mut Value,
+    path: &[String],
+    explicit: bool,
+) -> Result<&'v mut Value, String> {
+    let _ = explicit;
+    let mut node = root;
+    for (i, key) in path.iter().enumerate() {
+        // If the current node is an array of tables, descend into its
+        // last element (TOML: `[a.b]` under `[[a]]` extends the last `a`).
+        if let Value::Array(items) = node {
+            node = items
+                .last_mut()
+                .ok_or_else(|| format!("array of tables {:?} is empty", &path[..i]))?;
+        }
+        let entries = match node {
+            Value::Object(entries) => entries,
+            _ => return Err(format!("key {:?} is not a table", &path[..i])),
+        };
+        if !entries.iter().any(|(k, _)| k == key) {
+            entries.push((key.clone(), Value::Object(Vec::new())));
+        }
+        let idx = entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .expect("just ensured");
+        node = &mut entries[idx].1;
+    }
+    if let Value::Array(items) = node {
+        node = items
+            .last_mut()
+            .ok_or_else(|| format!("array of tables {path:?} is empty"))?;
+    }
+    match node {
+        Value::Object(_) => Ok(node),
+        _ => Err(format!("cannot open table at {path:?}: key holds a value")),
+    }
+}
+
+/// Appends a fresh table to the array-of-tables at `path`.
+fn push_array_table(root: &mut Value, path: &[String]) -> Result<(), String> {
+    let (last, parent_path) = path.split_last().expect("header path is non-empty");
+    let parent = open_table(root, parent_path, false)?;
+    let entries = match parent {
+        Value::Object(entries) => entries,
+        _ => unreachable!("open_table returns objects"),
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Array(items))) => {
+            items.push(Value::Object(Vec::new()));
+            Ok(())
+        }
+        Some(_) => Err(format!("key {last:?} already holds a non-array value")),
+        None => {
+            entries.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())])));
+            Ok(())
+        }
+    }
+}
+
+/// Inserts `value` at the (possibly dotted) `path`, erroring on duplicates.
+fn insert(root: &mut Value, path: &[String], value: Value) -> Result<(), String> {
+    let (last, parent_path) = path.split_last().expect("key path is non-empty");
+    let parent = open_table(root, parent_path, false)?;
+    let entries = match parent {
+        Value::Object(entries) => entries,
+        _ => unreachable!("open_table returns objects"),
+    };
+    if entries.iter().any(|(k, _)| k == last) {
+        return Err(format!("duplicate key {last:?}"));
+    }
+    entries.push((last.clone(), value));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn is_bare_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+}
+
+fn emit_key(k: &str, out: &mut String) {
+    if is_bare_key(k) {
+        out.push_str(k);
+    } else {
+        emit_string(k, out);
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn emit_float(f: f64, out: &mut String) {
+    if f.is_nan() {
+        out.push_str("nan");
+    } else if f == f64::INFINITY {
+        out.push_str("inf");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-inf");
+    } else {
+        // `{:?}` is the shortest representation that round-trips; it
+        // always contains '.' or 'e', both of which mark a TOML float.
+        let s = format!("{f:?}");
+        debug_assert!(s.contains('.') || s.contains('e') || s.contains('E'));
+        out.push_str(&s);
+    }
+}
+
+/// Emits a value in inline position (scalar, array, or inline table).
+fn emit_inline(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => Err(Error::msg("TOML cannot represent null in this position")),
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(())
+        }
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+            Ok(())
+        }
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+            Ok(())
+        }
+        Value::F64(f) => {
+            emit_float(*f, out);
+            Ok(())
+        }
+        Value::Str(s) => {
+            emit_string(s, out);
+            Ok(())
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_inline(item, out)?;
+            }
+            out.push(']');
+            Ok(())
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            let mut first = true;
+            for (k, v) in entries {
+                if matches!(v, Value::Null) {
+                    continue; // omitted Option::None
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                emit_key(k, out);
+                out.push_str(" = ");
+                emit_inline(v, out)?;
+            }
+            out.push('}');
+            Ok(())
+        }
+    }
+}
+
+/// True when a value should become a `[section]` (a table whose
+/// representation is nicer as a block than inline). Objects with at
+/// most one live entry — notably the single-key enum-variant encoding —
+/// stay inline (`noise = { LogNormal = { sigma = 0.3 } }`).
+fn is_section(v: &Value) -> bool {
+    match v {
+        Value::Object(entries) => {
+            entries
+                .iter()
+                .filter(|(_, v)| !matches!(v, Value::Null))
+                .count()
+                > 1
+        }
+        _ => false,
+    }
+}
+
+/// True for arrays where every element is a table (emitted as `[[name]]`).
+fn is_table_array(v: &Value) -> bool {
+    match v {
+        Value::Array(items) => {
+            !items.is_empty() && items.iter().all(|i| matches!(i, Value::Object(_)))
+        }
+        _ => false,
+    }
+}
+
+/// Emits `table` (which must be an object) at the header path `path`.
+fn emit_table(table: &Value, path: &mut Vec<String>, out: &mut String) -> Result<(), Error> {
+    let entries = match table {
+        Value::Object(entries) => entries,
+        other => {
+            return Err(Error::msg(format_args!(
+                "TOML documents must be tables, got {other:?}"
+            )))
+        }
+    };
+    // Pass 1: inline-representable pairs (so they bind to this header).
+    for (k, v) in entries {
+        if matches!(v, Value::Null) || is_section(v) || is_table_array(v) {
+            continue;
+        }
+        emit_key(k, out);
+        out.push_str(" = ");
+        emit_inline(v, out)?;
+        out.push('\n');
+    }
+    // Pass 2: nested tables and arrays of tables as sections.
+    for (k, v) in entries {
+        if matches!(v, Value::Null) {
+            continue;
+        }
+        if is_table_array(v) {
+            let items = match v {
+                Value::Array(items) => items,
+                _ => unreachable!(),
+            };
+            path.push(k.clone());
+            for item in items {
+                out.push_str("\n[[");
+                emit_path(path, out);
+                out.push_str("]]\n");
+                emit_table(item, path, out)?;
+            }
+            path.pop();
+        } else if is_section(v) {
+            path.push(k.clone());
+            out.push_str("\n[");
+            emit_path(path, out);
+            out.push_str("]\n");
+            emit_table(v, path, out)?;
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn emit_path(path: &[String], out: &mut String) {
+    for (i, seg) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        emit_key(seg, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    fn parse(s: &str) -> Value {
+        Parser::new(s).parse_document().expect("parse")
+    }
+
+    #[test]
+    fn scalars_and_tables() {
+        let v = parse(
+            "title = \"spec\"\ncount = 42\nneg = -3\nload = 0.7\nflag = true\n\n\
+             [cluster]\nservers = 9\nspeed = [1.0, 0.5]\n\n\
+             [cluster.latency]\nConstant = { delay_ns = 50000 }\n",
+        );
+        assert_eq!(v.get("title"), Some(&Value::Str("spec".into())));
+        assert_eq!(v.get("count"), Some(&Value::U64(42)));
+        assert_eq!(v.get("neg"), Some(&Value::I64(-3)));
+        assert_eq!(v.get("load"), Some(&Value::F64(0.7)));
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        let cluster = v.get("cluster").unwrap();
+        assert_eq!(cluster.get("servers"), Some(&Value::U64(9)));
+        let lat = cluster.get("latency").unwrap().get("Constant").unwrap();
+        assert_eq!(lat.get("delay_ns"), Some(&Value::U64(50_000)));
+    }
+
+    #[test]
+    fn arrays_of_tables_and_multiline_arrays() {
+        let v = parse(
+            "[[faults.degraded]]\nserver = 0\nspeed = 0.5\n\n\
+             [[faults.degraded]]\nserver = 3\nspeed = 0.25\n\n\
+             [sweep]\nload = [\n  0.5,\n  0.7, # comment\n  0.9,\n]\n",
+        );
+        let degraded = v.get("faults").unwrap().get("degraded").unwrap();
+        match degraded {
+            Value::Array(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("server"), Some(&Value::U64(3)));
+                assert_eq!(items[1].get("speed"), Some(&Value::F64(0.25)));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let loads = v.get("sweep").unwrap().get("load").unwrap();
+        assert_eq!(
+            loads,
+            &Value::Array(vec![Value::F64(0.5), Value::F64(0.7), Value::F64(0.9)])
+        );
+    }
+
+    #[test]
+    fn strings_escapes_comments() {
+        let v = parse(
+            "# header comment\na = \"two\\nlines \\u00e9\" # trailing\nb = 'raw\\n'\n\"key with space\" = 1\n",
+        );
+        assert_eq!(v.get("a"), Some(&Value::Str("two\nlines é".into())));
+        assert_eq!(v.get("b"), Some(&Value::Str("raw\\n".into())));
+        assert_eq!(v.get("key with space"), Some(&Value::U64(1)));
+    }
+
+    #[test]
+    fn special_floats_and_underscores() {
+        let v = parse("a = inf\nb = -inf\nc = nan\nd = 1_000_000\ne = 1e3\n");
+        assert_eq!(v.get("a"), Some(&Value::F64(f64::INFINITY)));
+        assert_eq!(v.get("b"), Some(&Value::F64(f64::NEG_INFINITY)));
+        match v.get("c") {
+            Some(Value::F64(f)) => assert!(f.is_nan()),
+            other => panic!("expected nan, got {other:?}"),
+        }
+        assert_eq!(v.get("d"), Some(&Value::U64(1_000_000)));
+        assert_eq!(v.get("e"), Some(&Value::F64(1e3)));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(Parser::new("a = 1\na = 2\n").parse_document().is_err());
+        assert!(Parser::new("a = {b = 1, b = 2}\n")
+            .parse_document()
+            .is_err());
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let doc = parse(
+            "name = \"x\"\nload = 0.7\nbig = 1e300\nneg = -7\n\n[cluster]\nservers = 9\n\
+             factors = [1.0, 0.5]\nlatency = { Spiky = { base_ns = 50000, p_spike = 0.01 } }\n\n\
+             [[cells]]\nid = 0\n\n[[cells]]\nid = 1\n",
+        );
+        let emitted = to_string(&doc).unwrap();
+        let back = parse(&emitted);
+        assert_eq!(doc, back, "emitted TOML:\n{emitted}");
+    }
+
+    #[test]
+    fn nulls_are_omitted_in_tables_and_rejected_in_arrays() {
+        let doc = Value::Object(vec![
+            ("present".into(), Value::U64(1)),
+            ("absent".into(), Value::Null),
+        ]);
+        let s = to_string(&doc).unwrap();
+        assert!(!s.contains("absent"));
+        let arr = Value::Object(vec![("xs".into(), Value::Array(vec![Value::Null]))]);
+        assert!(to_string(&arr).is_err());
+    }
+
+    #[test]
+    fn inline_table_values_round_trip() {
+        // Unit enum variants are strings; data-carrying variants are
+        // single-key tables — both appear inside strategy arrays.
+        let doc = parse("strategies = [{ Credits = { policy = \"EqualMax\" } }, \"Fifo\"]\n");
+        let emitted = to_string(&doc).unwrap();
+        assert_eq!(parse(&emitted), doc);
+    }
+}

@@ -10,7 +10,16 @@
 
 use brb_core::config::{ExperimentConfig, Strategy};
 use brb_core::experiment::run_experiment;
+use brb_lab::registry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn small(strategy: Strategy, seed: u64, tasks: usize) -> ExperimentConfig {
+    registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(tasks)
+        .build_config(strategy, seed)
+        .expect("valid scenario")
+}
 
 fn bench_figure2_cells(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure2_cell");
@@ -19,7 +28,7 @@ fn bench_figure2_cells(c: &mut Criterion) {
         let name = strategy.name();
         // Print the cell's data once so `cargo bench` output contains the
         // regenerated figure values.
-        let r = run_experiment(ExperimentConfig::figure2_small(strategy.clone(), 1, 8_000));
+        let r = run_experiment(small(strategy.clone(), 1, 8_000));
         println!(
             "figure2[{name}]: p50={:.2}ms p95={:.2}ms p99={:.2}ms (8k tasks, seed 1)",
             r.task_latency_ms.p50, r.task_latency_ms.p95, r.task_latency_ms.p99
@@ -28,9 +37,7 @@ fn bench_figure2_cells(c: &mut Criterion) {
             BenchmarkId::from_parameter(&name),
             &strategy,
             |b, strategy| {
-                b.iter(|| {
-                    run_experiment(ExperimentConfig::figure2_small(strategy.clone(), 1, 2_000))
-                });
+                b.iter(|| run_experiment(small(strategy.clone(), 1, 2_000)));
             },
         );
     }

@@ -7,8 +7,9 @@
 
 use brb_bench::render::Table;
 use brb_bench::sweeps::{credit_interval_sweep, policy_matrix, render_sweep};
-use brb_core::config::{ExperimentConfig, SelectorKind, Strategy};
-use brb_core::experiment::run_strategies_multi_seed;
+use brb_core::config::{SelectorKind, Strategy};
+use brb_lab::runner::run_spec;
+use brb_lab::ScenarioBuilder;
 use brb_sched::PolicyKind;
 use brb_store::cost::ForecastQuality;
 
@@ -74,9 +75,15 @@ fn main() {
             },
         ),
     ] {
-        let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-        base.cluster.forecast = quality;
-        let s = run_strategies_multi_seed(&base, &[Strategy::unif_incr_credits()], &seeds);
+        let spec = ScenarioBuilder::new("forecast-quality")
+            .tasks(num_tasks)
+            .scale_catalog(true)
+            .forecast(quality)
+            .strategies(vec![Strategy::unif_incr_credits()])
+            .seeds(&seeds)
+            .build()
+            .expect("valid forecast-quality scenario");
+        let s = run_spec(&spec).expect("scenario runs").remove(0).summaries;
         t.push_row(vec![
             label.to_string(),
             format!("{:.2}", s[0].p50_ms.mean),
@@ -92,10 +99,10 @@ fn main() {
     // including the runaway failure mode of an aggressive trigger.
     eprintln!("hedging comparison ...");
     let t0 = std::time::Instant::now();
-    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-    let hedging = run_strategies_multi_seed(
-        &base,
-        &[
+    let spec = ScenarioBuilder::new("hedging")
+        .tasks(num_tasks)
+        .scale_catalog(true)
+        .strategies(vec![
             Strategy::Direct {
                 selector: SelectorKind::LeastOutstanding,
                 policy: PolicyKind::Fifo,
@@ -107,9 +114,11 @@ fn main() {
                 delay_us: 1_000,
             },
             Strategy::equal_max_credits(),
-        ],
-        &seeds,
-    );
+        ])
+        .seeds(&seeds)
+        .build()
+        .expect("valid hedging scenario");
+    let hedging = run_spec(&spec).expect("scenario runs").remove(0).summaries;
     eprintln!("completed in {:.1?}\n", t0.elapsed());
     let mut t = Table::new(vec![
         "strategy",

@@ -11,8 +11,9 @@
 //! ```
 
 use brb_bench::render::Table;
-use brb_core::config::{ExperimentConfig, SelectorKind, Strategy};
-use brb_core::experiment::run_strategies_multi_seed;
+use brb_core::config::{SelectorKind, Strategy};
+use brb_lab::runner::run_spec;
+use brb_lab::ScenarioBuilder;
 use brb_sched::PolicyKind;
 
 fn main() {
@@ -58,12 +59,19 @@ fn main() {
         "99th(ms)",
     ]);
     for &factor in &[1.0, speed] {
-        let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-        base.cluster.server_speed_factors = vec![factor];
-        // Keep offered load feasible for the weakened cluster.
-        base.workload.load = 0.6;
+        let spec = ScenarioBuilder::new("degraded-node")
+            .tasks(num_tasks)
+            .scale_catalog(true)
+            // Keep offered load feasible for the weakened cluster.
+            .load(0.6)
+            .degrade_server(0, factor)
+            .strategies(strategies.to_vec())
+            .seeds(&seeds)
+            .build()
+            .expect("valid degraded-node scenario");
         eprintln!("running with server-0 at {factor}x ...");
-        let summaries = run_strategies_multi_seed(&base, &strategies, &seeds);
+        let mut cells = run_spec(&spec).expect("scenario runs");
+        let summaries = cells.remove(0).summaries;
         for s in &summaries {
             table.push_row(vec![
                 format!("{factor}"),

@@ -10,7 +10,7 @@
 //!   they replaced: ziggurat vs. Box–Muller standard normals, ziggurat
 //!   vs. inverse-CDF exponentials, and O(1) alias-table Zipf draws vs.
 //!   the old cumulative-table binary search.
-//! * **sweep** — a 3-strategy × 4-seed `figure2_small` sweep, sequential
+//! * **sweep** — a 3-strategy × 4-seed `figure2-small` preset sweep, sequential
 //!   vs. parallel ([`run_strategies_multi_seed_with_threads`]), with the
 //!   engine's own event counts folded into an events/second throughput
 //!   figure. On a multi-core host the speedup tracks the worker count;
@@ -19,11 +19,12 @@
 //! Usage: `cargo run --release -p brb-bench --bin kernel_bench [tasks]`
 //! (default 8000 tasks per cell; the JSON lands in the working directory).
 
-use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::config::Strategy;
 use brb_core::experiment::{
     run_strategies_multi_seed_sequential, run_strategies_multi_seed_with_threads, worker_count,
     StrategySummary,
 };
+use brb_lab::registry;
 use brb_sim::dist::{standard_exp, standard_exp_inv_cdf, standard_normal};
 use brb_sim::{BoxMuller, Calendar, DetRng, HeapCalendar, SimTime};
 use brb_workload::Zipf;
@@ -252,7 +253,11 @@ fn main() {
         Strategy::equal_max_model(),
     ];
     let seeds = vec![1u64, 2, 3, 4];
-    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, tasks);
+    let base = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(tasks)
+        .build_config(Strategy::c3(), 0)
+        .expect("valid scenario");
     let threads = worker_count();
 
     eprintln!(

@@ -8,8 +8,9 @@
 //! Writes one CSV per Figure 2 strategy (plus a summary to stdout), ready
 //! for plotting.
 
-use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::config::Strategy;
 use brb_core::engine::EngineWorld;
+use brb_lab::registry;
 use brb_sim::Simulation;
 
 fn main() {
@@ -33,8 +34,12 @@ fn main() {
         "strategy", "samples", "peak-queue", "peak-backlog", "mean-q/srv"
     );
     for strategy in Strategy::figure2_set() {
-        let mut cfg = ExperimentConfig::figure2_small(strategy, 1, num_tasks);
-        cfg.telemetry_interval_ns = Some(10_000_000); // 10 ms
+        let cfg = registry::builder("figure2-small")
+            .expect("registry preset")
+            .tasks(num_tasks)
+            .telemetry_interval_ns(Some(10_000_000)) // 10 ms
+            .build_config(strategy, 1)
+            .expect("valid scenario");
         let name = cfg.strategy.name();
         let world = EngineWorld::new(cfg);
         let mut sim = Simulation::new(world);

@@ -10,8 +10,9 @@
 //!    at every percentile and report the measured factors.
 
 use crate::render::Table;
-use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::config::Strategy;
 use brb_core::experiment::{run_strategies_multi_seed, StrategySummary};
+use brb_lab::registry;
 use serde::{Deserialize, Serialize};
 
 /// Options for a Figure 2 regeneration run.
@@ -44,7 +45,11 @@ impl Figure2Options {
 
 /// Runs the five Figure 2 strategies under the paper's configuration.
 pub fn run_figure2(opts: &Figure2Options) -> Vec<StrategySummary> {
-    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, opts.num_tasks);
+    let base = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(opts.num_tasks)
+        .build_config(Strategy::c3(), 0)
+        .expect("valid scenario");
     run_strategies_multi_seed(&base, &Strategy::figure2_set(), &opts.seeds)
 }
 

@@ -1,4 +1,5 @@
-//! Ablation sweeps (DESIGN.md experiments A–C).
+//! Ablation sweeps (DESIGN.md experiments A–C), expressed as declarative
+//! `brb-lab` scenarios.
 //!
 //! * **Load sweep** — where does task-awareness pay? The gap between BRB
 //!   and C3 should widen with load (queueing amplifies ordering choices).
@@ -11,10 +12,11 @@
 //!   contribution.
 
 use crate::render::Table;
-use brb_core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
-use brb_core::experiment::{run_strategies_multi_seed, StrategySummary};
+use brb_core::config::{SelectorKind, Strategy};
+use brb_core::experiment::StrategySummary;
+use brb_lab::runner::run_spec;
+use brb_lab::ScenarioBuilder;
 use brb_sched::{CreditsConfig, PolicyKind};
-use brb_workload::FanoutDist;
 use serde::{Deserialize, Serialize};
 
 /// One sweep point: a parameter value and the per-strategy summaries.
@@ -26,6 +28,13 @@ pub struct SweepPoint {
     pub summaries: Vec<StrategySummary>,
 }
 
+/// The paper cluster/workload at reduced scale, catalog shrunk to match.
+fn paper_small(name: &str, num_tasks: usize) -> ScenarioBuilder {
+    ScenarioBuilder::new(name)
+        .tasks(num_tasks)
+        .scale_catalog(true)
+}
+
 /// Sweeps offered load for the given strategies.
 pub fn load_sweep(
     loads: &[f64],
@@ -33,15 +42,18 @@ pub fn load_sweep(
     num_tasks: usize,
     seeds: &[u64],
 ) -> Vec<SweepPoint> {
-    loads
-        .iter()
-        .map(|&load| {
-            let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-            base.workload.load = load;
-            SweepPoint {
-                x: load,
-                summaries: run_strategies_multi_seed(&base, strategies, seeds),
-            }
+    let spec = paper_small("load-sweep", num_tasks)
+        .strategies(strategies.to_vec())
+        .seeds(seeds)
+        .sweep_load(loads)
+        .build()
+        .expect("valid load sweep");
+    run_spec(&spec)
+        .expect("load sweep runs")
+        .into_iter()
+        .map(|cell| SweepPoint {
+            x: cell.axes.load.expect("load axis value"),
+            summaries: cell.summaries,
         })
         .collect()
 }
@@ -57,25 +69,18 @@ pub fn fanout_sweep(
     num_tasks: usize,
     seeds: &[u64],
 ) -> Vec<SweepPoint> {
-    mean_fanouts
-        .iter()
-        .map(|&f| {
-            let mut base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-            let fanout = if f <= 1 {
-                FanoutDist::Fixed(1)
-            } else {
-                // Shifted geometric with mean f: 1 + Geom(p), p = 1/f.
-                FanoutDist::Geometric { p: 1.0 / f as f64 }
-            };
-            base.workload.kind = WorkloadKind::Synthetic {
-                fanout,
-                num_keys: (num_tasks as u64 * 20).max(10_000),
-                zipf_exponent: 0.9,
-            };
-            SweepPoint {
-                x: f as f64,
-                summaries: run_strategies_multi_seed(&base, strategies, seeds),
-            }
+    let spec = paper_small("fanout-sweep", num_tasks)
+        .strategies(strategies.to_vec())
+        .seeds(seeds)
+        .sweep_mean_fanout(mean_fanouts)
+        .build()
+        .expect("valid fan-out sweep");
+    run_spec(&spec)
+        .expect("fan-out sweep runs")
+        .into_iter()
+        .map(|cell| SweepPoint {
+            x: cell.axes.mean_fanout.expect("fan-out axis value") as f64,
+            summaries: cell.summaries,
         })
         .collect()
 }
@@ -94,11 +99,15 @@ pub fn credit_interval_sweep(
                 adaptation_interval_ns: (secs * 1e9) as u64,
                 ..Default::default()
             };
-            let strategy = Strategy::Credits { policy, credits };
-            let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
+            let spec = paper_small("credit-interval", num_tasks)
+                .strategies(vec![Strategy::Credits { policy, credits }])
+                .seeds(seeds)
+                .build()
+                .expect("valid credit-interval point");
+            let mut cells = run_spec(&spec).expect("credit-interval point runs");
             SweepPoint {
                 x: secs,
-                summaries: run_strategies_multi_seed(&base, &[strategy], seeds),
+                summaries: cells.remove(0).summaries,
             }
         })
         .collect()
@@ -121,8 +130,13 @@ pub fn policy_matrix(num_tasks: usize, seeds: &[u64]) -> Vec<StrategySummary> {
             });
         }
     }
-    let base = ExperimentConfig::figure2_small(Strategy::c3(), 0, num_tasks);
-    run_strategies_multi_seed(&base, &strategies, seeds)
+    let spec = paper_small("policy-matrix", num_tasks)
+        .strategies(strategies)
+        .seeds(seeds)
+        .build()
+        .expect("valid policy matrix");
+    let mut cells = run_spec(&spec).expect("policy matrix runs");
+    cells.remove(0).summaries
 }
 
 /// Renders a sweep as a table with one row per (x, strategy).

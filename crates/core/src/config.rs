@@ -45,6 +45,14 @@ pub struct ClusterConfig {
     pub server_speed_factors: Vec<f64>,
 }
 
+/// `Default` is the paper's cluster, so spec files can omit `[cluster]`
+/// entirely and still describe a valid scenario.
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
 impl ClusterConfig {
     /// The paper's cluster (§2.2).
     pub fn paper_default() -> Self {
@@ -99,6 +107,9 @@ impl ClusterConfig {
         if self.num_clients == 0 || self.num_servers == 0 || self.cores_per_server == 0 {
             return Err("cluster dimensions must be positive".into());
         }
+        if self.num_partitions == 0 {
+            return Err("need at least one partition".into());
+        }
         if self.replication == 0 || self.replication > self.num_servers {
             return Err(format!(
                 "replication {} invalid for {} servers",
@@ -114,9 +125,9 @@ impl ClusterConfig {
         if self
             .server_speed_factors
             .iter()
-            .any(|&f| f.is_nan() || f <= 0.0)
+            .any(|&f| !f.is_finite() || f <= 0.0)
         {
-            return Err("speed factors must be positive".into());
+            return Err("speed factors must be positive and finite".into());
         }
         self.latency.validate()
     }
@@ -156,6 +167,14 @@ pub struct WorkloadConfig {
     pub kind: WorkloadKind,
     /// Value-size model (paper: Facebook ETC Pareto).
     pub sizes: SizeModel,
+}
+
+/// `Default` is the paper's workload, so spec files can omit
+/// `[workload]` entirely and still describe a valid scenario.
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
 }
 
 impl WorkloadConfig {
@@ -201,6 +220,28 @@ impl WorkloadConfig {
     /// Task arrival rate (tasks/s) against a cluster.
     pub fn task_rate(&self, cluster: &ClusterConfig) -> f64 {
         task_rate_for_load(self.load, cluster.capacity_rps(), self.mean_fanout())
+    }
+
+    /// Sets `num_tasks` and shrinks the key/catalog universe to match, so
+    /// scaled-down runs keep a realistic key-reuse rate. The mapping is a
+    /// function of `num_tasks` alone (not of the current catalog), so
+    /// re-applying it is idempotent — the scenario layer and the
+    /// (deprecated) `figure2_small` shim must produce identical configs.
+    pub fn scale_to_tasks(&mut self, num_tasks: usize) {
+        self.num_tasks = num_tasks;
+        match &mut self.kind {
+            WorkloadKind::Synthetic { num_keys, .. } => {
+                *num_keys = (num_tasks as u64 * 20).max(1_000)
+            }
+            WorkloadKind::Playlist {
+                num_tracks,
+                num_playlists,
+                ..
+            } => {
+                *num_tracks = (num_tasks as u64 * 10).max(1_000);
+                *num_playlists = (num_tasks as u64).max(100);
+            }
+        }
     }
 
     /// Validates structural invariants.
@@ -285,7 +326,8 @@ pub enum Strategy {
     Credits {
         /// Priority assignment (EqualMax / UnifIncr in the paper).
         policy: PolicyKind,
-        /// Controller tuning.
+        /// Controller tuning (spec files may omit it for the defaults).
+        #[serde(default)]
         credits: CreditsConfig,
     },
     /// BRB's ideal realization: single global priority queue with
@@ -444,6 +486,14 @@ pub struct ExperimentConfig {
 
 impl ExperimentConfig {
     /// The full Figure 2 configuration for one strategy and seed.
+    ///
+    /// Deprecated shim: scenarios are now described declaratively — use
+    /// the `brb-lab` crate's `figure2` registry preset (or its
+    /// `ScenarioBuilder`), which lowers to this exact configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the brb-lab `figure2` registry preset / ScenarioBuilder"
+    )]
     pub fn figure2(strategy: Strategy, seed: u64) -> Self {
         ExperimentConfig {
             cluster: ClusterConfig::paper_default(),
@@ -457,22 +507,18 @@ impl ExperimentConfig {
     }
 
     /// A scaled-down Figure 2 (fewer tasks) for tests and quick runs.
+    ///
+    /// Deprecated shim: use the `brb-lab` `figure2-small` registry preset
+    /// (with `.tasks(n)` on its builder), which is test-enforced to lower
+    /// to this exact configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the brb-lab `figure2-small` registry preset / ScenarioBuilder"
+    )]
     pub fn figure2_small(strategy: Strategy, seed: u64, num_tasks: usize) -> Self {
+        #[allow(deprecated)]
         let mut cfg = Self::figure2(strategy, seed);
-        cfg.workload.num_tasks = num_tasks;
-        match &mut cfg.workload.kind {
-            WorkloadKind::Synthetic { num_keys, .. } => {
-                *num_keys = (num_tasks as u64 * 20).max(1_000)
-            }
-            WorkloadKind::Playlist {
-                num_tracks,
-                num_playlists,
-                ..
-            } => {
-                *num_tracks = (num_tasks as u64 * 10).max(1_000);
-                *num_playlists = (num_tasks as u64).max(100);
-            }
-        }
+        cfg.workload.scale_to_tasks(num_tasks);
         cfg
     }
 
@@ -498,6 +544,9 @@ impl ExperimentConfig {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated figure2* shims are still under test until removal.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]

@@ -1380,6 +1380,9 @@ impl World for EngineWorld {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated figure2* shims are still under test until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use brb_sim::Simulation;
 

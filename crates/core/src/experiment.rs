@@ -343,6 +343,9 @@ fn summarize(results: Vec<RunResult>, seeds_per_strategy: usize) -> Vec<Strategy
 
 #[cfg(test)]
 mod tests {
+    // The deprecated figure2* shims are still under test until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::config::Strategy;
 

@@ -1,0 +1,46 @@
+//! # brb-lab — the declarative scenario layer
+//!
+//! Experiments used to be ad-hoc imperative mutation of
+//! `ExperimentConfig` copy-pasted across examples, tests, and benches.
+//! This crate makes a scenario — cluster + workload + fault injections +
+//! strategy set + seeds + sweep axes — a *value*:
+//!
+//! * [`ScenarioSpec`] is serde-round-trippable (TOML and JSON) and
+//!   lowers to a grid of concrete `ExperimentConfig` cells
+//!   ([`ScenarioSpec::lower`]).
+//! * [`ScenarioBuilder`] is the fluent construction path with typed
+//!   validation errors ([`ScenarioError`]) instead of downstream panics.
+//! * [`registry`] names the presets (`figure2`, `figure2-small`,
+//!   `degraded-node`, `transient-spike`, `playlist`, `hedging-runaway`,
+//!   `trace-replay`) so they are data, not constructors.
+//! * [`runner::run_spec`] drives the grid through the parallel
+//!   multi-seed runner; [`report::write_jsonl`] emits the stable
+//!   JSON-lines report.
+//! * The `brb-lab` binary wires it together:
+//!   `brb-lab run figure2-small`, `brb-lab run my-spec.toml`,
+//!   `brb-lab list`, `brb-lab show <name>`.
+//!
+//! ```no_run
+//! use brb_lab::{registry, runner, report};
+//!
+//! let spec = registry::builder("figure2-small").unwrap()
+//!     .tasks(2_000)
+//!     .build().unwrap();
+//! let results = runner::run_spec(&spec).unwrap();
+//! println!("{}", report::to_jsonl_string(&spec, &results));
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use builder::ScenarioBuilder;
+pub use error::ScenarioError;
+pub use report::REPORT_SCHEMA;
+pub use runner::CellResult;
+pub use spec::{
+    CellAxes, DegradedServer, FaultSpec, RunSpec, ScenarioCell, ScenarioSpec, SpikeFault, SweepSpec,
+};

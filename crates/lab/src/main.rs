@@ -1,0 +1,228 @@
+//! `brb-lab` — run declarative scenarios and emit JSON-lines reports.
+//!
+//! ```text
+//! brb-lab list
+//! brb-lab show <name|spec.toml|spec.json> [--json]
+//! brb-lab run  <name|spec.toml|spec.json> [--tasks N] [--seeds a,b,..]
+//!              [--out report.jsonl] [--quiet]
+//! ```
+//!
+//! `run` resolves its argument against the preset registry first, then
+//! as a spec file path. The JSON-lines report goes to stdout (or
+//! `--out`); a human-readable table goes to stderr.
+
+use brb_lab::{registry, report, runner, ScenarioError, ScenarioSpec};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match command {
+        "list" => cmd_list(rest),
+        "show" => cmd_show(rest),
+        "run" => cmd_run(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Scenario(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Io(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+brb-lab — declarative BRB experiment scenarios
+
+usage:
+  brb-lab list                         list registry presets
+  brb-lab show <scenario> [--json]     print a spec as TOML (or JSON)
+  brb-lab run  <scenario> [options]    run and emit a JSON-lines report
+
+<scenario> is a registry preset name (see `brb-lab list`) or a path to
+a .toml / .json spec file.
+
+run options:
+  --tasks N        override tasks per run
+  --seeds a,b,..   override the seed set
+  --out FILE       write the report to FILE instead of stdout
+  --quiet          suppress the human-readable table on stderr
+";
+
+enum CliError {
+    Usage(String),
+    Scenario(ScenarioError),
+    Io(String),
+}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> Self {
+        CliError::Scenario(e)
+    }
+}
+
+/// Resolves a scenario argument. Anything that looks like a path (a
+/// separator or a spec-file extension) is loaded as a file — so a
+/// typo'd filename surfaces the I/O error, not "unknown preset";
+/// everything else tries the registry first, then the filesystem.
+fn resolve(arg: &str) -> Result<ScenarioSpec, ScenarioError> {
+    let looks_like_path =
+        arg.contains(['/', '\\']) || arg.ends_with(".toml") || arg.ends_with(".json");
+    if looks_like_path {
+        let spec = ScenarioSpec::load(arg)?;
+        spec.validate()?;
+        return Ok(spec);
+    }
+    match registry::spec(arg) {
+        Ok(spec) => Ok(spec),
+        Err(ScenarioError::UnknownPreset { .. }) if std::path::Path::new(arg).exists() => {
+            let spec = ScenarioSpec::load(arg)?;
+            spec.validate()?;
+            Ok(spec)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn cmd_list(rest: &[String]) -> Result<(), CliError> {
+    if !rest.is_empty() {
+        return Err(CliError::Usage("list takes no arguments".into()));
+    }
+    let names = registry::names();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    for name in names {
+        let desc = registry::description(name).unwrap_or("");
+        println!("{name:width$}  {desc}");
+    }
+    Ok(())
+}
+
+fn cmd_show(rest: &[String]) -> Result<(), CliError> {
+    let mut target = None;
+    let mut json = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument {other:?}"))),
+        }
+    }
+    let target = target.ok_or_else(|| CliError::Usage("show needs a scenario".into()))?;
+    let spec = resolve(&target)?;
+    if json {
+        println!("{}", spec.to_json()?);
+    } else {
+        print!("{}", spec.to_toml()?);
+    }
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), CliError> {
+    let mut target = None;
+    let mut tasks: Option<usize> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut out: Option<String> = None;
+    let mut quiet = false;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tasks" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--tasks needs a value".into()))?;
+                tasks = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --tasks value {v:?}")))?,
+                );
+            }
+            "--seeds" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seeds needs a value".into()))?;
+                let parsed: Result<Vec<u64>, _> = v.split(',').map(str::parse).collect();
+                seeds =
+                    Some(parsed.map_err(|_| CliError::Usage(format!("bad --seeds value {v:?}")))?);
+            }
+            "--out" => {
+                out = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--out needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--quiet" => quiet = true,
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument {other:?}"))),
+        }
+    }
+    let target = target.ok_or_else(|| CliError::Usage("run needs a scenario".into()))?;
+    let mut spec = resolve(&target)?;
+    if let Some(n) = tasks {
+        spec.workload.num_tasks = n;
+    }
+    if let Some(s) = seeds {
+        spec.seeds = s;
+    }
+    spec.validate()?;
+
+    let cells = spec.sweep.num_cells();
+    let runs = cells * spec.strategies.len() * spec.seeds.len();
+    if !quiet {
+        eprintln!(
+            "scenario {:?}: {} cell(s) x {} strategies x {} seeds = {} runs, {} tasks each",
+            spec.name,
+            cells,
+            spec.strategies.len(),
+            spec.seeds.len(),
+            runs,
+            spec.workload.num_tasks,
+        );
+    }
+    let start = std::time::Instant::now();
+    let results = runner::run_spec_with_progress(&spec, |i, n| {
+        if !quiet && n > 1 {
+            eprintln!("  cell {}/{n} ...", i + 1);
+        }
+    })?;
+    if !quiet {
+        eprintln!("completed in {:.1?}\n", start.elapsed());
+        eprint!("{}", report::render_table(&results));
+    }
+    match out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            report::write_jsonl(&spec, &results, std::io::BufWriter::new(file))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            if !quiet {
+                eprintln!("\nwrote {path}");
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            report::write_jsonl(&spec, &results, stdout.lock())
+                .map_err(|e| CliError::Io(e.to_string()))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Named scenario presets: the experiments this repo keeps reaching for,
+//! as *data* rather than constructors. `brb-lab run <name>` executes
+//! them; `brb-lab show <name>` prints the underlying spec.
+
+use crate::builder::ScenarioBuilder;
+use crate::error::ScenarioError;
+use crate::spec::ScenarioSpec;
+use brb_core::config::{SelectorKind, Strategy, WorkloadKind};
+use brb_sched::PolicyKind;
+
+/// One registry entry.
+struct Preset {
+    name: &'static str,
+    description: &'static str,
+    build: fn() -> ScenarioBuilder,
+}
+
+/// The registry, in display order.
+const PRESETS: &[Preset] = &[
+    Preset {
+        name: "figure2",
+        description: "the paper's headline evaluation: five strategies, 500k tasks, six seeds",
+        build: figure2,
+    },
+    Preset {
+        name: "figure2-small",
+        description: "scaled-down figure2 (8k tasks, catalog shrunk to match) for quick runs",
+        build: figure2_small,
+    },
+    Preset {
+        name: "playlist",
+        description: "the motivating workload: playlist fan-outs, C3 vs task-aware BRB",
+        build: playlist,
+    },
+    Preset {
+        name: "degraded-node",
+        description: "server 0 at half speed, nobody told the clients — adaptive vs oblivious",
+        build: degraded_node,
+    },
+    Preset {
+        name: "transient-spike",
+        description: "rare 10-20ms network spikes at low load — hedging's canonical win",
+        build: transient_spike,
+    },
+    Preset {
+        name: "hedging-runaway",
+        description: "hedge-delay sweep: aggressive triggers feed back into load and run away",
+        build: hedging_runaway,
+    },
+    Preset {
+        name: "trace-replay",
+        description: "record/replay round trip: every strategy driven from identical JSONL bytes",
+        build: trace_replay,
+    },
+];
+
+/// Every preset name, in display order.
+pub fn names() -> Vec<&'static str> {
+    PRESETS.iter().map(|p| p.name).collect()
+}
+
+/// The one-line description of a preset.
+pub fn description(name: &str) -> Option<&'static str> {
+    PRESETS
+        .iter()
+        .find(|p| p.name == name)
+        .map(|p| p.description)
+}
+
+/// A builder primed with the named preset (customize, then `build()`).
+pub fn builder(name: &str) -> Result<ScenarioBuilder, ScenarioError> {
+    PRESETS
+        .iter()
+        .find(|p| p.name == name)
+        .map(|p| (p.build)().describe(p.description))
+        .ok_or_else(|| ScenarioError::UnknownPreset {
+            name: name.to_string(),
+            available: names(),
+        })
+}
+
+/// The named preset's validated spec.
+pub fn spec(name: &str) -> Result<ScenarioSpec, ScenarioError> {
+    builder(name)?.build()
+}
+
+// ---------------------------------------------------------------------------
+// Preset definitions
+// ---------------------------------------------------------------------------
+
+fn figure2() -> ScenarioBuilder {
+    ScenarioBuilder::new("figure2")
+        .strategies(Strategy::figure2_set())
+        .seeds(&[1, 2, 3, 4, 5, 6])
+}
+
+fn figure2_small() -> ScenarioBuilder {
+    ScenarioBuilder::new("figure2-small")
+        .strategies(Strategy::figure2_set())
+        .seeds(&[1, 2])
+        .tasks(8_000)
+        .scale_catalog(true)
+}
+
+fn playlist() -> ScenarioBuilder {
+    ScenarioBuilder::new("playlist")
+        .workload_kind(WorkloadKind::Playlist {
+            num_tracks: 200_000,
+            num_playlists: 20_000,
+            playlist_zipf: 0.8,
+        })
+        .tasks(50_000)
+        .strategies(vec![Strategy::c3(), Strategy::unif_incr_credits()])
+        .seeds(&[7])
+}
+
+fn degraded_node() -> ScenarioBuilder {
+    ScenarioBuilder::new("degraded-node")
+        .tasks(20_000)
+        .scale_catalog(true)
+        // Keep offered load feasible for the weakened cluster.
+        .load(0.6)
+        .degrade_server(0, 0.5)
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::c3(),
+            Strategy::equal_max_credits(),
+            Strategy::equal_max_model(),
+        ])
+        .seeds(&[1, 2])
+}
+
+fn transient_spike() -> ScenarioBuilder {
+    ScenarioBuilder::new("transient-spike")
+        .tasks(4_000)
+        .scale_catalog(true)
+        // Moderate utilization: spare capacity absorbs the hedge load.
+        .load(0.3)
+        // 1% of messages eat a 10-20ms in-network spike, far above the
+        // 5ms hedge trigger.
+        .spike(0.01, 10_000, 20_000)
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::Hedged {
+                selector: SelectorKind::Random,
+                delay_us: 5_000,
+            },
+            Strategy::equal_max_credits(),
+        ])
+        .seeds(&[9, 10, 11])
+}
+
+fn hedging_runaway() -> ScenarioBuilder {
+    ScenarioBuilder::new("hedging-runaway")
+        .tasks(8_000)
+        .scale_catalog(true)
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::LeastOutstanding,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::hedged_default(),
+        ])
+        // Near-median triggers hedge almost everything: every hedge adds
+        // load, which inflates latencies, which fires more hedges.
+        .sweep_hedge_delay_us(&[800, 2_000, 5_000, 20_000])
+        .seeds(&[1])
+}
+
+fn trace_replay() -> ScenarioBuilder {
+    ScenarioBuilder::new("trace-replay")
+        .tasks(5_000)
+        .scale_catalog(true)
+        .strategies(vec![Strategy::c3(), Strategy::equal_max_credits()])
+        .seeds(&[33])
+        .replay(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_validates_and_lowers() {
+        for name in names() {
+            let spec = spec(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, name);
+            assert!(!spec.description.is_empty(), "{name} has no description");
+            let cells = spec.lower().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!cells.is_empty());
+        }
+    }
+
+    #[test]
+    fn required_presets_exist() {
+        for required in [
+            "figure2",
+            "figure2-small",
+            "degraded-node",
+            "transient-spike",
+            "playlist",
+            "hedging-runaway",
+            "trace-replay",
+        ] {
+            assert!(names().contains(&required), "missing preset {required}");
+        }
+    }
+
+    #[test]
+    fn unknown_preset_lists_alternatives() {
+        match builder("no-such-scenario") {
+            Err(ScenarioError::UnknownPreset { name, available }) => {
+                assert_eq!(name, "no-such-scenario");
+                assert!(available.contains(&"figure2"));
+            }
+            other => panic!("expected UnknownPreset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hedging_runaway_sweeps_an_axis() {
+        let spec = spec("hedging-runaway").unwrap();
+        assert!(spec.sweep.num_cells() > 1);
+    }
+
+    #[test]
+    fn presets_round_trip_through_toml() {
+        for name in names() {
+            let spec = spec(name).unwrap();
+            let text = spec.to_toml().unwrap();
+            let back =
+                ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(
+                serde_json::to_string(&spec).unwrap(),
+                serde_json::to_string(&back).unwrap(),
+                "{name} drifted through TOML"
+            );
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The stable JSON-lines report format `brb-lab run` emits.
+//!
+//! Line 1 is a header object (schema tag, scenario name, run shape, and
+//! a full echo of the spec that produced the report — a report is
+//! self-describing and reproducible). Every following line is one
+//! (cell × strategy) record carrying the cell's axis values and the
+//! strategy's across-seed summary. The schema is pinned by a golden
+//! test and grepped in CI, like `BENCH_kernel.json`.
+
+use crate::runner::CellResult;
+use crate::spec::{CellAxes, ScenarioSpec};
+use brb_core::experiment::StrategySummary;
+use serde::Serialize;
+use std::io::{self, Write};
+
+/// The schema tag written into every report header.
+pub const REPORT_SCHEMA: &str = "brb-lab/report-v1";
+
+/// The report's first line.
+#[derive(Debug, Clone)]
+pub struct ReportHeader<'a> {
+    /// Schema tag ([`REPORT_SCHEMA`]).
+    pub schema: &'static str,
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// Grid cells in the report.
+    pub cells: usize,
+    /// Strategy display names, in spec order.
+    pub strategies: Vec<String>,
+    /// Seeds each strategy ran under.
+    pub seeds: &'a [u64],
+    /// The spec that produced this report.
+    pub spec: &'a ScenarioSpec,
+}
+
+/// One (cell × strategy) record.
+#[derive(Debug, Clone)]
+pub struct ReportLine<'a> {
+    /// Cell index in grid order.
+    pub cell: usize,
+    /// The axis values the cell ran at.
+    pub axes: CellAxes,
+    /// The strategy's across-seed summary (includes per-seed runs).
+    pub summary: &'a StrategySummary,
+}
+
+// The derive stand-in does not handle lifetime generics; the report
+// structs serialize by hand (key order here is the report schema).
+impl Serialize for ReportHeader<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("schema".into(), self.schema.to_value()),
+            ("scenario".into(), self.scenario.to_value()),
+            ("cells".into(), self.cells.to_value()),
+            ("strategies".into(), self.strategies.to_value()),
+            ("seeds".into(), self.seeds.to_value()),
+            ("spec".into(), self.spec.to_value()),
+        ])
+    }
+}
+
+impl Serialize for ReportLine<'_> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cell".into(), self.cell.to_value()),
+            ("axes".into(), self.axes.to_value()),
+            ("summary".into(), self.summary.to_value()),
+        ])
+    }
+}
+
+/// Writes the JSON-lines report for a completed scenario.
+pub fn write_jsonl<W: Write>(
+    spec: &ScenarioSpec,
+    results: &[CellResult],
+    mut w: W,
+) -> io::Result<()> {
+    let header = ReportHeader {
+        schema: REPORT_SCHEMA,
+        scenario: &spec.name,
+        cells: results.len(),
+        strategies: spec.strategies.iter().map(|s| s.name()).collect(),
+        seeds: &spec.seeds,
+        spec,
+    };
+    let line = serde_json::to_string(&header)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(w, "{line}")?;
+    for cell in results {
+        for summary in &cell.summaries {
+            let record = ReportLine {
+                cell: cell.index,
+                axes: cell.axes,
+                summary,
+            };
+            let line = serde_json::to_string(&record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// The report as a single string (testing and small runs).
+pub fn to_jsonl_string(spec: &ScenarioSpec, results: &[CellResult]) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(spec, results, &mut buf).expect("in-memory report write");
+    String::from_utf8(buf).expect("reports are UTF-8")
+}
+
+/// Renders results as a fixed-width human table (one row per
+/// cell × strategy), for the CLI's stderr companion output.
+pub fn render_table(results: &[CellResult]) -> String {
+    let mut rows: Vec<[String; 6]> = vec![[
+        "cell".into(),
+        "axes".into(),
+        "strategy".into(),
+        "median(ms)".into(),
+        "95th(ms)".into(),
+        "99th(ms)".into(),
+    ]];
+    for cell in results {
+        for s in &cell.summaries {
+            rows.push([
+                cell.index.to_string(),
+                axes_label(&cell.axes),
+                s.strategy.clone(),
+                format!("{:.2}±{:.2}", s.p50_ms.mean, s.p50_ms.stddev),
+                format!("{:.2}±{:.2}", s.p95_ms.mean, s.p95_ms.stddev),
+                format!("{:.2}±{:.2}", s.p99_ms.mean, s.p99_ms.stddev),
+            ]);
+        }
+    }
+    let mut widths = [0usize; 6];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (j, (cell, width)) in row.iter().zip(&widths).enumerate() {
+            if j > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.chars().count()..*width {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Compact `k=v` rendering of a cell's active axes (`-` when none).
+pub fn axes_label(axes: &CellAxes) -> String {
+    let mut parts = Vec::new();
+    if let Some(l) = axes.load {
+        parts.push(format!("load={l}"));
+    }
+    if let Some(f) = axes.mean_fanout {
+        parts.push(format!("fanout={f}"));
+    }
+    if let Some(d) = axes.hedge_delay_us {
+        parts.push(format!("hedge={d}us"));
+    }
+    if parts.is_empty() {
+        "-".into()
+    } else {
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use crate::runner::run_spec;
+    use brb_core::config::Strategy;
+
+    #[test]
+    fn report_shape() {
+        let spec = ScenarioBuilder::new("report-test")
+            .tasks(600)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+            .seeds(&[1])
+            .sweep_load(&[0.4, 0.6])
+            .build()
+            .unwrap();
+        let results = run_spec(&spec).unwrap();
+        let text = to_jsonl_string(&spec, &results);
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + 2 cells x 2 strategies.
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[0].contains(&format!("\"schema\":\"{REPORT_SCHEMA}\"")));
+        assert!(lines[0].contains("\"scenario\":\"report-test\""));
+        assert!(lines[0].contains("\"spec\":"));
+        for line in &lines[1..] {
+            assert!(line.contains("\"cell\":"));
+            assert!(line.contains("\"axes\":"));
+            assert!(line.contains("\"p99_ms\":"));
+        }
+        let table = render_table(&results);
+        assert_eq!(table.lines().count(), 1 + 1 + 4);
+        assert!(table.contains("load=0.4"));
+    }
+}

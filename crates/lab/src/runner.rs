@@ -1,0 +1,153 @@
+//! Executes lowered scenarios through the existing parallel multi-seed
+//! runner, one grid cell at a time.
+
+use crate::error::ScenarioError;
+use crate::spec::{CellAxes, ScenarioCell, ScenarioSpec};
+use brb_core::engine::EngineWorld;
+use brb_core::experiment::{
+    run_experiment_on_trace, run_strategies_multi_seed, RunResult, StrategySummary,
+};
+use brb_workload::Trace;
+
+/// The outcome of one grid cell: per-strategy summaries across seeds.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell index in grid order.
+    pub index: usize,
+    /// The axis values the cell ran at.
+    pub axes: CellAxes,
+    /// One summary per strategy, in spec order.
+    pub summaries: Vec<StrategySummary>,
+}
+
+/// Runs every cell of a validated spec. Cells run in spec order; within
+/// a cell the (strategy × seed) grid fans out across worker threads
+/// (`BRB_THREADS` overrides), byte-identical to a sequential run.
+pub fn run_spec(spec: &ScenarioSpec) -> Result<Vec<CellResult>, ScenarioError> {
+    run_spec_with_progress(spec, |_, _| {})
+}
+
+/// [`run_spec`] with a callback invoked before each cell runs
+/// (`(cell_index, num_cells)` — the CLI uses it for progress lines).
+pub fn run_spec_with_progress(
+    spec: &ScenarioSpec,
+    mut progress: impl FnMut(usize, usize),
+) -> Result<Vec<CellResult>, ScenarioError> {
+    let cells = spec.lower()?;
+    let num_cells = cells.len();
+    cells
+        .into_iter()
+        .map(|cell| {
+            progress(cell.index, num_cells);
+            let summaries = if spec.replay {
+                replay_cell(&cell)
+            } else {
+                run_strategies_multi_seed(&cell.base, &cell.strategies, &cell.seeds)
+            };
+            Ok(CellResult {
+                index: cell.index,
+                axes: cell.axes,
+                summaries,
+            })
+        })
+        .collect()
+}
+
+/// Record/replay mode: generate each seed's trace once, round-trip it
+/// through the JSONL wire format, and drive every strategy from the
+/// replayed bytes. Runs sequentially — the mode exists to exercise the
+/// production-trace path, not to win benchmarks.
+fn replay_cell(cell: &ScenarioCell) -> Vec<StrategySummary> {
+    // runs[strategy][seed], strategy-major like the sweep runner.
+    let mut runs: Vec<Vec<RunResult>> = cell.strategies.iter().map(|_| Vec::new()).collect();
+    for &seed in &cell.seeds {
+        let mut gen_cfg = cell.base.clone();
+        gen_cfg.seed = seed;
+        let trace = Trace::new(EngineWorld::generate_trace(&gen_cfg));
+        // The round trip is the point: replayed bytes, not shared memory.
+        let mut buf = Vec::new();
+        trace
+            .write_jsonl(&mut buf)
+            .expect("serialize trace to memory");
+        let replayed = Trace::read_jsonl(buf.as_slice()).expect("reparse serialized trace");
+        assert_eq!(
+            trace.len(),
+            replayed.len(),
+            "trace changed length through JSONL"
+        );
+        for (si, strategy) in cell.strategies.iter().enumerate() {
+            let cfg = cell.config_for(strategy.clone(), seed);
+            runs[si].push(run_experiment_on_trace(cfg, replayed.tasks.clone()));
+        }
+    }
+    runs.into_iter().map(StrategySummary::from_runs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use brb_core::config::Strategy;
+
+    fn tiny(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder::new(name)
+            .tasks(800)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+            .seeds(&[1])
+    }
+
+    #[test]
+    fn sweep_produces_a_result_per_cell() {
+        // Wide load gap + enough tasks that the p99 ordering is not a
+        // coin flip at this scale.
+        let spec = tiny("sweep")
+            .tasks(2_500)
+            .sweep_load(&[0.3, 0.8])
+            .build()
+            .unwrap();
+        let results = run_spec(&spec).unwrap();
+        assert_eq!(results.len(), 2);
+        for (i, cell) in results.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.summaries.len(), 2);
+            for s in &cell.summaries {
+                assert_eq!(s.runs.len(), 1);
+                assert!(s.p99_ms.mean >= s.p50_ms.mean);
+            }
+        }
+        // Higher load must not make the tail cheaper.
+        assert!(
+            results[1].summaries[0].p99_ms.mean > results[0].summaries[0].p99_ms.mean,
+            "p99 should grow with load"
+        );
+    }
+
+    #[test]
+    fn replay_mode_matches_generated_mode() {
+        // The same scenario with and without the JSONL round trip must
+        // produce identical numbers (replay is bit-faithful).
+        let direct = run_spec(&tiny("direct").build().unwrap()).unwrap();
+        let replayed = run_spec(&tiny("replayed").replay(true).build().unwrap()).unwrap();
+        for (d, r) in direct[0].summaries.iter().zip(&replayed[0].summaries) {
+            assert_eq!(d.strategy, r.strategy);
+            assert_eq!(
+                serde_json::to_string(&d.runs).unwrap(),
+                serde_json::to_string(&r.runs).unwrap(),
+                "replay diverged for {}",
+                d.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_cell() {
+        let spec = tiny("progress")
+            .sweep_load(&[0.3, 0.5, 0.7])
+            .build()
+            .unwrap();
+        let mut seen = Vec::new();
+        run_spec_with_progress(&spec, |i, n| seen.push((i, n))).unwrap();
+        assert_eq!(seen, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Golden pins for the spec layer:
+//!
+//! * the `figure2-small` preset's lowered `ExperimentConfig` (full JSON,
+//!   committed at `tests/golden/figure2_small_lowering.json`) — any
+//!   change to the paper constants, the catalog-shrink rule, or the
+//!   config serialization shows up as a diff against a reviewed file;
+//! * the JSON-lines `Report` schema — the exact key structure of the
+//!   header and record lines (CI additionally greps the emitted file,
+//!   like `BENCH_kernel.json`).
+
+use brb_core::config::Strategy;
+use brb_lab::{registry, report, runner, ScenarioBuilder, REPORT_SCHEMA};
+use serde::Value;
+
+const LOWERING_GOLDEN: &str = include_str!("golden/figure2_small_lowering.json");
+
+#[test]
+fn figure2_small_lowering_matches_golden_file() {
+    let spec = registry::spec("figure2-small").expect("registry preset");
+    let cells = spec.lower().expect("preset lowers");
+    assert_eq!(cells.len(), 1, "figure2-small is a single-cell scenario");
+    let rendered = serde_json::to_string_pretty(&cells[0].base).expect("serialize");
+    assert_eq!(
+        rendered.trim(),
+        LOWERING_GOLDEN.trim(),
+        "figure2-small lowering drifted from tests/golden/figure2_small_lowering.json — \
+         if the change is intentional, regenerate the golden file from this test's output"
+    );
+}
+
+/// Collects an object's keys in order; panics on non-objects.
+fn keys(v: &Value) -> Vec<&str> {
+    match v {
+        Value::Object(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn report_jsonl_schema_is_pinned() {
+    // A deliberately tiny sweep so the golden covers the axes echo.
+    let spec = ScenarioBuilder::new("schema-pin")
+        .tasks(300)
+        .scale_catalog(true)
+        .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+        .seeds(&[1])
+        .sweep_load(&[0.5, 0.7])
+        .build()
+        .expect("valid scenario");
+    let results = runner::run_spec(&spec).expect("scenario runs");
+    let text = report::to_jsonl_string(&spec, &results);
+    let mut lines = text.lines();
+
+    // Header line.
+    let header: Value = serde_json::from_str(lines.next().expect("header line")).unwrap();
+    assert_eq!(
+        keys(&header),
+        ["schema", "scenario", "cells", "strategies", "seeds", "spec"]
+    );
+    assert_eq!(
+        header.get("schema"),
+        Some(&Value::Str(REPORT_SCHEMA.into()))
+    );
+    assert_eq!(REPORT_SCHEMA, "brb-lab/report-v1");
+    let spec_echo = header.get("spec").expect("spec echo");
+    assert_eq!(
+        keys(spec_echo),
+        [
+            "name",
+            "description",
+            "cluster",
+            "workload",
+            "scale_catalog",
+            "strategies",
+            "seeds",
+            "faults",
+            "sweep",
+            "run",
+            "replay"
+        ]
+    );
+
+    // Record lines: one per (cell x strategy), stable key structure.
+    let records: Vec<Value> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert_eq!(records.len(), 2 * 2);
+    for record in &records {
+        assert_eq!(keys(record), ["cell", "axes", "summary"]);
+        assert_eq!(
+            keys(record.get("axes").unwrap()),
+            ["load", "mean_fanout", "hedge_delay_us"]
+        );
+        let summary = record.get("summary").unwrap();
+        assert_eq!(
+            keys(summary),
+            ["strategy", "runs", "p50_ms", "p95_ms", "p99_ms", "mean_ms"]
+        );
+        assert_eq!(keys(summary.get("p99_ms").unwrap()), ["mean", "stddev"]);
+        let runs = match summary.get("runs").unwrap() {
+            Value::Array(runs) => runs,
+            other => panic!("runs should be an array, got {other:?}"),
+        };
+        assert_eq!(
+            keys(&runs[0]),
+            [
+                "strategy",
+                "seed",
+                "task_latency_ms",
+                "request_latency_ms",
+                "hold_time_ms",
+                "utilization",
+                "completed_tasks",
+                "measured_tasks",
+                "sim_secs",
+                "events",
+                "dispatched",
+                "congestion_signals",
+                "demand_reports",
+                "hedges_issued",
+                "duplicate_responses"
+            ]
+        );
+    }
+}

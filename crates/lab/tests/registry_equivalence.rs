@@ -1,0 +1,75 @@
+//! The redesign must be invisible in the numbers: registry presets are
+//! data, but they lower to the exact `ExperimentConfig`s the deprecated
+//! constructors built — config-byte-identical, and therefore
+//! run-byte-identical (the engine is deterministic in its config).
+
+#![allow(deprecated)] // the old path is the reference under test
+
+use brb_core::config::{ExperimentConfig, Strategy};
+use brb_core::experiment::run_experiment;
+use brb_lab::registry;
+
+fn preset_config(
+    preset: &str,
+    tasks: Option<usize>,
+    strategy: Strategy,
+    seed: u64,
+) -> ExperimentConfig {
+    let mut b = registry::builder(preset).expect("registry preset");
+    if let Some(n) = tasks {
+        b = b.tasks(n);
+    }
+    b.build_config(strategy, seed).expect("valid scenario")
+}
+
+/// `figure2-small` lowers byte-identically to
+/// `ExperimentConfig::figure2_small` for every strategy, seed, and task
+/// count — including the catalog-shrink rule.
+#[test]
+fn figure2_small_preset_matches_deprecated_constructor() {
+    for tasks in [1usize, 100, 1_500, 8_000, 500_000] {
+        for (i, strategy) in Strategy::figure2_set().into_iter().enumerate() {
+            let seed = 7 * i as u64;
+            let old = ExperimentConfig::figure2_small(strategy.clone(), seed, tasks);
+            let new = preset_config("figure2-small", Some(tasks), strategy, seed);
+            assert_eq!(
+                serde_json::to_string(&old).unwrap(),
+                serde_json::to_string(&new).unwrap(),
+                "config drift at {tasks} tasks, seed {seed}"
+            );
+        }
+    }
+}
+
+/// `figure2` (full scale) lowers byte-identically to
+/// `ExperimentConfig::figure2`.
+#[test]
+fn figure2_preset_matches_deprecated_constructor() {
+    for (i, strategy) in Strategy::figure2_set().into_iter().enumerate() {
+        let seed = 100 + i as u64;
+        let old = ExperimentConfig::figure2(strategy.clone(), seed);
+        let new = preset_config("figure2", None, strategy, seed);
+        assert_eq!(
+            serde_json::to_string(&old).unwrap(),
+            serde_json::to_string(&new).unwrap(),
+            "full-scale config drift at seed {seed}"
+        );
+    }
+}
+
+/// End-to-end: the *results* of the pre-redesign path and the scenario
+/// path are byte-identical (serialized `RunResult`), not just the
+/// configs.
+#[test]
+fn figure2_small_preset_runs_byte_identically() {
+    for strategy in [Strategy::c3(), Strategy::equal_max_credits()] {
+        let old = run_experiment(ExperimentConfig::figure2_small(strategy.clone(), 42, 1_500));
+        let new = run_experiment(preset_config("figure2-small", Some(1_500), strategy, 42));
+        assert_eq!(
+            serde_json::to_string(&old).unwrap(),
+            serde_json::to_string(&new).unwrap(),
+            "run results diverged for {}",
+            old.strategy
+        );
+    }
+}

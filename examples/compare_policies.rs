@@ -1,13 +1,14 @@
 //! Every scheduling strategy on one workload: the paper's five plus the
 //! ablation policies (SJF, EDF, sub-task-granular UnifIncr) and selector
-//! baselines.
+//! baselines — expressed as one declarative scenario and run through the
+//! sweep pipeline.
 //!
 //! ```text
 //! cargo run --release --example compare_policies [-- --tasks N]
 //! ```
 
-use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
-use brb::core::experiment::run_experiment;
+use brb::core::config::{SelectorKind, Strategy};
+use brb::lab::{report, runner, ScenarioBuilder};
 use brb::sched::PolicyKind;
 
 fn main() {
@@ -56,23 +57,18 @@ fn main() {
         Strategy::hedged_default(),
     ];
 
+    let spec = ScenarioBuilder::new("compare-policies")
+        .describe("every strategy and ablation on the paper workload")
+        .tasks(num_tasks)
+        .scale_catalog(true)
+        .strategies(strategies)
+        .seeds(&[1])
+        .build()
+        .expect("valid scenario");
+
     println!("{num_tasks} tasks, paper cluster, seed 1 — lower is better\n");
-    println!(
-        "{:<36} {:>10} {:>10} {:>10} {:>6}",
-        "strategy", "median(ms)", "95th(ms)", "99th(ms)", "util"
-    );
-    for strategy in strategies {
-        let cfg = ExperimentConfig::figure2_small(strategy, 1, num_tasks);
-        let r = run_experiment(cfg);
-        println!(
-            "{:<36} {:>10.2} {:>10.2} {:>10.2} {:>5.0}%",
-            r.strategy,
-            r.task_latency_ms.p50,
-            r.task_latency_ms.p95,
-            r.task_latency_ms.p99,
-            r.utilization * 100.0
-        );
-    }
+    let results = runner::run_spec(&spec).expect("scenario runs");
+    print!("{}", report::render_table(&results));
     println!(
         "\nreading guide: 'X - Model' rows are unrealizable lower bounds; \
          'oracle+FIFO' isolates perfect replica selection without task-awareness."

@@ -7,11 +7,10 @@
 //!
 //! Builds the SoundCloud-substitute catalog (tracks with ETC-Pareto byte
 //! sizes, playlists with the calibrated fan-out mixture), inspects the
-//! generated trace, then shows how the same trace fares under
-//! task-oblivious C3 versus task-aware BRB.
+//! generated trace, then runs the registry's `playlist` scenario — the
+//! same trace structure under task-oblivious C3 versus task-aware BRB.
 
-use brb::core::config::{ExperimentConfig, Strategy, WorkloadKind};
-use brb::core::experiment::run_experiment;
+use brb::lab::{registry, runner};
 use brb::sim::RngFactory;
 use brb::workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
 
@@ -43,31 +42,31 @@ fn main() {
         stats.max_value_bytes
     );
 
-    // --- 2. Same workload, two schedulers. ---
-    println!("running C3 (task-oblivious) vs BRB UniformIncr-Credits (task-aware) ...\n");
-    let mut rows = Vec::new();
-    for strategy in [Strategy::c3(), Strategy::unif_incr_credits()] {
-        let mut cfg = ExperimentConfig::figure2_small(strategy, 7, 50_000);
-        cfg.workload.kind = WorkloadKind::Playlist {
-            num_tracks: 200_000,
-            num_playlists: 20_000,
-            playlist_zipf: 0.8,
-        };
-        let r = run_experiment(cfg);
-        rows.push(r);
-    }
+    // --- 2. Same workload shape, two schedulers: the `playlist` preset.
+    let spec = registry::spec("playlist").expect("registry preset");
+    println!(
+        "running {} ({} tasks) ...\n",
+        spec.strategies
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(" vs "),
+        spec.workload.num_tasks
+    );
+    let results = runner::run_spec(&spec).expect("scenario runs");
+    let summaries = &results[0].summaries;
 
     println!(
         "{:<24} {:>10} {:>10} {:>10}",
         "strategy", "median(ms)", "95th(ms)", "99th(ms)"
     );
-    for r in &rows {
+    for s in summaries {
         println!(
             "{:<24} {:>10.2} {:>10.2} {:>10.2}",
-            r.strategy, r.task_latency_ms.p50, r.task_latency_ms.p95, r.task_latency_ms.p99
+            s.strategy, s.p50_ms.mean, s.p95_ms.mean, s.p99_ms.mean
         );
     }
-    let speedup = rows[0].task_latency_ms.p99 / rows[1].task_latency_ms.p99;
+    let speedup = summaries[0].p99_ms.mean / summaries[1].p99_ms.mean;
     println!(
         "\ntask-awareness cuts the 99th percentile by {speedup:.2}x on this workload \
          (large fan-outs make the task tail-bound; BRB schedules around the bottleneck)"

@@ -4,18 +4,25 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds the paper's cluster (18 clients, 9 servers × 4 cores, 50 µs
-//! network) at reduced trace size, runs the practical BRB system
-//! (EqualMax priorities through the credits realization) and reports the
-//! percentile triple the paper plots.
+//! Pulls the `figure2-small` scenario from the registry (the paper's
+//! cluster — 18 clients, 9 servers × 4 cores, 50 µs network — at reduced
+//! trace size), runs the practical BRB system (EqualMax priorities
+//! through the credits realization) and reports the percentile triple
+//! the paper plots. The same scenario is available from the shell:
+//! `cargo run --release -p brb-lab -- run figure2-small`.
 
-use brb::core::config::{ExperimentConfig, Strategy};
+use brb::core::config::Strategy;
 use brb::core::experiment::run_experiment;
+use brb::lab::registry;
 
 fn main() {
     // One seeded run, 30k tasks (the full paper scale is 500k; see the
-    // figure2 binary in brb-bench for that).
-    let config = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 42, 30_000);
+    // `figure2` preset / binary for that).
+    let config = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(30_000)
+        .build_config(Strategy::equal_max_credits(), 42)
+        .expect("valid scenario");
     println!(
         "cluster : {} clients, {} servers x {} cores @ {:.0} req/s/core",
         config.cluster.num_clients,

@@ -7,10 +7,13 @@
 //!
 //! This is the workflow for driving the engine with a *production* trace:
 //! convert it to the JSONL task format (`brb::workload::Trace`) and hand
-//! it to `run_experiment_on_trace`.
+//! it to `run_experiment_on_trace`. The registry's `trace-replay`
+//! scenario (`brb-lab run trace-replay`) packages the same round trip
+//! in-memory; this example shows the on-disk version.
 
-use brb::core::config::{ExperimentConfig, Strategy};
+use brb::core::config::Strategy;
 use brb::core::experiment::run_experiment_on_trace;
+use brb::lab::registry;
 use brb::sim::RngFactory;
 use brb::workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
 use brb::workload::Trace;
@@ -54,7 +57,11 @@ fn main() {
         "strategy", "median(ms)", "95th(ms)", "99th(ms)"
     );
     for strategy in [Strategy::c3(), Strategy::equal_max_credits()] {
-        let cfg = ExperimentConfig::figure2_small(strategy, 2026, reloaded.len());
+        let cfg = registry::builder("figure2-small")
+            .expect("registry preset")
+            .tasks(reloaded.len())
+            .build_config(strategy, 2026)
+            .expect("valid scenario");
         let r = run_experiment_on_trace(cfg, reloaded.tasks.clone());
         println!(
             "{:<24} {:>10.2} {:>10.2} {:>10.2}",

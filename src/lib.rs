@@ -19,9 +19,11 @@
 //! | [`sched`] | `brb-sched` | EqualMax/UnifIncr policies, queues, credits |
 //! | [`select`] | `brb-select` | replica selection incl. the C3 baseline |
 //! | [`core`] | `brb-core` | the BRB engine and experiment runner |
+//! | [`lab`] | `brb-lab` | declarative scenarios: specs, builder, registry, reports |
 //! | [`rt`] | `brb-rt` | real-time threaded runtime |
 
 pub use brb_core as core;
+pub use brb_lab as lab;
 pub use brb_metrics as metrics;
 pub use brb_net as net;
 pub use brb_rt as rt;

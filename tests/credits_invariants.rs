@@ -3,7 +3,16 @@
 
 use brb::core::config::{ExperimentConfig, Strategy};
 use brb::core::experiment::run_experiment;
+use brb::lab::registry;
 use brb::sched::{CreditsConfig, PolicyKind};
+
+fn small(strategy: Strategy, seed: u64, tasks: usize) -> ExperimentConfig {
+    registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(tasks)
+        .build_config(strategy, seed)
+        .expect("valid scenario")
+}
 
 fn credits_cfg(adapt_secs: f64) -> Strategy {
     Strategy::Credits {
@@ -19,8 +28,7 @@ fn credits_cfg(adapt_secs: f64) -> Strategy {
 /// measurement windows, and grants are delivered each epoch.
 #[test]
 fn control_loop_traffic_scales_with_time() {
-    let cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 1, 25_000);
-    let r = run_experiment(cfg);
+    let r = run_experiment(small(Strategy::equal_max_credits(), 1, 25_000));
     // ~2.4s of virtual time → ≥20 measurement windows × 18 clients, minus
     // the tail after completion.
     assert!(
@@ -36,8 +44,7 @@ fn control_loop_traffic_scales_with_time() {
 /// floor and initial fair-share buckets guarantee progress.
 #[test]
 fn slow_controller_cannot_deadlock_the_system() {
-    let cfg = ExperimentConfig::figure2_small(credits_cfg(10.0), 2, 20_000);
-    let r = run_experiment(cfg);
+    let r = run_experiment(small(credits_cfg(10.0), 2, 20_000));
     assert_eq!(r.completed_tasks, 20_000);
 }
 
@@ -45,12 +52,8 @@ fn slow_controller_cannot_deadlock_the_system() {
 /// paper's 1s (sanity on the control loop's stability).
 #[test]
 fn fast_adaptation_remains_stable() {
-    let slow = run_experiment(ExperimentConfig::figure2_small(credits_cfg(1.0), 3, 20_000));
-    let fast = run_experiment(ExperimentConfig::figure2_small(
-        credits_cfg(0.25),
-        3,
-        20_000,
-    ));
+    let slow = run_experiment(small(credits_cfg(1.0), 3, 20_000));
+    let fast = run_experiment(small(credits_cfg(0.25), 3, 20_000));
     assert_eq!(fast.completed_tasks, slow.completed_tasks);
     assert!(
         fast.task_latency_ms.p99 < slow.task_latency_ms.p99 * 3.0,
@@ -65,8 +68,12 @@ fn fast_adaptation_remains_stable() {
 /// and congestion signals fire.
 #[test]
 fn overload_triggers_congestion_and_still_drains() {
-    let mut cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 4, 15_000);
-    cfg.workload.load = 1.2;
+    let cfg = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(15_000)
+        .load(1.2)
+        .build_config(Strategy::equal_max_credits(), 4)
+        .expect("valid scenario");
     let r = run_experiment(cfg);
     assert_eq!(r.completed_tasks, 15_000);
     assert!(

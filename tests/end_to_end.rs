@@ -4,11 +4,16 @@
 use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
 use brb::core::engine::EngineWorld;
 use brb::core::experiment::run_experiment;
+use brb::lab::registry;
 use brb::sched::PolicyKind;
 use brb::sim::Simulation;
 
 fn small(strategy: Strategy, seed: u64, tasks: usize) -> ExperimentConfig {
-    ExperimentConfig::figure2_small(strategy, seed, tasks)
+    registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(tasks)
+        .build_config(strategy, seed)
+        .expect("valid scenario")
 }
 
 /// Every strategy (paper five + representative ablations) completes all

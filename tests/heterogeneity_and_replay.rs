@@ -1,8 +1,9 @@
 //! Integration tests for the heterogeneity extension (per-server speed
-//! factors) and the trace-replay path.
+//! factors) and the trace-replay path, driven through the scenario API.
 
-use brb::core::config::{ExperimentConfig, SelectorKind, Strategy};
+use brb::core::config::{SelectorKind, Strategy};
 use brb::core::experiment::{run_experiment, run_experiment_on_trace};
+use brb::lab::{registry, ScenarioBuilder, ScenarioError};
 use brb::sched::PolicyKind;
 use brb::sim::RngFactory;
 use brb::workload::soundcloud::{SoundCloudConfig, SoundCloudModel};
@@ -13,9 +14,13 @@ use brb::workload::Trace;
 #[test]
 fn adaptive_strategies_absorb_a_slow_server() {
     let run = |strategy: Strategy| {
-        let mut cfg = ExperimentConfig::figure2_small(strategy, 11, 12_000);
-        cfg.cluster.server_speed_factors = vec![0.4]; // server 0 at 40%
-        cfg.workload.load = 0.6;
+        let cfg = ScenarioBuilder::new("slow-server")
+            .tasks(12_000)
+            .scale_catalog(true)
+            .load(0.6)
+            .degrade_server(0, 0.4)
+            .build_config(strategy, 11)
+            .expect("valid scenario");
         run_experiment(cfg)
     };
     let random = run(Strategy::Direct {
@@ -38,11 +43,18 @@ fn adaptive_strategies_absorb_a_slow_server() {
 /// cluster under the same seed (common random numbers).
 #[test]
 fn slow_server_costs_latency_under_common_random_numbers() {
-    let base = ExperimentConfig::figure2_small(Strategy::c3(), 21, 10_000);
-    let healthy = run_experiment(base.clone());
-    let mut degraded_cfg = base;
-    degraded_cfg.cluster.server_speed_factors = vec![0.4];
-    let degraded = run_experiment(degraded_cfg);
+    let base = |b: ScenarioBuilder| b.tasks(10_000).scale_catalog(true);
+    let healthy = run_experiment(
+        base(ScenarioBuilder::new("healthy"))
+            .build_config(Strategy::c3(), 21)
+            .expect("valid scenario"),
+    );
+    let degraded = run_experiment(
+        base(ScenarioBuilder::new("degraded"))
+            .degrade_server(0, 0.4)
+            .build_config(Strategy::c3(), 21)
+            .expect("valid scenario"),
+    );
     assert!(
         degraded.task_latency_ms.p99 > healthy.task_latency_ms.p99,
         "degraded {:.2} must exceed healthy {:.2}",
@@ -51,16 +63,66 @@ fn slow_server_costs_latency_under_common_random_numbers() {
     );
 }
 
-/// Config validation rejects nonsense speed factors.
+/// The builder rejects nonsense speed factors with *typed* errors —
+/// regression coverage for the silently-accepted shapes (too many
+/// factors, non-positive or non-finite entries).
 #[test]
-fn speed_factor_validation() {
-    let mut cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 100);
-    cfg.cluster.server_speed_factors = vec![0.0];
-    assert!(cfg.validate().is_err());
+fn speed_factor_validation_is_typed() {
+    let build = |factors: Vec<f64>| {
+        ScenarioBuilder::new("factors")
+            .tasks(100)
+            .scale_catalog(true)
+            .speed_factors(factors)
+            .build_config(Strategy::c3(), 1)
+    };
+    assert_eq!(
+        build(vec![0.0]).unwrap_err(),
+        ScenarioError::BadSpeedFactor {
+            server: 0,
+            speed: 0.0
+        }
+    );
+    assert_eq!(
+        build(vec![1.0, -2.0]).unwrap_err(),
+        ScenarioError::BadSpeedFactor {
+            server: 1,
+            speed: -2.0
+        }
+    );
+    assert_eq!(
+        build(vec![1.0, f64::INFINITY]).unwrap_err(),
+        ScenarioError::BadSpeedFactor {
+            server: 1,
+            speed: f64::INFINITY
+        }
+    );
+    assert!(matches!(
+        build(vec![f64::NAN]).unwrap_err(),
+        ScenarioError::BadSpeedFactor { server: 0, .. }
+    ));
+    // A factors vector longer than the cluster.
+    assert_eq!(
+        build(vec![1.0; 99]).unwrap_err(),
+        ScenarioError::SpeedFactorCount {
+            given: 99,
+            num_servers: 9
+        }
+    );
+    assert!(build(vec![0.5, 1.0, 2.0]).is_ok());
+
+    // The same shapes are also rejected by the core config layer (the
+    // path spec files lowered through before the builder existed).
+    let mut cfg = build(vec![]).unwrap();
+    cfg.cluster.server_speed_factors = vec![f64::INFINITY];
+    assert!(
+        cfg.validate().is_err(),
+        "core must reject non-finite factors"
+    );
     cfg.cluster.server_speed_factors = vec![1.0; 99];
-    assert!(cfg.validate().is_err());
-    cfg.cluster.server_speed_factors = vec![0.5, 1.0, 2.0];
-    assert!(cfg.validate().is_ok());
+    assert!(
+        cfg.validate().is_err(),
+        "core must reject oversized factor vectors"
+    );
 }
 
 /// A trace written to JSONL and read back replays bit-identically: the
@@ -84,7 +146,11 @@ fn replayed_trace_matches_generated_run() {
     let reloaded = Trace::read_jsonl(buf.as_slice()).unwrap();
     assert_eq!(trace, reloaded);
 
-    let cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 33, 5_000);
+    let cfg = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(5_000)
+        .build_config(Strategy::equal_max_credits(), 33)
+        .expect("valid scenario");
     let a = run_experiment_on_trace(cfg.clone(), trace.tasks);
     let b = run_experiment_on_trace(cfg, reloaded.tasks);
     assert_eq!(a.task_latency_ms.p99, b.task_latency_ms.p99);
@@ -115,6 +181,10 @@ fn replay_rejects_unordered_traces() {
             }],
         },
     ];
-    let cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 2);
+    let cfg = registry::builder("figure2-small")
+        .expect("registry preset")
+        .tasks(2)
+        .build_config(Strategy::c3(), 1)
+        .expect("valid scenario");
     let _ = run_experiment_on_trace(cfg, bad);
 }

@@ -2,8 +2,9 @@
 //! and workload shapes must preserve the engine's invariants for every
 //! realization.
 
-use brb::core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
+use brb::core::config::{SelectorKind, Strategy, WorkloadKind};
 use brb::core::experiment::run_experiment;
+use brb::lab::ScenarioBuilder;
 use brb::sched::PolicyKind;
 use brb::workload::FanoutDist;
 use proptest::prelude::*;
@@ -47,19 +48,22 @@ proptest! {
         replication in 1u32..4,
         fixed_fanout in 1u32..24,
     ) {
-        let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 400);
-        cfg.workload.load = load;
-        cfg.cluster.num_clients = clients;
-        cfg.cluster.num_servers = servers;
-        cfg.cluster.num_partitions = servers;
-        cfg.cluster.cores_per_server = cores;
-        cfg.cluster.replication = replication.min(servers);
-        cfg.workload.kind = WorkloadKind::Synthetic {
-            fanout: FanoutDist::Fixed(fixed_fanout),
-            num_keys: 20_000,
-            zipf_exponent: 0.9,
-        };
-        prop_assume!(cfg.validate().is_ok());
+        let cfg = ScenarioBuilder::new("system-props")
+            .tasks(400)
+            .load(load)
+            .clients(clients)
+            .servers(servers)
+            .partitions(servers)
+            .cores(cores)
+            .replication(replication.min(servers))
+            .workload_kind(WorkloadKind::Synthetic {
+                fanout: FanoutDist::Fixed(fixed_fanout),
+                num_keys: 20_000,
+                zipf_exponent: 0.9,
+            })
+            .build_config(strategy, seed);
+        prop_assume!(cfg.is_ok());
+        let cfg = cfg.unwrap();
 
         let r = run_experiment(cfg);
         prop_assert_eq!(r.completed_tasks, 400);
