@@ -1,7 +1,7 @@
 //! Kernel wall-clock benchmark: measures the simulation substrate end to
 //! end and writes `BENCH_kernel.json`.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! * **calendar** — the timer-wheel [`Calendar`] against the reference
 //!   [`HeapCalendar`] on a steady-state 1k-event window with engine-like
@@ -10,6 +10,12 @@
 //!   they replaced: ziggurat vs. Box–Muller standard normals, ziggurat
 //!   vs. inverse-CDF exponentials, and O(1) alias-table Zipf draws vs.
 //!   the old cumulative-table binary search.
+//! * **net** — the compiled `FabricPlan` fast path against the
+//!   per-message `Fabric::delay` slow path: per-hop resolution cost on
+//!   the paper's constant mesh, plus the same sequential sweep run once
+//!   per mode (`PlanMode::PerMessage` is the PR 3 network path, kept
+//!   callable precisely for this before/after and for the differential
+//!   tests).
 //! * **sweep** — a 3-strategy × 4-seed `figure2-small` preset sweep, sequential
 //!   vs. parallel ([`run_strategies_multi_seed_with_threads`]), with the
 //!   engine's own event counts folded into an events/second throughput
@@ -25,6 +31,7 @@ use brb_core::experiment::{
     StrategySummary,
 };
 use brb_lab::registry;
+use brb_net::{Fabric, FabricPlan, NetNodeId, PlanMode};
 use brb_sim::dist::{standard_exp, standard_exp_inv_cdf, standard_normal};
 use brb_sim::{BoxMuller, Calendar, DetRng, HeapCalendar, SimTime};
 use brb_workload::Zipf;
@@ -97,6 +104,34 @@ struct SweepRun {
     events_per_sec: f64,
 }
 
+/// Per-hop resolution cost: compiled plan vs. per-message fabric draw.
+#[derive(Debug, Serialize)]
+struct HopBench {
+    plan_ns: f64,
+    one_way_ns: f64,
+    /// one_way / plan (>1 means the compiled plan wins).
+    speedup: f64,
+}
+
+/// End-to-end network-path comparison: the same sequential sweep with
+/// the engine forced onto each path.
+#[derive(Debug, Serialize)]
+struct NetSweepBench {
+    /// Forced `Fabric::delay`-per-message build (the PR 3 path).
+    per_message_events_per_sec: f64,
+    /// Compiled `FabricPlan` + calendar hop lane (the default).
+    compiled_events_per_sec: f64,
+    /// compiled / per_message (>1 means the fast path wins).
+    speedup: f64,
+}
+
+/// The network fast-path section.
+#[derive(Debug, Serialize)]
+struct NetSection {
+    hop: HopBench,
+    sweep: NetSweepBench,
+}
+
 /// The end-to-end sweep section.
 #[derive(Debug, Serialize)]
 struct SweepSection {
@@ -118,6 +153,7 @@ struct SweepSection {
 struct KernelBench {
     calendar: CalendarSection,
     model: ModelSection,
+    net: NetSection,
     sweep: SweepSection,
 }
 
@@ -220,6 +256,33 @@ macro_rules! time_calendar {
     }};
 }
 
+/// Times the per-hop resolution paths on the paper's constant mesh.
+/// The fast path is what the engine executes per hop — reading the
+/// cached delta, no endpoint math at all — while the slow path rotates
+/// endpoints across the pair space so it cannot win by
+/// branch-predicting a single `(from, to)`.
+fn bench_hop() -> HopBench {
+    const DRAWS: u64 = 8_000_000;
+    const NODES: u64 = 28; // 18 clients + 9 servers + controller
+    let fabric = Fabric::paper_default();
+    let plan = FabricPlan::compile(fabric.clone(), NODES);
+    let uniform = plan.uniform_const().expect("constant mesh compiles");
+    let plan_ns = time_draws(7, DRAWS, |_| black_box(uniform).as_nanos() as f64);
+    let mut j = 0u64;
+    let mut rng2 = DetRng::seed_from_u64(8);
+    let one_way_ns = time_draws(8, DRAWS, |_| {
+        j += 1;
+        let from = NetNodeId::new(j % NODES);
+        let to = NetNodeId::new((j + 7) % NODES);
+        fabric.delay(from, to, 4_096, &mut rng2).as_nanos() as f64
+    });
+    HopBench {
+        plan_ns,
+        one_way_ns,
+        speedup: one_way_ns / plan_ns,
+    }
+}
+
 fn total_events(summaries: &[StrategySummary]) -> u64 {
     summaries
         .iter()
@@ -276,9 +339,42 @@ fn main() {
     let par_secs = start.elapsed().as_secs_f64();
     assert_eq!(total_events(&par_out), events, "parallel run diverged");
 
+    eprintln!("net: per-hop resolution, plan vs one_way...");
+    let hop = bench_hop();
+    eprintln!("net: the same sweep per network path (interleaved, best of 3)...");
+    // Interleave the two modes and keep each mode's minimum wall time:
+    // a single-shot A/B on a shared machine attributes scheduler noise
+    // to whichever mode the spike landed on, while minima compare the
+    // uncontended cost of each path.
+    let mut slow_base = base.clone();
+    slow_base.net = PlanMode::PerMessage;
+    let (mut slow_secs, mut fast_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let start = Instant::now();
+        let slow_out = run_strategies_multi_seed_sequential(&slow_base, &strategies, &seeds);
+        slow_secs = slow_secs.min(start.elapsed().as_secs_f64());
+        // The two network paths must be invisible in the results (the
+        // lab differential tests pin this per preset; cheap to
+        // re-assert here).
+        assert_eq!(total_events(&slow_out), events, "slow path diverged");
+        let start = Instant::now();
+        let fast_out = run_strategies_multi_seed_sequential(&base, &strategies, &seeds);
+        fast_secs = fast_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(total_events(&fast_out), events, "fast path diverged");
+    }
+    let net = NetSection {
+        hop,
+        sweep: NetSweepBench {
+            per_message_events_per_sec: events as f64 / slow_secs,
+            compiled_events_per_sec: events as f64 / fast_secs,
+            speedup: slow_secs / fast_secs,
+        },
+    };
+
     let doc = KernelBench {
         calendar: cal_section,
         model,
+        net,
         sweep: SweepSection {
             strategies: strategies.iter().map(|s| s.name()).collect(),
             seeds,
@@ -304,6 +400,8 @@ fn main() {
         "calendar: wheel {:.1} ns/op vs heap {:.1} ns/op ({:.2}x); \
          model: normal {:.1} vs {:.1} ns ({:.2}x), exp {:.1} vs {:.1} ns ({:.2}x), \
          zipf {:.1} vs {:.1} ns ({:.2}x); \
+         net: hop {:.2} vs {:.2} ns ({:.2}x), sweep {:.2}M ev/s compiled vs \
+         {:.2}M per-message ({:.2}x); \
          sweep: {:.2}s sequential vs {:.2}s parallel ({:.2}x on {} threads); \
          wrote BENCH_kernel.json",
         doc.calendar.wheel.ns_per_op,
@@ -318,6 +416,12 @@ fn main() {
         doc.model.zipf.alias_ns,
         doc.model.zipf.cdf_scan_ns,
         doc.model.zipf.speedup,
+        doc.net.hop.plan_ns,
+        doc.net.hop.one_way_ns,
+        doc.net.hop.speedup,
+        doc.net.sweep.compiled_events_per_sec / 1e6,
+        doc.net.sweep.per_message_events_per_sec / 1e6,
+        doc.net.sweep.speedup,
         doc.sweep.sequential.wall_secs,
         doc.sweep.parallel.wall_secs,
         doc.sweep.speedup,

@@ -1,11 +1,15 @@
 //! Experiment configuration: cluster, workload, strategy.
 //!
-//! [`ExperimentConfig::figure2`] encodes every constant §2.2 reports:
-//! 18 clients, 9 servers at 4 cores, 3 500 req/s per core, 50 µs one-way
-//! latency, ~500 k tasks at mean fan-out 8.6, ETC-Pareto value sizes,
-//! Poisson arrivals at 70% of capacity, 6 seeds.
+//! [`ClusterConfig::paper_default`] and [`WorkloadConfig::paper_default`]
+//! encode every constant §2.2 reports: 18 clients, 9 servers at 4 cores,
+//! 3 500 req/s per core, 50 µs one-way latency, ~500 k tasks at mean
+//! fan-out 8.6, ETC-Pareto value sizes, Poisson arrivals at 70% of
+//! capacity. Complete experiment descriptions are assembled by the
+//! `brb-lab` scenario layer (registry presets / `ScenarioBuilder`), the
+//! sole entry point since the deprecated `figure2*` constructors were
+//! removed.
 
-use brb_net::LatencyModel;
+use brb_net::{LatencyModel, PlanMode};
 use brb_sched::{CreditsConfig, PolicyKind};
 use brb_store::cost::ForecastQuality;
 use brb_store::service::{ServiceModel, ServiceNoise};
@@ -225,8 +229,10 @@ impl WorkloadConfig {
     /// Sets `num_tasks` and shrinks the key/catalog universe to match, so
     /// scaled-down runs keep a realistic key-reuse rate. The mapping is a
     /// function of `num_tasks` alone (not of the current catalog), so
-    /// re-applying it is idempotent — the scenario layer and the
-    /// (deprecated) `figure2_small` shim must produce identical configs.
+    /// re-applying it is idempotent — every path that scales a scenario
+    /// (the `brb-lab` `scale_catalog` lowering rule, core's own test
+    /// helper) must produce identical configs, pinned by the
+    /// `figure2-small` lowering golden.
     pub fn scale_to_tasks(&mut self, num_tasks: usize) {
         self.num_tasks = num_tasks;
         match &mut self.kind {
@@ -482,46 +488,42 @@ pub struct ExperimentConfig {
     /// nanoseconds of virtual time. `None` (the default) costs nothing.
     #[serde(default)]
     pub telemetry_interval_ns: Option<u64>,
+    /// How the engine computes per-message network delays: `Compiled`
+    /// (the default) timestamps through the precompiled
+    /// [`brb_net::FabricPlan`]; `PerMessage` forces the historical
+    /// `Fabric::delay`-per-message draw — the reference slow path the
+    /// differential tests and `kernel_bench` compare against. Results
+    /// are byte-identical either way (test-enforced).
+    #[serde(default)]
+    pub net: PlanMode,
+}
+
+/// The paper's harness constants around one (strategy, seed, task-count)
+/// cell — what the removed `figure2_small` shim built. Kept crate-local
+/// for core's own tests, which cannot depend on `brb-lab` (every
+/// external caller goes through the registry presets, test-enforced to
+/// lower to this exact configuration).
+#[cfg(test)]
+pub(crate) fn paper_small_config(
+    strategy: Strategy,
+    seed: u64,
+    num_tasks: usize,
+) -> ExperimentConfig {
+    let mut workload = WorkloadConfig::paper_default();
+    workload.scale_to_tasks(num_tasks);
+    ExperimentConfig {
+        cluster: ClusterConfig::paper_default(),
+        workload,
+        strategy,
+        seed,
+        warmup_fraction: 0.05,
+        congestion_queue_threshold: 96,
+        telemetry_interval_ns: None,
+        net: PlanMode::Compiled,
+    }
 }
 
 impl ExperimentConfig {
-    /// The full Figure 2 configuration for one strategy and seed.
-    ///
-    /// Deprecated shim: scenarios are now described declaratively — use
-    /// the `brb-lab` crate's `figure2` registry preset (or its
-    /// `ScenarioBuilder`), which lowers to this exact configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the brb-lab `figure2` registry preset / ScenarioBuilder"
-    )]
-    pub fn figure2(strategy: Strategy, seed: u64) -> Self {
-        ExperimentConfig {
-            cluster: ClusterConfig::paper_default(),
-            workload: WorkloadConfig::paper_default(),
-            strategy,
-            seed,
-            warmup_fraction: 0.05,
-            congestion_queue_threshold: 96,
-            telemetry_interval_ns: None,
-        }
-    }
-
-    /// A scaled-down Figure 2 (fewer tasks) for tests and quick runs.
-    ///
-    /// Deprecated shim: use the `brb-lab` `figure2-small` registry preset
-    /// (with `.tasks(n)` on its builder), which is test-enforced to lower
-    /// to this exact configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the brb-lab `figure2-small` registry preset / ScenarioBuilder"
-    )]
-    pub fn figure2_small(strategy: Strategy, seed: u64, num_tasks: usize) -> Self {
-        #[allow(deprecated)]
-        let mut cfg = Self::figure2(strategy, seed);
-        cfg.workload.scale_to_tasks(num_tasks);
-        cfg
-    }
-
     /// Validates the whole configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.cluster.validate()?;
@@ -544,9 +546,6 @@ impl ExperimentConfig {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated figure2* shims are still under test until removal.
-    #![allow(deprecated)]
-
     use super::*;
 
     #[test]
@@ -593,15 +592,17 @@ mod tests {
     }
 
     #[test]
-    fn figure2_config_validates() {
+    fn paper_scale_config_validates() {
         for s in Strategy::figure2_set() {
-            assert!(ExperimentConfig::figure2(s, 1).validate().is_ok());
+            let mut cfg = paper_small_config(s, 1, 1_000);
+            cfg.workload = WorkloadConfig::paper_default();
+            assert!(cfg.validate().is_ok());
         }
     }
 
     #[test]
     fn small_config_shrinks_keyspace() {
-        let cfg = ExperimentConfig::figure2_small(Strategy::c3(), 1, 100);
+        let cfg = paper_small_config(Strategy::c3(), 1, 100);
         assert_eq!(cfg.workload.num_tasks, 100);
         match cfg.workload.kind {
             WorkloadKind::Playlist {
@@ -616,9 +617,8 @@ mod tests {
         }
         assert!(cfg.validate().is_ok());
 
-        let mut synth = ExperimentConfig::figure2(Strategy::c3(), 1);
-        synth.workload = WorkloadConfig::paper_synthetic();
-        match synth.workload.kind {
+        let synth = WorkloadConfig::paper_synthetic();
+        match synth.kind {
             WorkloadKind::Synthetic { num_keys, .. } => assert_eq!(num_keys, 1_000_000),
             _ => panic!("unexpected kind"),
         }
@@ -626,26 +626,40 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let mut cfg = ExperimentConfig::figure2(Strategy::c3(), 1);
+        let mut cfg = paper_small_config(Strategy::c3(), 1, 1_000);
         cfg.cluster.replication = 99;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = ExperimentConfig::figure2(Strategy::c3(), 1);
+        let mut cfg = paper_small_config(Strategy::c3(), 1, 1_000);
         cfg.workload.load = 0.0;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = ExperimentConfig::figure2(Strategy::c3(), 1);
+        let mut cfg = paper_small_config(Strategy::c3(), 1, 1_000);
         cfg.warmup_fraction = 0.95;
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn configs_serialize_round_trip() {
-        let cfg = ExperimentConfig::figure2(Strategy::equal_max_credits(), 3);
+        let cfg = paper_small_config(Strategy::equal_max_credits(), 3, 500);
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.seed, 3);
         assert_eq!(back.strategy.name(), "EqualMax - Credits");
+        assert_eq!(back.net, PlanMode::Compiled);
+    }
+
+    #[test]
+    fn net_mode_defaults_to_compiled_on_old_configs() {
+        // Configs serialized before the `net` field existed (and spec
+        // files that omit it) must deserialize to the fast path.
+        let mut cfg = paper_small_config(Strategy::c3(), 1, 100);
+        cfg.net = PlanMode::PerMessage;
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace(",\"net\":\"PerMessage\"", "");
+        assert_ne!(json, stripped, "net field missing from serialization");
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.net, PlanMode::Compiled);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::slab::Slab;
 use crate::task::TaskBuilder;
 use crate::timeline::{Timeline, TimelineSample};
 use brb_metrics::Histogram;
-use brb_net::{Fabric, NetNodeId};
+use brb_net::{Fabric, FabricPlan, NetNodeId};
 use brb_sched::{
     CreditBucket, CreditController, CreditsConfig, GlobalQueue, GrantTable, PolicyKind, Priority,
     PriorityQueue, RequestQueue,
@@ -246,7 +246,14 @@ pub struct EngineWorld {
     ring: Ring,
     cost: CostModel,
     service: ServiceModel,
-    fabric: Fabric,
+    /// The fabric compiled into per-hop deltas (`cfg.net` selects the
+    /// compiled fast path or the forced per-message slow path).
+    plan: FabricPlan,
+    /// Cached `plan.uniform_const()`: on the paper's constant mesh every
+    /// send path timestamps with this single add — no node-id math, no
+    /// model resolution, no RNG touch — and `prime` feeds the same delta
+    /// to the calendar's hop lane.
+    hop_const: Option<SimDuration>,
     latency_rng: DetRng,
     group_replicas: Vec<Vec<ServerId>>,
 
@@ -414,6 +421,10 @@ impl EngineWorld {
         let cost = CostModel::new(service, cluster.forecast);
 
         let fabric = Fabric::uniform(cluster.latency.clone());
+        // Clients, servers and the controller each get a fabric node.
+        let num_nodes = cluster.num_clients as u64 + cluster.num_servers as u64 + 1;
+        let plan = FabricPlan::with_mode(fabric, num_nodes, cfg.net);
+        let hop_const = plan.uniform_const();
         let num_groups = ring.num_groups() as usize;
         let group_replicas: Vec<Vec<ServerId>> = (0..num_groups)
             .map(|g| ring.replicas_of_group(GroupId::new(g as u64)))
@@ -540,7 +551,8 @@ impl EngineWorld {
             ring,
             cost,
             service,
-            fabric,
+            plan,
+            hop_const,
             latency_rng: factory.stream("latency"),
             group_replicas,
             trace,
@@ -570,10 +582,12 @@ impl EngineWorld {
         }
     }
 
-    /// Seeds the calendar: first task arrival plus, for credits, the
-    /// measurement and adaptation tick chains.
+    /// Seeds the calendar — first task arrival plus, for credits, the
+    /// measurement and adaptation tick chains — and, on a constant mesh,
+    /// declares the calendar's hop lane at the plan's precomputed delta
+    /// so every network hop bypasses the timer wheel.
     pub fn prime(sim: &mut brb_sim::Simulation<EngineWorld>) {
-        let (first_arrival, ticks, telemetry) = {
+        let (first_arrival, ticks, telemetry, hop_const) = {
             let w = sim.world();
             let first = w.trace.first().map(|t| t.arrival_ns);
             let ticks = match &w.realization {
@@ -582,8 +596,11 @@ impl EngineWorld {
                 }
                 _ => None,
             };
-            (first, ticks, w.cfg.telemetry_interval_ns)
+            (first, ticks, w.cfg.telemetry_interval_ns, w.hop_const)
         };
+        if let Some(delta) = hop_const {
+            sim.set_hop_lane(delta);
+        }
         if let Some(at) = first_arrival {
             sim.schedule_at(SimTime::from_nanos(at), Ev::TaskArrive(0));
         }
@@ -660,8 +677,40 @@ impl EngineWorld {
 
     // ---- internals ----
 
-    fn one_way(&mut self, from: NetNodeId, to: NetNodeId, bytes: u64) -> SimDuration {
-        self.fabric.delay(from, to, bytes, &mut self.latency_rng)
+    /// Samples the one-way delay of one message-class hop through the
+    /// compiled plan. On a constant mesh this is the cached delta — the
+    /// endpoints are never even resolved to fabric nodes; jittered
+    /// meshes (and `PlanMode::PerMessage` builds) resolve the endpoints
+    /// and draw through the latency model exactly as the historical
+    /// `Fabric::one_way` path did.
+    #[inline]
+    fn hop_delay(&mut self, hop: Hop, bytes: u64) -> SimDuration {
+        if let Some(d) = self.hop_const {
+            return d;
+        }
+        let (from, to) = self.hop_nodes(hop);
+        self.plan.delay(from, to, bytes, &mut self.latency_rng)
+    }
+
+    /// Resolves a message-class hop to its directed fabric endpoints.
+    fn hop_nodes(&self, hop: Hop) -> (NetNodeId, NetNodeId) {
+        match hop {
+            Hop::ClientToServer { client, server } => {
+                (self.client_node(client), self.server_node(server))
+            }
+            Hop::ServerToClient { server, client } => {
+                (self.server_node(server), self.client_node(client))
+            }
+            Hop::ClientToController { client } => {
+                (self.client_node(client), self.controller_node())
+            }
+            Hop::ControllerToClient { client } => {
+                (self.controller_node(), self.client_node(client))
+            }
+            Hop::ServerToController { server } => {
+                (self.server_node(server), self.controller_node())
+            }
+        }
     }
 
     fn client_node(&self, c: u16) -> NetNodeId {
@@ -788,9 +837,11 @@ impl EngineWorld {
                             self.hold_time
                                 .record(now_ns - self.tasks[head.task_idx as usize].arrival_ns);
                         }
-                        let delay = self.one_way(
-                            self.client_node(client),
-                            self.server_node(server.raw() as u16),
+                        let delay = self.hop_delay(
+                            Hop::ClientToServer {
+                                client,
+                                server: server.raw() as u16,
+                            },
                             head.value_bytes as u64,
                         );
                         ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, id));
@@ -814,9 +865,11 @@ impl EngineWorld {
                         }
                         // The request still crosses the network to reach
                         // the (magic) shared queue.
-                        let delay = self.one_way(
-                            self.client_node(client),
-                            self.server_node(self.group_replicas[g][0].raw() as u16),
+                        let delay = self.hop_delay(
+                            Hop::ClientToServer {
+                                client,
+                                server: self.group_replicas[g][0].raw() as u16,
+                            },
                             head.value_bytes as u64,
                         );
                         ctx.schedule_in(delay, Ev::ReqAtGlobal(id));
@@ -973,7 +1026,7 @@ impl EngineWorld {
         };
         if congested {
             self.counters.congestion_signals += 1;
-            let delay = self.one_way(self.server_node(server), self.controller_node(), 64);
+            let delay = self.hop_delay(Hop::ServerToController { server }, 64);
             ctx.schedule_in(delay, Ev::CongestionAtController(server));
         }
         self.start_service(ctx, server);
@@ -1009,9 +1062,11 @@ impl EngineWorld {
             srv.served += 1;
             srv.queue.len() as u32
         };
-        let delay = self.one_way(
-            self.server_node(server),
-            self.client_node(req.client),
+        let delay = self.hop_delay(
+            Hop::ServerToClient {
+                server,
+                client: req.client,
+            },
             req.value_bytes as u64,
         );
         ctx.schedule_in(delay, Ev::RespAtClient(id, server, queue_len, service_ns));
@@ -1196,9 +1251,11 @@ impl EngineWorld {
                 cs.hedged_total += 1;
                 self.counters.hedges_issued += 1;
                 self.counters.dispatched += 1;
-                let delay = self.one_way(
-                    self.client_node(req.client),
-                    self.server_node(server.raw() as u16),
+                let delay = self.hop_delay(
+                    Hop::ClientToServer {
+                        client: req.client,
+                        server: server.raw() as u16,
+                    },
                     dup.value_bytes as u64,
                 );
                 ctx.schedule_in(delay, Ev::ReqAtServer(server.raw() as u16, dup_id));
@@ -1257,7 +1314,7 @@ impl EngineWorld {
                 self.recycle_payload(demands);
             } else {
                 let payload = self.payloads.insert(demands);
-                let delay = self.one_way(self.client_node(c as u16), self.controller_node(), 256);
+                let delay = self.hop_delay(Hop::ClientToController { client: c as u16 }, 256);
                 ctx.schedule_in(delay, Ev::DemandAtController(c as u16, payload));
             }
         }
@@ -1295,7 +1352,7 @@ impl EngineWorld {
             let replacement = self.take_payload();
             let grant = std::mem::replace(&mut self.grant_scratch[c], replacement);
             let payload = self.payloads.insert(grant);
-            let delay = self.one_way(self.controller_node(), self.client_node(c as u16), 256);
+            let delay = self.hop_delay(Hop::ControllerToClient { client: c as u16 }, 256);
             ctx.schedule_in(delay, Ev::GrantAtClient(c as u16, payload));
         }
         if !self.finished {
@@ -1329,6 +1386,25 @@ enum Admission {
     Dispatch(ServerId),
     ToGlobal,
     Denied { retry_in_ns: u64 },
+}
+
+/// The engine's message classes: every directed hop a message can take
+/// across the fabric, by role. `hop_delay` resolves a class to concrete
+/// fabric endpoints only when the mesh actually needs per-pair
+/// resolution — constant meshes never touch the node-id math.
+#[derive(Debug, Clone, Copy)]
+enum Hop {
+    /// Request dispatch (original or hedge duplicate), value bytes on
+    /// the wire.
+    ClientToServer { client: u16, server: u16 },
+    /// Response back to the owning client, value bytes on the wire.
+    ServerToClient { server: u16, client: u16 },
+    /// Demand report to the credits controller (~256 B).
+    ClientToController { client: u16 },
+    /// Grant delivery from the credits controller (~256 B).
+    ControllerToClient { client: u16 },
+    /// Congestion signal to the credits controller (~64 B).
+    ServerToController { server: u16 },
 }
 
 impl World for EngineWorld {
@@ -1380,14 +1456,12 @@ impl World for EngineWorld {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated figure2* shims are still under test until removal.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::config::paper_small_config;
     use brb_sim::Simulation;
 
     fn run(strategy: Strategy, seed: u64, tasks: usize) -> Simulation<EngineWorld> {
-        let cfg = ExperimentConfig::figure2_small(strategy, seed, tasks);
+        let cfg = paper_small_config(strategy, seed, tasks);
         let world = EngineWorld::new(cfg);
         let mut sim = Simulation::new(world);
         EngineWorld::prime(&mut sim);
@@ -1508,7 +1582,7 @@ mod tests {
 
     #[test]
     fn telemetry_samples_when_enabled() {
-        let mut cfg = ExperimentConfig::figure2_small(Strategy::equal_max_credits(), 4, 2_000);
+        let mut cfg = paper_small_config(Strategy::equal_max_credits(), 4, 2_000);
         cfg.telemetry_interval_ns = Some(10_000_000); // 10ms
         let world = EngineWorld::new(cfg);
         let mut sim = Simulation::new(world);
@@ -1601,7 +1675,7 @@ mod tests {
     #[test]
     fn hedging_absorbs_transient_latency_spikes() {
         let run_with_spikes = |strategy: Strategy, seed: u64| {
-            let mut cfg = ExperimentConfig::figure2_small(strategy, seed, 4_000);
+            let mut cfg = paper_small_config(strategy, seed, 4_000);
             cfg.workload.load = 0.3;
             // 1% of messages eat a 10–20ms in-network spike — far above
             // the 5ms hedge trigger, so spiked requests get re-issued.

@@ -343,14 +343,11 @@ fn summarize(results: Vec<RunResult>, seeds_per_strategy: usize) -> Vec<Strategy
 
 #[cfg(test)]
 mod tests {
-    // The deprecated figure2* shims are still under test until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::config::Strategy;
 
     fn small(strategy: Strategy, seed: u64) -> ExperimentConfig {
-        ExperimentConfig::figure2_small(strategy, seed, 1_500)
+        crate::config::paper_small_config(strategy, seed, 1_500)
     }
 
     #[test]

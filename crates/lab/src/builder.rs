@@ -9,7 +9,7 @@
 use crate::error::ScenarioError;
 use crate::spec::{DegradedServer, FaultSpec, RunSpec, ScenarioSpec, SpikeFault, SweepSpec};
 use brb_core::config::{ClusterConfig, ExperimentConfig, Strategy, WorkloadConfig, WorkloadKind};
-use brb_net::LatencyModel;
+use brb_net::{LatencyModel, PlanMode};
 use brb_store::cost::ForecastQuality;
 
 /// Builds a [`ScenarioSpec`] from the paper's defaults outward.
@@ -246,6 +246,15 @@ impl ScenarioBuilder {
     /// Enables periodic telemetry snapshots (ns of virtual time).
     pub fn telemetry_interval_ns(mut self, interval: Option<u64>) -> Self {
         self.spec.run.telemetry_interval_ns = interval;
+        self
+    }
+
+    /// Selects how the engine resolves network delays: the compiled
+    /// `FabricPlan` fast path (default) or the forced per-message draw.
+    /// The differential test harness flips this to prove the two paths
+    /// produce byte-identical results.
+    pub fn net(mut self, mode: PlanMode) -> Self {
+        self.spec.run.net = mode;
         self
     }
 

@@ -9,7 +9,7 @@
 
 use crate::error::ScenarioError;
 use brb_core::config::{ClusterConfig, ExperimentConfig, Strategy, WorkloadConfig, WorkloadKind};
-use brb_net::LatencyModel;
+use brb_net::{LatencyModel, PlanMode};
 use brb_workload::FanoutDist;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -98,6 +98,13 @@ pub struct RunSpec {
     /// Telemetry snapshot interval (ns of virtual time); `None` = off.
     #[serde(default)]
     pub telemetry_interval_ns: Option<u64>,
+    /// Network delay resolution: `Compiled` (default) timestamps hops
+    /// through the precompiled `FabricPlan`; `PerMessage` forces the
+    /// per-message fabric draw — the differential-testing slow path.
+    /// Results are byte-identical either way (test-enforced), so spec
+    /// files only ever set this to pin down a regression.
+    #[serde(default)]
+    pub net: PlanMode,
 }
 
 impl Default for RunSpec {
@@ -107,6 +114,7 @@ impl Default for RunSpec {
             warmup_fraction: 0.05,
             congestion_queue_threshold: 96,
             telemetry_interval_ns: None,
+            net: PlanMode::Compiled,
         }
     }
 }
@@ -279,6 +287,7 @@ impl ScenarioSpec {
                 warmup_fraction: self.run.warmup_fraction,
                 congestion_queue_threshold: self.run.congestion_queue_threshold,
                 telemetry_interval_ns: self.run.telemetry_interval_ns,
+                net: self.run.net,
             };
             // Everything the typed checks above did not cover (service
             // rates, latency parameters, credits tuning, ...) still goes

@@ -20,11 +20,20 @@ fn figure2_small_lowering_matches_golden_file() {
     let cells = spec.lower().expect("preset lowers");
     assert_eq!(cells.len(), 1, "figure2-small is a single-cell scenario");
     let rendered = serde_json::to_string_pretty(&cells[0].base).expect("serialize");
+    if std::env::var_os("BRB_BLESS").is_some() {
+        // Deliberate regeneration: `BRB_BLESS=1 cargo test -p brb-lab`.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/figure2_small_lowering.json"
+        );
+        std::fs::write(path, format!("{}\n", rendered.trim())).expect("bless golden file");
+        return;
+    }
     assert_eq!(
         rendered.trim(),
         LOWERING_GOLDEN.trim(),
         "figure2-small lowering drifted from tests/golden/figure2_small_lowering.json — \
-         if the change is intentional, regenerate the golden file from this test's output"
+         if the change is intentional, regenerate with BRB_BLESS=1"
     );
 }
 

@@ -1,0 +1,88 @@
+//! Fast-path/slow-path differential: the compiled `FabricPlan` network
+//! path must be *invisible in the results*.
+//!
+//! For every registry preset, every lowered cell, every strategy and
+//! three seeds, the same run executes twice — once through the compiled
+//! plan (`PlanMode::Compiled`, the default: precomputed hop deltas plus
+//! the calendar's fixed-delta hop lane) and once through the forced
+//! per-message build (`PlanMode::PerMessage`, the historical
+//! `Fabric::delay`-per-message draw) — and the serialized `RunResult`s
+//! must match byte for byte. That covers latencies at full float
+//! precision, event counts, and every counter: any divergence in event
+//! order, RNG consumption or delay arithmetic between the two paths
+//! fails here instead of silently shifting tail-latency numbers
+//! (TailBench++'s lesson: results are only as trustworthy as the
+//! harness that pins them).
+//!
+//! Constant-mesh presets exercise the real fast path; jittered meshes
+//! (`transient-spike`) compile to the sampling fallback and prove the
+//! fallback consumes the RNG identically.
+
+use brb_core::experiment::run_experiment;
+use brb_lab::{registry, ScenarioBuilder};
+use brb_net::PlanMode;
+
+/// Small but non-trivial: enough tasks that every machinery path runs
+/// (hedging budgets, credit adaptation ticks, warm-up trimming).
+const TASKS: usize = 300;
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+fn lowered(preset: &str, mode: PlanMode) -> Vec<brb_lab::ScenarioCell> {
+    let spec = ScenarioBuilder::from_spec(registry::spec(preset).expect("registry preset"))
+        .tasks(TASKS)
+        .scale_catalog(true)
+        .seeds(&SEEDS)
+        .net(mode)
+        .build()
+        .unwrap_or_else(|e| panic!("{preset}: {e}"));
+    spec.lower().unwrap_or_else(|e| panic!("{preset}: {e}"))
+}
+
+#[test]
+fn every_preset_runs_byte_identically_on_both_net_paths() {
+    for preset in registry::names() {
+        let fast_cells = lowered(preset, PlanMode::Compiled);
+        let slow_cells = lowered(preset, PlanMode::PerMessage);
+        assert_eq!(fast_cells.len(), slow_cells.len(), "{preset} cell grid");
+        for (fast, slow) in fast_cells.iter().zip(&slow_cells) {
+            assert_eq!(fast.strategies.len(), slow.strategies.len());
+            for strategy in &fast.strategies {
+                for &seed in &fast.seeds {
+                    let f = run_experiment(fast.config_for(strategy.clone(), seed));
+                    let s = run_experiment(slow.config_for(strategy.clone(), seed));
+                    let fj = serde_json::to_string(&f).expect("serialize fast run");
+                    let sj = serde_json::to_string(&s).expect("serialize slow run");
+                    assert_eq!(
+                        fj,
+                        sj,
+                        "net paths diverged: preset {preset}, cell {}, strategy {}, seed {seed}",
+                        fast.index,
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The two modes must lower to configs that differ *only* in the `net`
+/// field — the differential above compares the runs, this pins that the
+/// harness really flipped just the one switch.
+#[test]
+fn net_mode_is_the_only_config_difference() {
+    for preset in registry::names() {
+        let fast = lowered(preset, PlanMode::Compiled);
+        let slow = lowered(preset, PlanMode::PerMessage);
+        for (f, s) in fast.iter().zip(&slow) {
+            let mut slow_base = s.base.clone();
+            assert_eq!(slow_base.net, PlanMode::PerMessage, "{preset}");
+            assert_eq!(f.base.net, PlanMode::Compiled, "{preset}");
+            slow_base.net = PlanMode::Compiled;
+            assert_eq!(
+                serde_json::to_string(&f.base).unwrap(),
+                serde_json::to_string(&slow_base).unwrap(),
+                "{preset}: cells differ beyond the net mode"
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden seed-stability hashes for whole engine runs.
+//!
+//! `dist_golden.rs` (in `brb-sim`) pins the *samplers*; this file pins
+//! the *system*: for every registry preset, every lowered cell, every
+//! strategy and three seeds, the serialized `RunResult` is folded into
+//! a 64-bit FNV-1a hash and compared against
+//! `tests/golden/run_hashes.json`. Any engine, scheduler, network or
+//! workload refactor that changes any output bit — a latency
+//! percentile, an event count, a counter — fails here and must be a
+//! deliberate, reviewed regeneration (`BRB_BLESS=1 cargo test -p
+//! brb-lab --test run_golden`) instead of a silent drift.
+//!
+//! The committed hashes were produced on x86-64 Linux. The simulation
+//! is deterministic in its config, but a few model paths round through
+//! libm (`exp` in the log-normal service noise); a port with a
+//! divergent libm that trips these should regenerate deliberately, as
+//! `dist_golden.rs` documents for the ziggurat wedge draws.
+
+use brb_core::experiment::run_experiment;
+use brb_lab::{registry, ScenarioBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One pinned run: `preset/cellN/strategy/seedS` → FNV-1a of the
+/// serialized `RunResult`.
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenEntry {
+    key: String,
+    hash: String,
+}
+
+const TASKS: usize = 300;
+const SEEDS: [u64; 3] = [1, 2, 3];
+const GOLDEN: &str = include_str!("golden/run_hashes.json");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_hashes.json");
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Runs the whole preset × cell × strategy × seed grid and returns
+/// `"preset/cellN/strategy/seedS" → hash` in deterministic order.
+fn compute_hashes() -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for preset in registry::names() {
+        let spec = ScenarioBuilder::from_spec(registry::spec(preset).expect("registry preset"))
+            .tasks(TASKS)
+            .scale_catalog(true)
+            .seeds(&SEEDS)
+            .build()
+            .unwrap_or_else(|e| panic!("{preset}: {e}"));
+        for cell in spec.lower().unwrap_or_else(|e| panic!("{preset}: {e}")) {
+            for strategy in &cell.strategies {
+                for &seed in &cell.seeds {
+                    let result = run_experiment(cell.config_for(strategy.clone(), seed));
+                    let json = serde_json::to_string(&result).expect("serialize run");
+                    let key = format!("{preset}/cell{}/{}/seed{seed}", cell.index, strategy.name());
+                    let prev = out.insert(key.clone(), format!("{:#018x}", fnv1a(json.as_bytes())));
+                    assert!(prev.is_none(), "duplicate golden key {key}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn preset_runs_match_golden_hashes() {
+    let got = compute_hashes();
+    if std::env::var_os("BRB_BLESS").is_some() {
+        // Deliberate regeneration — review the diff before committing.
+        let entries: Vec<GoldenEntry> = got
+            .into_iter()
+            .map(|(key, hash)| GoldenEntry { key, hash })
+            .collect();
+        let rendered = serde_json::to_string_pretty(&entries).expect("serialize goldens");
+        std::fs::write(GOLDEN_PATH, format!("{rendered}\n")).expect("bless golden file");
+        return;
+    }
+    let want_entries: Vec<GoldenEntry> =
+        serde_json::from_str(GOLDEN).expect("parse tests/golden/run_hashes.json");
+    let want: BTreeMap<String, String> =
+        want_entries.into_iter().map(|e| (e.key, e.hash)).collect();
+    // Compare keys first so a missing/extra run reads as such, not as a
+    // hash mismatch.
+    let got_keys: Vec<&String> = got.keys().collect();
+    let want_keys: Vec<&String> = want.keys().collect();
+    assert_eq!(
+        got_keys, want_keys,
+        "the preset × cell × strategy × seed grid changed — regenerate with BRB_BLESS=1"
+    );
+    for (key, hash) in &got {
+        assert_eq!(
+            hash, &want[key],
+            "run output drifted for {key} — an engine/net/scheduler change altered results; \
+             if intentional, regenerate with BRB_BLESS=1 and review"
+        );
+    }
+}

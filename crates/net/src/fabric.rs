@@ -113,6 +113,28 @@ impl Fabric {
     pub fn mean_propagation_ns(&self) -> f64 {
         self.default_model.mean_ns()
     }
+
+    // Introspection for plan compilation (`crate::plan::FabricPlan`).
+
+    /// The default (mesh-wide) latency model.
+    pub fn default_model(&self) -> &LatencyModel {
+        &self.default_model
+    }
+
+    /// The optional bandwidth term.
+    pub fn bandwidth(&self) -> Option<Bandwidth> {
+        self.bandwidth
+    }
+
+    /// Whether any per-pair override exists.
+    pub fn has_overrides(&self) -> bool {
+        !self.overrides.is_empty()
+    }
+
+    /// Iterates the per-pair latency overrides.
+    pub fn overrides(&self) -> impl Iterator<Item = (&(NetNodeId, NetNodeId), &LatencyModel)> {
+        self.overrides.iter()
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,10 @@
 //! * [`fabric::Fabric`] — a full-mesh fabric mapping `(from, to)` node
 //!   pairs to latency models, with optional per-link overrides and an
 //!   optional bandwidth term that serializes large values onto the wire.
+//! * [`plan::FabricPlan`] — the fabric compiled into per-hop deltas:
+//!   constant meshes resolve a hop with one precomputed add, jittered
+//!   links fall back to the per-message model draw through the same
+//!   interface (see `README.md` for when each path is taken).
 //!
 //! The fabric computes *delays*; actually scheduling delivery events is
 //! the engine's job (`brb-core`), keeping this crate independent of the
@@ -16,6 +20,8 @@
 
 pub mod fabric;
 pub mod latency;
+pub mod plan;
 
 pub use fabric::{Bandwidth, Fabric, NetNodeId};
 pub use latency::LatencyModel;
+pub use plan::{FabricPlan, PlanMode};

@@ -32,9 +32,9 @@
 //! cost nothing.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Log₂ of the level-0 bucket width in nanoseconds.
 const SLOT_NS_BITS: u32 = 14;
@@ -101,9 +101,21 @@ pub struct Calendar<E> {
     cursor: u64,
     /// Events beyond the outermost wheel horizon.
     overflow: BinaryHeap<Scheduled<E>>,
-    /// Queued event count across all tiers.
+    /// Queued event count across the wheel tiers (the hop lane counts
+    /// separately).
     len: usize,
     next_seq: u64,
+    /// Fixed delta (ns) of the hop lane, when declared.
+    hop_delta: Option<u64>,
+    /// The hop lane: every relative-delay push whose delay equals
+    /// `hop_delta` exactly. One fixed delta over a monotone clock means
+    /// entries arrive in non-decreasing `(time, seq)` order, so the lane
+    /// is FIFO *by construction* — push and pop are O(1) `VecDeque` ends
+    /// with no bucket math and no heap sift. On the paper's constant
+    /// 50 µs mesh this lane carries every network hop (~⅔ of all
+    /// events), which is what "batching constant-latency hops into
+    /// precomputed deltas" buys.
+    hop_lane: VecDeque<Scheduled<E>>,
 }
 
 impl<E> Default for Calendar<E> {
@@ -149,6 +161,8 @@ impl<E> Calendar<E> {
             overflow: BinaryHeap::new(),
             len: 0,
             next_seq: 0,
+            hop_delta: None,
+            hop_lane: VecDeque::new(),
         }
     }
 
@@ -158,6 +172,51 @@ impl<E> Calendar<E> {
         let mut cal = Self::new();
         cal.current.reserve(cap);
         cal
+    }
+
+    /// Declares the hop lane's fixed delta: every later
+    /// [`Calendar::push_after`] whose relative delay equals `delta`
+    /// *exactly* is routed past the wheel into a FIFO. Correct for any
+    /// single delta because simulation time is monotone — `now + delta`
+    /// never decreases — so lane entries are ordered by construction
+    /// and merging at pop preserves the global `(time, seq)` order.
+    ///
+    /// # Panics
+    /// Panics if a lane with a different delta already holds events.
+    pub fn set_hop_lane(&mut self, delta: SimDuration) {
+        assert!(
+            self.hop_lane.is_empty() || self.hop_delta == Some(delta.as_nanos()),
+            "cannot re-target a non-empty hop lane"
+        );
+        self.hop_delta = Some(delta.as_nanos());
+    }
+
+    /// The hop lane's fixed delta, when one was declared.
+    pub fn hop_lane_delta(&self) -> Option<SimDuration> {
+        self.hop_delta.map(SimDuration::from_nanos)
+    }
+
+    /// Schedules `event` at `at = now + d`, routing delays that match
+    /// the hop lane's delta into the FIFO lane and everything else
+    /// through the wheel. Callers must pass `at` consistent with a
+    /// monotone `now` (the engine's `schedule_in` contract).
+    #[inline]
+    pub fn push_after(&mut self, at: SimTime, d: SimDuration, event: E) {
+        if self.hop_delta == Some(d.as_nanos()) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            debug_assert!(
+                self.hop_lane.back().is_none_or(|b| b.time <= at),
+                "hop lane push out of order"
+            );
+            self.hop_lane.push_back(Scheduled {
+                time: at,
+                seq,
+                event,
+            });
+        } else {
+            self.push(at, event);
+        }
     }
 
     /// Schedules `event` for execution at instant `time`.
@@ -288,7 +347,20 @@ impl<E> Calendar<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// The hop lane's head is merged against the wheel's minimum on
+    /// `(time, seq)`, so the total order is exactly what a single
+    /// structure would produce — lane or no lane.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let lane_first = match (self.hop_lane.front(), self.current.peek()) {
+            (Some(l), Some(w)) => (l.time, l.seq) < (w.time, w.seq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if lane_first {
+            let entry = self.hop_lane.pop_front().expect("lane head vanished");
+            return Some((entry.time, entry.event));
+        }
         let entry = self.current.pop()?;
         self.len -= 1;
         if self.current.is_empty() && self.len > 0 {
@@ -299,17 +371,21 @@ impl<E> Calendar<E> {
 
     /// The timestamp of the earliest queued event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.current.peek().map(|e| e.time)
+        match (self.hop_lane.front(), self.current.peek()) {
+            (Some(l), Some(w)) => Some(l.time.min(w.time)),
+            (Some(l), None) => Some(l.time),
+            (None, w) => w.map(|e| e.time),
+        }
     }
 
     /// Number of queued events.
     pub fn len(&self) -> usize {
-        self.len
+        self.len + self.hop_lane.len()
     }
 
     /// Whether the calendar holds no events.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len == 0 && self.hop_lane.is_empty()
     }
 
     /// Total number of events ever scheduled (monotone counter).
@@ -327,6 +403,7 @@ impl<E> Calendar<E> {
         self.occupancy = [0; LEVELS];
         self.overflow.clear();
         self.len = 0;
+        self.hop_lane.clear();
     }
 }
 
@@ -536,6 +613,48 @@ mod tests {
         for i in 0..500 {
             assert_eq!(cal.pop(), Some((SimTime::from_nanos(i * 1_000), i)));
         }
+    }
+
+    /// Lane and wheel entries interleave in exact (time, seq) order:
+    /// a lane event and a wheel event at the same instant pop in
+    /// scheduling order, whichever structure holds them.
+    #[test]
+    fn hop_lane_merges_in_schedule_order() {
+        let mut cal = Calendar::new();
+        let d = SimDuration::from_micros(50);
+        cal.set_hop_lane(d);
+        assert_eq!(cal.hop_lane_delta(), Some(d));
+        let now = SimTime::from_micros(100);
+        let at = SimTime::from_micros(150);
+        cal.push_after(at, d, "hop-0"); // lane
+        cal.push(at, "wheel-0"); // same instant, wheel
+        cal.push_after(at, d, "hop-1"); // lane again
+        cal.push(SimTime::from_micros(120), "early"); // earlier, wheel
+        let _ = now;
+        assert_eq!(cal.len(), 4);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_micros(120)));
+        assert_eq!(cal.pop(), Some((SimTime::from_micros(120), "early")));
+        assert_eq!(cal.pop(), Some((at, "hop-0")));
+        assert_eq!(cal.pop(), Some((at, "wheel-0")));
+        assert_eq!(cal.pop(), Some((at, "hop-1")));
+        assert_eq!(cal.pop(), None);
+        assert!(cal.is_empty());
+    }
+
+    /// Delays that miss the lane delta take the wheel; `clear` empties
+    /// the lane too.
+    #[test]
+    fn hop_lane_only_captures_matching_delays() {
+        let mut cal = Calendar::new();
+        cal.set_hop_lane(SimDuration::from_micros(50));
+        cal.push_after(SimTime::from_micros(50), SimDuration::from_micros(50), 1);
+        cal.push_after(SimTime::from_micros(60), SimDuration::from_micros(60), 2);
+        assert_eq!(cal.len(), 2);
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.pop(), None);
+        // The sequence counter survives a clear, lane included.
+        assert_eq!(cal.scheduled_total(), 2);
     }
 
     #[test]

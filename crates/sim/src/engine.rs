@@ -49,7 +49,9 @@ impl<'a, E> Ctx<'a, E> {
 
     /// Schedules `event` after a relative delay `d` (possibly zero: the
     /// event then runs at the same instant, after all earlier-scheduled
-    /// events for this instant).
+    /// events for this instant). Delays matching a declared hop lane
+    /// ([`Simulation::set_hop_lane`]) take the calendar's O(1) FIFO
+    /// lane; everything else goes through the wheel.
     ///
     /// # Panics
     /// Panics if `now + d` overflows virtual time — a silent wrap would
@@ -60,7 +62,7 @@ impl<'a, E> Ctx<'a, E> {
             .now
             .checked_add(d)
             .unwrap_or_else(|| panic!("schedule_in overflows virtual time ({} + {d})", self.now));
-        self.calendar.push(at, event);
+        self.calendar.push_after(at, d, event);
     }
 
     /// Number of events currently queued.
@@ -200,7 +202,17 @@ impl<W: World> Simulation<W> {
             .now
             .checked_add(d)
             .unwrap_or_else(|| panic!("schedule_in overflows virtual time ({} + {d})", self.now));
-        self.calendar.push(at, event);
+        self.calendar.push_after(at, d, event);
+    }
+
+    /// Declares the calendar's constant-delta hop lane: every
+    /// `schedule_in` whose delay equals `delta` exactly bypasses the
+    /// timer wheel into an O(1) FIFO (see [`Calendar::set_hop_lane`]).
+    /// Pop order is unchanged — the lane merges on `(time, seq)` — so
+    /// this is purely a performance declaration; models with a
+    /// constant-latency network fabric enable it before the run.
+    pub fn set_hop_lane(&mut self, delta: SimDuration) {
+        self.calendar.set_hop_lane(delta);
     }
 
     /// Executes a single event, if any; returns its timestamp.

@@ -76,6 +76,62 @@ proptest! {
         }
     }
 
+    /// A hop-lane-enabled wheel pops in *exactly* the reference heap's
+    /// order for arbitrary interleavings of lane-delta pushes (relative
+    /// `push_after` at the fixed delta), wheel pushes and pops — the
+    /// lane is a routing optimization, never an ordering change. This is
+    /// the kernel-level half of the engine's fast-vs-slow-path
+    /// differential guarantee.
+    #[test]
+    fn hop_lane_matches_heap_on_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        delta in prop_oneof![Just(50_000u64), 1u64..400_000],
+    ) {
+        let mut wheel = Calendar::new();
+        wheel.set_hop_lane(SimDuration::from_nanos(delta));
+        let mut heap = HeapCalendar::new();
+        let mut tag = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                // Reinterpret absolute-offset pushes as the engine's
+                // relative sends: every third one lands exactly on the
+                // lane delta, the rest miss it and take the wheel.
+                Op::PushAhead(offset) => {
+                    let d = if tag.is_multiple_of(3) { delta } else { offset };
+                    let t = SimTime::from_nanos(now.saturating_add(d));
+                    wheel.push_after(t, SimDuration::from_nanos(d), tag);
+                    heap.push(t, tag);
+                    tag += 1;
+                }
+                Op::PushNow => {
+                    let t = SimTime::from_nanos(now);
+                    wheel.push_after(t, SimDuration::ZERO, tag);
+                    heap.push(t, tag);
+                    tag += 1;
+                }
+                Op::Pop => {
+                    let got = wheel.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want, "pop order diverged");
+                    if let Some((t, _)) = got {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        loop {
+            let got = wheel.pop();
+            let want = heap.pop();
+            prop_assert_eq!(got, want, "drain order diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
     /// `with_capacity` changes nothing observable about the wheel.
     #[test]
     fn wheel_with_capacity_matches_heap(times in proptest::collection::vec(0u64..10_000_000, 1..200)) {
