@@ -1,0 +1,102 @@
+//! Live-runtime measurement bench: closed vs open loop on a saturated
+//! cluster — the coordinated-omission demonstration, as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release -p brb-bench --bin rt_bench [tasks]
+//! ```
+//!
+//! One server, one worker, fixed 300µs services. The open-loop run
+//! offers 1.3× capacity as Poisson *intended* arrivals and measures
+//! from them; the closed-loop run keeps a 4-task window and measures
+//! from submission. The closed loop reports roughly
+//! window × service-time latencies no matter how overloaded the server
+//! is — it politely stops offering load — while the open loop surfaces
+//! the queueing delay a saturated server actually inflicts. That gap is
+//! why `brb-lab --backend rt` drives clusters open-loop.
+
+use brb_metrics::Percentiles;
+use brb_rt::{run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, WorkModel};
+use brb_store::service::{ServiceModel, ServiceNoise};
+use brb_workload::FanoutDist;
+
+const SERVICE_NS: f64 = 300_000.0;
+
+fn cluster() -> RtCluster {
+    let service = ServiceModel::calibrated_size_linear(SERVICE_NS, 64.0, 1.0, ServiceNoise::None);
+    let c = RtCluster::start(RtClusterConfig {
+        num_servers: 1,
+        workers_per_server: 1,
+        replication: 1,
+        work: WorkModel::SimulateService(service),
+        store_shards: 4,
+        ..Default::default()
+    });
+    c.populate(64, |_| 64);
+    c
+}
+
+fn latency_json(p: &Percentiles) -> String {
+    format!(
+        "{{\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}}}",
+        p.p50, p.p95, p.p99, p.mean
+    )
+}
+
+fn main() {
+    let tasks: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("tasks must be a number"))
+        .unwrap_or(400);
+    let capacity_rps = 1e9 / SERVICE_NS;
+
+    let base = LoadGenConfig {
+        tasks,
+        fanout: FanoutDist::Fixed(1),
+        key_range: 64,
+        key_zipf: 0.0,
+        seed: 1,
+        mode: LoadMode::Closed { concurrency: 4 },
+    };
+
+    let c = cluster();
+    let closed = run_load(&c, &base);
+    c.shutdown();
+
+    let c = cluster();
+    let open = run_load(
+        &c,
+        &LoadGenConfig {
+            mode: LoadMode::Open {
+                task_rate_per_sec: 1.3 * capacity_rps,
+            },
+            ..base
+        },
+    );
+    c.shutdown();
+
+    println!("{{");
+    println!("  \"service_us\": {:.0},", SERVICE_NS / 1e3);
+    println!("  \"capacity_rps\": {capacity_rps:.0},");
+    println!("  \"tasks\": {tasks},");
+    println!(
+        "  \"closed\": {{\"concurrency\": 4, \"tasks_per_sec\": {:.0}, \"latency\": {}}},",
+        closed.tasks_per_sec,
+        latency_json(&closed.task_latency_ms)
+    );
+    println!(
+        "  \"open\": {{\"offered_rps\": {:.0}, \"tasks_per_sec\": {:.0}, \"latency\": {}}},",
+        1.3 * capacity_rps,
+        open.tasks_per_sec,
+        latency_json(&open.task_latency_ms)
+    );
+    println!(
+        "  \"coordinated_omission_factor\": {:.1}",
+        open.task_latency_ms.p50 / closed.task_latency_ms.p50.max(1e-9)
+    );
+    println!("}}");
+    eprintln!(
+        "closed-loop p50 {:.2}ms vs open-loop p50 {:.2}ms at 1.3x capacity — \
+         the gap is the queueing delay closed-loop measurement hides",
+        closed.task_latency_ms.p50, open.task_latency_ms.p50
+    );
+}

@@ -106,6 +106,14 @@ pub enum ScenarioError {
         /// Cells the grid lowered to.
         cells: usize,
     },
+    /// The scenario uses a feature the live `brb-rt` backend cannot
+    /// honor (simulator-only machinery: hedging, oracle state, fault
+    /// injection, …). Lowering fails with this typed error instead of
+    /// silently running something else.
+    RtUnsupported {
+        /// What the live backend cannot honor.
+        what: String,
+    },
     /// A structural invariant checked by the core config layer failed
     /// (carries the core error message).
     Config(String),
@@ -184,6 +192,9 @@ impl fmt::Display for ScenarioError {
                 f,
                 "scenario lowers to {cells} sweep cells; a single cell is required here"
             ),
+            RtUnsupported { what } => {
+                write!(f, "the live rt backend cannot honor {what}")
+            }
             Config(msg) => write!(f, "invalid configuration: {msg}"),
             Parse(msg) => write!(f, "spec parse error: {msg}"),
             Io(msg) => write!(f, "spec I/O error: {msg}"),

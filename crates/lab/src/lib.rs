@@ -14,8 +14,10 @@
 //!   `degraded-node`, `transient-spike`, `playlist`, `hedging-runaway`,
 //!   `trace-replay`) so they are data, not constructors.
 //! * [`runner::run_spec`] drives the grid through the parallel
-//!   multi-seed runner; [`report::write_jsonl`] emits the stable
-//!   JSON-lines report.
+//!   multi-seed runner; [`rt_backend::run_spec_rt`] drives it through
+//!   the live threaded runtime (`brb-rt`) instead;
+//!   [`report::write_jsonl`] emits the stable JSON-lines report for
+//!   either backend.
 //! * The `brb-lab` binary wires it together:
 //!   `brb-lab run figure2-small`, `brb-lab run my-spec.toml`,
 //!   `brb-lab list`, `brb-lab show <name>`.
@@ -34,6 +36,7 @@ pub mod builder;
 pub mod error;
 pub mod registry;
 pub mod report;
+pub mod rt_backend;
 pub mod runner;
 pub mod spec;
 

@@ -11,7 +11,7 @@
 //! as a spec file path. The JSON-lines report goes to stdout (or
 //! `--out`); a human-readable table goes to stderr.
 
-use brb_lab::{registry, report, runner, ScenarioError, ScenarioSpec};
+use brb_lab::{registry, report, rt_backend, runner, ScenarioError, ScenarioSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -63,11 +63,22 @@ usage:
 a .toml / .json spec file.
 
 run options:
+  --backend B      execution backend: sim (default) or rt — the live
+                   threaded runtime (open-loop load, wall-clock latency)
   --tasks N        override tasks per run
   --seeds a,b,..   override the seed set
   --out FILE       write the report to FILE instead of stdout
   --quiet          suppress the human-readable table on stderr
 ";
+
+/// Which engine executes the lowered scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The deterministic discrete-event simulator.
+    Sim,
+    /// The live threaded runtime (`brb-rt`).
+    Rt,
+}
 
 enum CliError {
     Usage(String),
@@ -143,9 +154,24 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
     let mut seeds: Option<Vec<u64>> = None;
     let mut out: Option<String> = None;
     let mut quiet = false;
+    let mut backend = Backend::Sim;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--backend" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--backend needs a value".into()))?;
+                backend = match v.as_str() {
+                    "sim" => Backend::Sim,
+                    "rt" => Backend::Rt,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "bad --backend value {other:?} (expected sim or rt)"
+                        )))
+                    }
+                };
+            }
             "--tasks" => {
                 let v = iter
                     .next()
@@ -189,8 +215,12 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
     let runs = cells * spec.strategies.len() * spec.seeds.len();
     if !quiet {
         eprintln!(
-            "scenario {:?}: {} cell(s) x {} strategies x {} seeds = {} runs, {} tasks each",
+            "scenario {:?} [{}]: {} cell(s) x {} strategies x {} seeds = {} runs, {} tasks each",
             spec.name,
+            match backend {
+                Backend::Sim => "sim",
+                Backend::Rt => "rt (live threads, open-loop load)",
+            },
             cells,
             spec.strategies.len(),
             spec.seeds.len(),
@@ -199,11 +229,15 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
         );
     }
     let start = std::time::Instant::now();
-    let results = runner::run_spec_with_progress(&spec, |i, n| {
+    let progress = |i: usize, n: usize| {
         if !quiet && n > 1 {
             eprintln!("  cell {}/{n} ...", i + 1);
         }
-    })?;
+    };
+    let results = match backend {
+        Backend::Sim => runner::run_spec_with_progress(&spec, progress)?,
+        Backend::Rt => rt_backend::run_spec_rt_with_progress(&spec, progress)?,
+    };
     if !quiet {
         eprintln!("completed in {:.1?}\n", start.elapsed());
         eprint!("{}", report::render_table(&results));

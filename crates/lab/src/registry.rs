@@ -52,6 +52,11 @@ const PRESETS: &[Preset] = &[
         description: "record/replay round trip: every strategy driven from identical JSONL bytes",
         build: trace_replay,
     },
+    Preset {
+        name: "live-smoke",
+        description: "small cluster sized for wall-clock runs: FIFO vs BRB on sim or --backend rt",
+        build: live_smoke,
+    },
 ];
 
 /// Every preset name, in display order.
@@ -173,6 +178,36 @@ fn hedging_runaway() -> ScenarioBuilder {
         // Near-median triggers hedge almost everything: every hedge adds
         // load, which inflates latencies, which fires more hedges.
         .sweep_hedge_delay_us(&[800, 2_000, 5_000, 20_000])
+        .seeds(&[1])
+}
+
+fn live_smoke() -> ScenarioBuilder {
+    // Sized so the live backend finishes in seconds of wall-clock time
+    // on a loaded machine: few workers, ~1.25ms mean services (mostly
+    // slept through), and an offered load high enough that scheduling
+    // policy is visible in the tail. Runs on both backends — the
+    // sim-vs-rt concordance test drives exactly this scenario.
+    ScenarioBuilder::new("live-smoke")
+        .servers(3)
+        .cores(2)
+        .partitions(3)
+        .replication(2)
+        .service_rate(800.0)
+        .tasks(1_000)
+        .load(0.85)
+        .scale_catalog(true)
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::Direct {
+                selector: SelectorKind::LeastOutstanding,
+                policy: PolicyKind::EqualMax,
+                priority_queues: true,
+            },
+        ])
         .seeds(&[1])
 }
 

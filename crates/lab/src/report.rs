@@ -6,6 +6,15 @@
 //! (cell × strategy) record carrying the cell's axis values and the
 //! strategy's across-seed summary. The schema is pinned by a golden
 //! test and grepped in CI, like `BENCH_kernel.json`.
+//!
+//! Both execution backends flow through here unchanged: the simulator
+//! (`runner::run_spec`) and the live threaded runtime
+//! (`rt_backend::run_spec_rt`) produce the same `CellResult` shape, so
+//! a report is a report regardless of what executed it. What each
+//! `RunResult` field *means* when it came from real threads (wall-clock
+//! latencies from intended arrivals, measured worker utilization,
+//! zeroed simulator-only counters) is tabulated in
+//! `crates/rt/README.md` under *Report field semantics*.
 
 use crate::runner::CellResult;
 use crate::spec::{CellAxes, ScenarioSpec};

@@ -1,0 +1,382 @@
+//! The live-runtime execution backend: lowers scenario cells onto a
+//! threaded [`brb_rt::RtCluster`] and reports through the same
+//! `brb-lab/report-v1` pipeline as the simulator.
+//!
+//! `brb-lab run <scenario> --backend rt` routes here. Each lowered cell
+//! becomes, per (strategy × seed), a fresh in-process cluster driven by
+//! the **open-loop** Poisson load generator at the cell's offered load —
+//! latency is recorded from intended arrivals, the measurement model the
+//! simulator uses (a closed-loop harness would coordinated-omit queueing
+//! delay and make live numbers incomparable to simulated ones).
+//!
+//! ## What the live backend can and cannot honor
+//!
+//! Axes lower faithfully where real threads can express them: cluster
+//! shape (servers / cores / replication), offered load (arrival rate
+//! against the service model's capacity), fan-out sweeps, scheduling
+//! policy, selector choice, forecast quality, and the constant mesh
+//! latency (accounted into every recorded latency as a request +
+//! response hop — a uniform shift is exact for a constant-latency
+//! model, so nothing sleeps for it). Everything else fails
+//! with a typed [`ScenarioError::RtUnsupported`] instead of a panic or a
+//! silent approximation:
+//!
+//! * hedged strategies (no engine-side duplicate cancellation),
+//! * the oracle selector (needs instantaneous global queue state),
+//! * fault injections (degraded speeds, latency spikes),
+//! * non-constant latency models, telemetry snapshots, replay mode.
+//!
+//! Two mappings are deliberate approximations and are documented in the
+//! report semantics (`crates/rt/README.md`): `Credits`/`Model`
+//! strategies run as priority-queue scheduling under the same policy
+//! with least-outstanding selection (the runtime has no credits
+//! controller or global queue), and playlist workloads flatten to the
+//! SoundCloud fan-out mixture over a uniform key universe (synthetic
+//! workloads keep their Zipf key popularity and service noise is
+//! sampled live from the same model the simulator draws).
+
+use crate::error::ScenarioError;
+use crate::runner::CellResult;
+use crate::spec::{ScenarioCell, ScenarioSpec};
+use brb_core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
+use brb_core::experiment::{RunResult, StrategySummary};
+use brb_net::LatencyModel;
+use brb_rt::{run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, WorkModel};
+use brb_sched::PolicyKind;
+use brb_select::SelectorSpec;
+use brb_workload::FanoutDist;
+
+fn unsupported(what: impl Into<String>) -> ScenarioError {
+    ScenarioError::RtUnsupported { what: what.into() }
+}
+
+/// One strategy lowered to what the live client can run.
+#[derive(Debug, Clone, Copy)]
+struct RtStrategy {
+    policy: PolicyKind,
+    selector: SelectorSpec,
+}
+
+fn lower_selector(kind: SelectorKind) -> Result<SelectorSpec, ScenarioError> {
+    match kind {
+        SelectorKind::Random => Ok(SelectorSpec::Random),
+        SelectorKind::RoundRobin => Ok(SelectorSpec::RoundRobin),
+        SelectorKind::LeastOutstanding => Ok(SelectorSpec::LeastOutstanding),
+        SelectorKind::C3 => Ok(SelectorSpec::C3),
+        SelectorKind::Oracle => Err(unsupported(
+            "the oracle selector (it reads instantaneous global queue state \
+             only the simulator can provide)",
+        )),
+    }
+}
+
+fn lower_strategy(strategy: &Strategy) -> Result<RtStrategy, ScenarioError> {
+    match strategy {
+        Strategy::Direct {
+            selector,
+            policy,
+            priority_queues,
+        } => {
+            // The live server always schedules through its stable
+            // priority queue; with FIFO priorities that *is* FIFO order,
+            // but a non-FIFO policy cannot be combined with FIFO servers
+            // without a server mode the runtime does not have.
+            if !priority_queues && *policy != PolicyKind::Fifo {
+                return Err(unsupported(format!(
+                    "direct dispatch with {policy:?} priorities but FIFO servers \
+                     (live servers always honor priorities)"
+                )));
+            }
+            Ok(RtStrategy {
+                policy: *policy,
+                selector: lower_selector(*selector)?,
+            })
+        }
+        // The runtime has no credits controller or global queue; both
+        // BRB realizations run as their priority policy over per-server
+        // priority queues with least-outstanding selection. The report
+        // keeps the original strategy name, so this approximation is
+        // visible in the rt README's field notes, not hidden in a rename.
+        Strategy::Credits { policy, .. } | Strategy::Model { policy } => Ok(RtStrategy {
+            policy: *policy,
+            selector: SelectorSpec::LeastOutstanding,
+        }),
+        Strategy::Hedged { .. } => Err(unsupported(
+            "hedged dispatch (speculative duplicates need engine-side cancellation)",
+        )),
+    }
+}
+
+/// The live workload shape: fan-out distribution, key universe and key
+/// popularity. Synthetic workloads keep their Zipf exponent; playlists
+/// flatten to the SoundCloud fan-out mixture over uniform keys (the
+/// documented approximation).
+fn lower_workload_kind(kind: &WorkloadKind) -> (FanoutDist, u64, f64) {
+    match kind {
+        WorkloadKind::Synthetic {
+            fanout,
+            num_keys,
+            zipf_exponent,
+        } => (fanout.clone(), *num_keys, *zipf_exponent),
+        WorkloadKind::Playlist { num_tracks, .. } => {
+            (FanoutDist::soundcloud_like(), *num_tracks, 0.0)
+        }
+    }
+}
+
+/// Checks a lowered cell's base config for simulator-only machinery and
+/// produces the live cluster construction parameters.
+fn lower_cluster(base: &ExperimentConfig) -> Result<RtClusterConfig, ScenarioError> {
+    let cluster = &base.cluster;
+    if cluster.server_speed_factors.iter().any(|&f| f != 1.0) {
+        return Err(unsupported(
+            "degraded server speeds (live workers run at machine speed)",
+        ));
+    }
+    let LatencyModel::Constant { delay_ns } = cluster.latency else {
+        return Err(unsupported(
+            "non-constant latency models (the in-process transport replaces the mesh)",
+        ));
+    };
+    if base.telemetry_interval_ns.is_some() {
+        return Err(unsupported("telemetry snapshots (virtual-time sampling)"));
+    }
+    let service = cluster.service_model(base.workload.sizes.mean_bytes());
+    Ok(RtClusterConfig {
+        num_servers: cluster.num_servers,
+        workers_per_server: cluster.cores_per_server,
+        replication: cluster.replication,
+        num_partitions: Some(cluster.num_partitions),
+        policy: PolicyKind::Fifo, // overridden per strategy below
+        selector: SelectorSpec::LeastOutstanding, // overridden per strategy
+        work: WorkModel::SimulateService(service),
+        store_shards: 16,
+        sizes: base.workload.sizes,
+        forecast: cluster.forecast,
+        num_clients: cluster.num_clients,
+        // Request + response hop of the constant mesh, accounted into
+        // recorded latencies (a uniform shift leaves queueing dynamics
+        // untouched, so adding it is exact for a constant-latency model).
+        network_rtt_ns: 2 * delay_ns,
+    })
+}
+
+/// Runs one (cell × strategy × seed) against a fresh live cluster.
+fn run_one(
+    cell: &ScenarioCell,
+    cluster_template: &RtClusterConfig,
+    strategy: &Strategy,
+    rt: RtStrategy,
+    seed: u64,
+) -> RunResult {
+    let mut config = cluster_template.clone();
+    config.policy = rt.policy;
+    config.selector = rt.selector;
+
+    let (fanout, key_range, key_zipf) = lower_workload_kind(&cell.base.workload.kind);
+    let task_rate = cell.base.workload.task_rate(&cell.base.cluster);
+    let cluster = RtCluster::start(config);
+    cluster.populate_etc(key_range);
+    let report = run_load(
+        &cluster,
+        &LoadGenConfig {
+            tasks: cell.base.workload.num_tasks,
+            mode: LoadMode::Open {
+                task_rate_per_sec: task_rate,
+            },
+            fanout,
+            key_range,
+            key_zipf,
+            seed,
+        },
+    );
+    cluster.shutdown();
+
+    // The live lane fills the fields it actually measures and zeroes the
+    // simulator-only counters — the mapping is documented next to the
+    // report-v1 schema (crates/rt/README.md).
+    RunResult {
+        strategy: strategy.name(),
+        seed,
+        task_latency_ms: report.task_latency_ms,
+        request_latency_ms: report.request_latency_ms,
+        hold_time_ms: None,
+        utilization: report.utilization,
+        completed_tasks: report.tasks,
+        measured_tasks: report.task_latency_ms.count,
+        sim_secs: report.wall.as_secs_f64(),
+        events: 0,
+        dispatched: report.requests,
+        congestion_signals: 0,
+        demand_reports: 0,
+        hedges_issued: 0,
+        duplicate_responses: 0,
+    }
+}
+
+/// Runs every cell of a validated spec on the live runtime. Cells (and
+/// the seeds within them) run sequentially: live runs share the
+/// machine's cores, so parallel cells would contend and corrupt each
+/// other's latencies.
+pub fn run_spec_rt(spec: &ScenarioSpec) -> Result<Vec<CellResult>, ScenarioError> {
+    run_spec_rt_with_progress(spec, |_, _| {})
+}
+
+/// [`run_spec_rt`] with a per-cell progress callback
+/// (`(cell_index, num_cells)`, same contract as the simulator runner's).
+pub fn run_spec_rt_with_progress(
+    spec: &ScenarioSpec,
+    mut progress: impl FnMut(usize, usize),
+) -> Result<Vec<CellResult>, ScenarioError> {
+    if spec.replay {
+        return Err(unsupported("replay mode (trace JSONL round-trips)"));
+    }
+    if !spec.faults.degraded.is_empty() {
+        return Err(unsupported(
+            "degraded server speeds (live workers run at machine speed)",
+        ));
+    }
+    if spec.faults.spike.is_some() {
+        return Err(unsupported(
+            "transient latency spikes (the in-process transport replaces the mesh)",
+        ));
+    }
+    let cells = spec.lower()?;
+    let num_cells = cells.len();
+    cells
+        .into_iter()
+        .map(|cell| {
+            progress(cell.index, num_cells);
+            let cluster_template = lower_cluster(&cell.base)?;
+            // Reject every unsupported strategy *before* any run starts,
+            // so a failure cannot waste a half-executed grid.
+            let lowered: Vec<RtStrategy> = cell
+                .strategies
+                .iter()
+                .map(lower_strategy)
+                .collect::<Result<_, _>>()?;
+            let summaries = cell
+                .strategies
+                .iter()
+                .zip(&lowered)
+                .map(|(strategy, &rt)| {
+                    let runs: Vec<RunResult> = cell
+                        .seeds
+                        .iter()
+                        .map(|&seed| run_one(&cell, &cluster_template, strategy, rt, seed))
+                        .collect();
+                    StrategySummary::from_runs(runs)
+                })
+                .collect();
+            Ok(CellResult {
+                index: cell.index,
+                axes: cell.axes,
+                summaries,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use brb_core::config::{SelectorKind, Strategy};
+    use brb_sched::PolicyKind;
+
+    fn tiny() -> ScenarioBuilder {
+        ScenarioBuilder::new("rt-tiny")
+            .servers(3)
+            .cores(2)
+            .partitions(3)
+            .replication(2)
+            .service_rate(20_000.0) // 50µs mean service: fast live runs
+            .tasks(150)
+            .load(0.5)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3()])
+            .seeds(&[1])
+    }
+
+    #[test]
+    fn tiny_spec_runs_live() {
+        let spec = tiny().build().unwrap();
+        let results = run_spec_rt(&spec).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].summaries.len(), 1);
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.strategy, "C3");
+        assert_eq!(run.completed_tasks, 150);
+        assert_eq!(run.measured_tasks, 150);
+        assert_eq!(run.task_latency_ms.count, 150);
+        assert!(run.task_latency_ms.p50 > 0.0);
+        assert!(run.dispatched >= 150);
+        assert!(run.sim_secs > 0.0);
+        assert!(run.utilization > 0.0);
+    }
+
+    #[test]
+    fn load_axis_lowers_to_arrival_rates() {
+        let spec = tiny().sweep_load(&[0.3, 0.6]).build().unwrap();
+        let results = run_spec_rt(&spec).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].axes.load, Some(0.3));
+        assert_eq!(results[1].axes.load, Some(0.6));
+    }
+
+    #[test]
+    fn unsupported_features_fail_typed() {
+        let hedged = tiny()
+            .strategies(vec![Strategy::hedged_default()])
+            .build()
+            .unwrap();
+        match run_spec_rt(&hedged) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("hedged")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let oracle = tiny()
+            .strategies(vec![Strategy::Direct {
+                selector: SelectorKind::Oracle,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            }])
+            .build()
+            .unwrap();
+        match run_spec_rt(&oracle) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("oracle")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let degraded = tiny().load(0.3).degrade_server(0, 0.5).build().unwrap();
+        match run_spec_rt(&degraded) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("degraded")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let spiky = tiny().spike(0.01, 1_000, 2_000).build().unwrap();
+        match run_spec_rt(&spiky) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("spikes")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let replay = tiny().replay(true).build().unwrap();
+        match run_spec_rt(&replay) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("replay")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let fifo_servers_with_priorities = tiny()
+            .strategies(vec![Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::EqualMax,
+                priority_queues: false,
+            }])
+            .build()
+            .unwrap();
+        match run_spec_rt(&fifo_servers_with_priorities) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("FIFO servers")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+    }
+}

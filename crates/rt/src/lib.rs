@@ -8,6 +8,19 @@
 //! no blocking on hot paths beyond the queue itself, zero-copy reads via
 //! `bytes::Bytes`).
 //!
+//! Measurement discipline (see `crates/rt/README.md`):
+//!
+//! * service times are waited out with a hybrid sleep/spin
+//!   ([`timing`]) — raw `thread::sleep` adds 50µs–1ms of OS timer slack
+//!   per request, more than the differences the strategies create;
+//! * the load generator ([`run_load`]) offers both a closed-loop window
+//!   and an **open-loop Poisson** mode that records latency from each
+//!   task's *intended* arrival, so a saturated cluster cannot hide its
+//!   queueing delay (coordinated omission);
+//! * replica selection is feedback-driven through `brb-select`
+//!   ([`brb_select::SelectorSpec`]), consuming the `queue_len` /
+//!   `service_ns` fields servers piggyback on every response.
+//!
 //! ```
 //! use brb_rt::{RtClusterConfig, RtCluster, WorkModel};
 //! use brb_sched::PolicyKind;
@@ -30,9 +43,10 @@
 pub mod client;
 pub mod loadgen;
 pub mod server;
+pub mod timing;
 pub mod transport;
 
-pub use client::{RtClient, TaskResponse};
-pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use client::{RtClient, TaskResponse, TaskTicket};
+pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
 pub use server::{RtCluster, RtClusterConfig, WorkModel};
 pub use transport::{RtRequest, RtResponse};

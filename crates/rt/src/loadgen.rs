@@ -1,32 +1,66 @@
-//! A closed-loop load generator for the threaded runtime.
+//! Load generation for the threaded runtime.
 //!
-//! Drives an [`RtCluster`] with playlist-style batch reads at a fixed
-//! concurrency (window of in-flight tasks), measuring wall-clock task
-//! latencies — the runtime equivalent of the simulator's experiment
-//! runner.
+//! Two modes drive an [`RtCluster`] with batch reads:
+//!
+//! * **Closed loop** — a fixed window of in-flight tasks; a new task is
+//!   issued only when an old one completes. Simple, but it *coordinates
+//!   with the system under test*: when the cluster stalls, the generator
+//!   stops offering load, so queueing delay silently vanishes from the
+//!   recorded distribution (coordinated omission).
+//! * **Open loop** — tasks arrive on a Poisson schedule of *intended*
+//!   arrival times that does not care how the cluster is doing, and each
+//!   task's latency is measured from its intended arrival. A saturated
+//!   cluster therefore records the queueing delay it actually inflicts —
+//!   the measurement model the simulator (and the paper) uses.
+//!
+//! Both modes share one corrected recording path
+//! ([`crate::client::TaskTicket::wait_from`]): latency runs from the
+//! measurement origin (submit instant or intended arrival) to the
+//! server-side completion instant of the task's last response, so
+//! draining tickets late never inflates a sample.
 
-use crate::client::RtClient;
+use crate::client::{RtClient, TaskTicket};
 use crate::server::RtCluster;
+use crate::timing;
 use brb_metrics::{Histogram, Percentiles};
-use brb_workload::FanoutDist;
+use brb_workload::{FanoutDist, PoissonProcess, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// How tasks are offered to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// A fixed window of in-flight tasks (latency from submit).
+    Closed {
+        /// In-flight task window.
+        concurrency: usize,
+    },
+    /// Poisson arrivals at a fixed rate, latency from *intended* arrival
+    /// (coordinated-omission-free).
+    Open {
+        /// Mean task arrival rate, tasks/second.
+        task_rate_per_sec: f64,
+    },
+}
 
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadGenConfig {
     /// Total tasks to issue.
     pub tasks: usize,
-    /// In-flight task window (closed loop).
-    pub concurrency: usize,
+    /// Closed- or open-loop offering.
+    pub mode: LoadMode,
     /// Fan-out distribution for task sizes.
     pub fanout: FanoutDist,
-    /// Keys are drawn uniformly from `0..key_range` (populate the cluster
-    /// with at least this many keys first).
+    /// Keys are drawn from `0..key_range` (populate the cluster with at
+    /// least this many keys first).
     pub key_range: u64,
-    /// RNG seed for the key/fan-out stream.
+    /// Zipf exponent for key popularity (`0.0` = uniform; `> 0` makes
+    /// low keys hot, reproducing replica-group hot spots).
+    pub key_zipf: f64,
+    /// RNG seed for the arrival/key/fan-out stream.
     pub seed: u64,
 }
 
@@ -34,9 +68,10 @@ impl Default for LoadGenConfig {
     fn default() -> Self {
         LoadGenConfig {
             tasks: 1_000,
-            concurrency: 16,
+            mode: LoadMode::Closed { concurrency: 16 },
             fanout: FanoutDist::soundcloud_like(),
             key_range: 10_000,
+            key_zipf: 0.0,
             seed: 1,
         }
     }
@@ -45,52 +80,164 @@ impl Default for LoadGenConfig {
 /// Results of one load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Wall-clock task latency percentiles (ms).
+    /// Wall-clock task latency percentiles (ms), measured from each
+    /// task's origin (submit or intended arrival by mode).
     pub task_latency_ms: Percentiles,
-    /// Total wall time of the run.
+    /// Wall-clock per-request latency percentiles (ms): submit →
+    /// response send, plus the cluster's accounted network RTT
+    /// ([`crate::RtClusterConfig::network_rtt_ns`]).
+    pub request_latency_ms: Percentiles,
+    /// Total wall time of the run (first submission → last drain).
     pub wall: Duration,
     /// Completed tasks per second.
     pub tasks_per_sec: f64,
-    /// Requests served per server (load-balance check).
+    /// Tasks issued (== recorded latency samples).
+    pub tasks: usize,
+    /// Requests issued across all tasks.
+    pub requests: u64,
+    /// Requests served per server during this run (load-balance check).
     pub served_per_server: Vec<u64>,
+    /// Mean worker utilization during the run: service time accumulated
+    /// by all workers over `wall × total_workers`.
+    pub utilization: f64,
 }
 
-/// Runs a closed-loop load against `cluster` through a fresh client.
-///
-/// # Panics
-/// Panics if the configuration is degenerate (no tasks, zero concurrency)
-/// or the cluster shuts down mid-run.
-pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
-    assert!(cfg.tasks > 0, "need at least one task");
-    assert!(cfg.concurrency > 0, "need at least one in-flight slot");
-    cfg.fanout.validate().expect("invalid fan-out distribution");
+/// Records one completed task into the shared histograms.
+struct Recorder {
+    task_hist: Histogram,
+    request_hist: Histogram,
+    requests: u64,
+}
 
-    let client: RtClient = cluster.client();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut hist = Histogram::for_latency_ns();
-    let mut inflight = VecDeque::with_capacity(cfg.concurrency);
-    let started = Instant::now();
-
-    for _ in 0..cfg.tasks {
-        let n = cfg.fanout.sample(&mut rng) as usize;
-        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..cfg.key_range)).collect();
-        inflight.push_back(client.fetch_async(&keys));
-        if inflight.len() >= cfg.concurrency {
-            let resp = inflight.pop_front().expect("non-empty window").wait();
-            hist.record(resp.latency.as_nanos() as u64);
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            task_hist: Histogram::for_latency_ns(),
+            request_hist: Histogram::for_latency_ns(),
+            requests: 0,
         }
     }
-    for ticket in inflight {
-        let resp = ticket.wait();
-        hist.record(resp.latency.as_nanos() as u64);
+
+    fn record(&mut self, ticket: TaskTicket, origin: Instant) {
+        let resp = ticket.wait_from(origin);
+        self.task_hist.record(resp.latency.as_nanos() as u64);
+        for &ns in &resp.request_ns {
+            self.request_hist.record(ns);
+        }
+        self.requests += resp.request_ns.len() as u64;
+    }
+}
+
+/// Runs a load against `cluster` through a fresh client.
+///
+/// # Panics
+/// Panics if the configuration is degenerate (no tasks, zero concurrency,
+/// non-positive rate) or the cluster shuts down mid-run.
+pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
+    assert!(cfg.tasks > 0, "need at least one task");
+    cfg.fanout.validate().expect("invalid fan-out distribution");
+    assert!(
+        cfg.key_zipf >= 0.0 && cfg.key_zipf.is_finite(),
+        "key_zipf must be a finite non-negative exponent"
+    );
+
+    // The run seed also seeds the client's selector stream, so seeded
+    // runs differ in replica choice the way the simulator's do.
+    let client: RtClient = cluster.client_seeded(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut recorder = Recorder::new();
+    let served_before = cluster.served_per_server();
+    let busy_before = cluster.busy_ns_per_server();
+    let started = Instant::now();
+
+    // Alias-table Zipf ranks when popularity is skewed; plain uniform
+    // draws otherwise (building the table for exponent 0 would be waste).
+    let zipf = (cfg.key_zipf > 0.0).then(|| Zipf::new(cfg.key_range, cfg.key_zipf));
+    let sample_keys = |rng: &mut StdRng| -> Vec<u64> {
+        let n = cfg.fanout.sample(rng) as usize;
+        (0..n)
+            .map(|_| match &zipf {
+                Some(z) => z.sample(rng),
+                None => rng.random_range(0..cfg.key_range),
+            })
+            .collect()
+    };
+
+    match cfg.mode {
+        LoadMode::Closed { concurrency } => {
+            assert!(concurrency > 0, "need at least one in-flight slot");
+            let mut inflight: VecDeque<(TaskTicket, Instant)> =
+                VecDeque::with_capacity(concurrency);
+            for _ in 0..cfg.tasks {
+                let keys = sample_keys(&mut rng);
+                // Origin *before* dispatch: submission itself (selection,
+                // rate-limit stalls, channel sends) is part of the latency.
+                let origin = Instant::now();
+                inflight.push_back((client.fetch_async(&keys), origin));
+                if inflight.len() >= concurrency {
+                    let (ticket, origin) = inflight.pop_front().expect("non-empty window");
+                    recorder.record(ticket, origin);
+                }
+            }
+            for (ticket, origin) in inflight {
+                recorder.record(ticket, origin);
+            }
+        }
+        LoadMode::Open { task_rate_per_sec } => {
+            assert!(
+                task_rate_per_sec > 0.0 && task_rate_per_sec.is_finite(),
+                "need a positive task rate"
+            );
+            let mut arrivals = PoissonProcess::new(task_rate_per_sec);
+            let mut inflight: VecDeque<(TaskTicket, Instant)> = VecDeque::new();
+            for _ in 0..cfg.tasks {
+                // Draw the schedule and the task before waiting, so the
+                // random stream is a deterministic function of the seed.
+                let due = started + Duration::from_nanos(arrivals.next_arrival_ns(&mut rng));
+                let keys = sample_keys(&mut rng);
+                timing::wait_until(due);
+                inflight.push_back((client.fetch_async(&keys), due));
+                // Drain finished heads without blocking: the selector
+                // only learns from responses at collection time, so
+                // feedback must flow *during* the run, not after it.
+                while inflight.front().is_some_and(|(t, _)| t.is_ready()) {
+                    let (ticket, origin) = inflight.pop_front().expect("non-empty front");
+                    recorder.record(ticket, origin);
+                }
+            }
+            for (ticket, origin) in inflight {
+                recorder.record(ticket, origin);
+            }
+        }
     }
 
     let wall = started.elapsed();
+    let served_after = cluster.served_per_server();
+    let busy_after = cluster.busy_ns_per_server();
+    let served_per_server: Vec<u64> = served_after
+        .iter()
+        .zip(&served_before)
+        .map(|(a, b)| a - b)
+        .collect();
+    let busy_ns: u64 = busy_after
+        .iter()
+        .zip(&busy_before)
+        .map(|(a, b)| a - b)
+        .sum();
+    let total_workers = (cluster.config().num_servers * cluster.config().workers_per_server) as f64;
+    let utilization = (busy_ns as f64 / 1e9) / (wall.as_secs_f64() * total_workers);
+
     LoadReport {
-        task_latency_ms: Percentiles::from_histogram_ns(&hist).expect("recorded tasks"),
+        task_latency_ms: Percentiles::from_histogram_ns(&recorder.task_hist)
+            .expect("recorded tasks"),
+        request_latency_ms: Percentiles::from_histogram_ns(&recorder.request_hist)
+            .expect("recorded requests"),
         wall,
         tasks_per_sec: cfg.tasks as f64 / wall.as_secs_f64(),
-        served_per_server: cluster.served_per_server(),
+        tasks: cfg.tasks,
+        requests: recorder.requests,
+        served_per_server,
+        utilization,
     }
 }
 
@@ -99,6 +246,7 @@ mod tests {
     use super::*;
     use crate::server::{RtClusterConfig, WorkModel};
     use brb_sched::PolicyKind;
+    use brb_store::service::{ServiceModel, ServiceNoise};
 
     fn cluster() -> RtCluster {
         let c = RtCluster::start(RtClusterConfig {
@@ -108,6 +256,7 @@ mod tests {
             policy: PolicyKind::UnifIncr,
             work: WorkModel::Instant,
             store_shards: 8,
+            ..Default::default()
         });
         c.populate(2_000, |k| (k % 256) + 1);
         c
@@ -120,16 +269,40 @@ mod tests {
             &c,
             &LoadGenConfig {
                 tasks: 300,
-                concurrency: 8,
+                mode: LoadMode::Closed { concurrency: 8 },
                 key_range: 2_000,
                 ..Default::default()
             },
         );
         assert_eq!(report.task_latency_ms.count, 300);
+        assert_eq!(report.tasks, 300);
         assert!(report.task_latency_ms.p50 > 0.0);
+        assert!(report.request_latency_ms.count >= 300);
+        assert_eq!(report.request_latency_ms.count, report.requests);
         assert!(report.tasks_per_sec > 0.0);
         let total: u64 = report.served_per_server.iter().sum();
         assert!(total >= 300, "at least one request per task");
+        assert_eq!(total, report.requests);
+        c.shutdown();
+    }
+
+    #[test]
+    fn open_loop_run_completes_and_reports() {
+        let c = cluster();
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 200,
+                // Fast arrivals; Instant service keeps the run short.
+                mode: LoadMode::Open {
+                    task_rate_per_sec: 20_000.0,
+                },
+                key_range: 2_000,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.task_latency_ms.count, 200);
+        assert_eq!(report.request_latency_ms.count, report.requests);
         c.shutdown();
     }
 
@@ -140,7 +313,7 @@ mod tests {
             &c,
             &LoadGenConfig {
                 tasks: 500,
-                concurrency: 16,
+                mode: LoadMode::Closed { concurrency: 16 },
                 key_range: 2_000,
                 ..Default::default()
             },
@@ -155,6 +328,58 @@ mod tests {
         c.shutdown();
     }
 
+    /// The coordinated-omission regression. A closed-loop generator
+    /// measuring from submit would report ≈ the service time no matter
+    /// how overloaded the cluster is (it politely waits before
+    /// offering). Open-loop arrivals at 1.3× capacity build a backlog;
+    /// latency measured from *intended* arrival must surface that
+    /// queueing delay.
+    #[test]
+    fn open_loop_records_queueing_delay_under_saturation() {
+        const SERVICE_NS: f64 = 300_000.0; // 300µs per request
+        let service =
+            ServiceModel::calibrated_size_linear(SERVICE_NS, 64.0, 1.0, ServiceNoise::None);
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::SimulateService(service),
+            store_shards: 4,
+            ..Default::default()
+        });
+        c.populate(64, |_| 64);
+        // Capacity is 1/300µs ≈ 3333 tasks/s at fan-out 1; offer 1.3×.
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 400,
+                mode: LoadMode::Open {
+                    task_rate_per_sec: 1.3 / (SERVICE_NS / 1e9),
+                },
+                fanout: FanoutDist::Fixed(1),
+                key_range: 64,
+                ..Default::default()
+            },
+        );
+        // 400 tasks at 30% overload leave ≈ 400·0.3·300µs ≈ 36ms of
+        // backlog by the end; the *median* recorded latency must be many
+        // service times of queueing delay, which submit-based recording
+        // structurally cannot observe.
+        let service_ms = SERVICE_NS / 1e6;
+        assert!(
+            report.task_latency_ms.p50 >= 5.0 * service_ms,
+            "open-loop p50 {}ms does not reflect queueing (service {}ms)",
+            report.task_latency_ms.p50,
+            service_ms
+        );
+        assert!(
+            report.task_latency_ms.mean >= 2.0,
+            "mean {}ms",
+            report.task_latency_ms.mean
+        );
+        c.shutdown();
+    }
+
     #[test]
     #[should_panic(expected = "at least one task")]
     fn degenerate_config_rejected() {
@@ -163,6 +388,20 @@ mod tests {
             &c,
             &LoadGenConfig {
                 tasks: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight slot")]
+    fn zero_concurrency_rejected() {
+        let c = cluster();
+        let _ = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 1,
+                mode: LoadMode::Closed { concurrency: 0 },
                 ..Default::default()
             },
         );

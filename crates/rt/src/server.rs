@@ -7,9 +7,11 @@
 //! channel.
 
 use crate::client::RtClient;
+use crate::timing;
 use crate::transport::{RtRequest, RtResponse};
 use brb_sched::{PolicyKind, PriorityQueue, RequestQueue};
-use brb_store::cost::CostModel;
+use brb_select::SelectorSpec;
+use brb_store::cost::{CostModel, ForecastQuality};
 use brb_store::partition::Ring;
 use brb_store::service::{ServiceModel, ServiceNoise};
 use brb_store::ShardedStore;
@@ -17,7 +19,9 @@ use brb_workload::taskgen::SizeModel;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -27,8 +31,13 @@ use std::time::Instant;
 pub enum WorkModel {
     /// Serve as fast as the store allows (unit tests, throughput benches).
     Instant,
-    /// Sleep for the service model's expected time for the value's size —
-    /// turns the cluster into a scale model of the paper's servers.
+    /// Wait out a service time *sampled* from the model for the value's
+    /// size (noise included — the same service process the simulator
+    /// draws, so sim-vs-rt comparisons face the same distribution) —
+    /// turns the cluster into a scale model of the paper's servers. The
+    /// wait is a hybrid sleep/spin ([`crate::timing`]): a raw
+    /// `thread::sleep` overshoots tens-of-µs services by 50µs–1ms of OS
+    /// timer slack, which would drown every strategy difference.
     SimulateService(ServiceModel),
 }
 
@@ -41,12 +50,33 @@ pub struct RtClusterConfig {
     pub workers_per_server: u32,
     /// Replication factor.
     pub replication: u32,
+    /// Partitions on the ring; `None` = one per server.
+    pub num_partitions: Option<u32>,
     /// Priority-assignment policy clients use.
     pub policy: PolicyKind,
+    /// Replica selection strategy clients run (fed by the piggybacked
+    /// `queue_len` / `service_ns` response fields).
+    pub selector: SelectorSpec,
     /// Service-time behaviour.
     pub work: WorkModel,
     /// Store shards per server.
     pub store_shards: usize,
+    /// Value-size model used by `populate_etc` and client cost
+    /// forecasts.
+    pub sizes: SizeModel,
+    /// How accurately clients forecast service costs from value sizes.
+    pub forecast: ForecastQuality,
+    /// Declared client population — C3's concurrency-compensation
+    /// weight (`q̂ = 1 + outstanding·w + q̄`). Keeping it equal to the
+    /// scenario's client count makes the live C3 the *same algorithm*
+    /// the simulator runs, even when fewer live clients exist.
+    pub num_clients: u32,
+    /// Constant network round trip accounted per request (ns). The
+    /// in-process transport has no real propagation delay; for a
+    /// constant-latency mesh a uniform shift leaves queueing dynamics
+    /// untouched, so the RTT is *added to the recorded latencies*
+    /// (request, task completion, selector feedback) rather than slept.
+    pub network_rtt_ns: u64,
 }
 
 impl Default for RtClusterConfig {
@@ -55,9 +85,15 @@ impl Default for RtClusterConfig {
             num_servers: 3,
             workers_per_server: 2,
             replication: 2,
+            num_partitions: None,
             policy: PolicyKind::UnifIncr,
+            selector: SelectorSpec::LeastOutstanding,
             work: WorkModel::Instant,
             store_shards: 16,
+            sizes: SizeModel::facebook_etc(),
+            forecast: ForecastQuality::Exact,
+            num_clients: 1,
+            network_rtt_ns: 0,
         }
     }
 }
@@ -66,9 +102,14 @@ impl Default for RtClusterConfig {
 pub(crate) struct ServerShared {
     pub(crate) queue: Mutex<PriorityQueue<RtRequest>>,
     pub(crate) available: Condvar,
+    /// Queue length mirror maintained by router push / worker pop, so
+    /// the piggybacked feedback read costs no queue lock.
+    pub(crate) queue_len: AtomicUsize,
     pub(crate) store: ShardedStore,
     pub(crate) stop: AtomicBool,
     pub(crate) served: AtomicU64,
+    /// Total nanoseconds workers spent in service (utilization).
+    pub(crate) busy_ns: AtomicU64,
 }
 
 /// A running in-process cluster.
@@ -76,7 +117,6 @@ pub struct RtCluster {
     config: RtClusterConfig,
     ring: Ring,
     cost: CostModel,
-    size_model: SizeModel,
     servers: Vec<Arc<ServerShared>>,
     senders: Vec<Sender<RtRequest>>,
     workers: Vec<JoinHandle<()>>,
@@ -85,6 +125,7 @@ pub struct RtCluster {
     /// cloned request senders.
     stop_tx: Option<Sender<()>>,
     next_task_id: Arc<AtomicU64>,
+    next_client_id: AtomicU64,
 }
 
 impl RtCluster {
@@ -96,18 +137,21 @@ impl RtCluster {
     pub fn start(config: RtClusterConfig) -> RtCluster {
         assert!(config.num_servers > 0, "need at least one server");
         assert!(config.workers_per_server > 0, "need at least one worker");
-        let ring = Ring::new(config.num_servers, config.num_servers, config.replication);
-        let size_model = SizeModel::facebook_etc();
+        let ring = Ring::new(
+            config.num_servers,
+            config.num_partitions.unwrap_or(config.num_servers),
+            config.replication,
+        );
         let service = match config.work {
             WorkModel::SimulateService(m) => m,
             WorkModel::Instant => ServiceModel::calibrated_size_linear(
                 1e9 / 3500.0,
-                size_model.mean_bytes(),
+                config.sizes.mean_bytes(),
                 0.2,
                 ServiceNoise::None,
             ),
         };
-        let cost = CostModel::exact(service);
+        let cost = CostModel::new(service, config.forecast);
 
         let mut servers = Vec::with_capacity(config.num_servers as usize);
         let mut senders = Vec::with_capacity(config.num_servers as usize);
@@ -119,9 +163,11 @@ impl RtCluster {
             let shared = Arc::new(ServerShared {
                 queue: Mutex::new(PriorityQueue::new()),
                 available: Condvar::new(),
+                queue_len: AtomicUsize::new(0),
                 store: ShardedStore::new(config.store_shards),
                 stop: AtomicBool::new(false),
                 served: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
             });
             let (tx, rx): (Sender<RtRequest>, Receiver<RtRequest>) = unbounded();
 
@@ -140,6 +186,11 @@ impl RtCluster {
                                 crossbeam::channel::select! {
                                     recv(rx) -> msg => match msg {
                                         Ok(req) => {
+                                            // Increment the mirror *before* the push: a
+                                            // worker may pop (and decrement) the instant
+                                            // the lock drops, and the counter must never
+                                            // underflow.
+                                            shared.queue_len.fetch_add(1, Ordering::Relaxed);
                                             let mut q = shared.queue.lock();
                                             q.push(req.priority, req);
                                             drop(q);
@@ -161,10 +212,13 @@ impl RtCluster {
             for w in 0..config.workers_per_server {
                 let shared = Arc::clone(&shared);
                 let work = config.work;
+                // Per-worker service-noise stream, seeded by position so
+                // the draw sequences are reproducible run to run.
+                let noise_seed = ((s as u64) << 32) | w as u64;
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("brb-worker-{s}-{w}"))
-                        .spawn(move || worker_loop(s, shared, work))
+                        .spawn(move || worker_loop(s, shared, work, noise_seed))
                         .expect("spawn worker"),
                 );
             }
@@ -177,13 +231,13 @@ impl RtCluster {
             config,
             ring,
             cost,
-            size_model,
             servers,
             senders,
             workers,
             routers,
             stop_tx: Some(stop_tx),
             next_task_id: Arc::new(AtomicU64::new(0)),
+            next_client_id: AtomicU64::new(0),
         }
     }
 
@@ -200,21 +254,41 @@ impl RtCluster {
         }
     }
 
-    /// Populates with the Facebook-ETC size model (the paper's sizes).
+    /// Populates with the configured size model (the paper's ETC sizes by
+    /// default).
     pub fn populate_etc(&self, num_keys: u64) {
-        let m = self.size_model;
+        let m = self.config.sizes;
         self.populate(num_keys, |k| m.size_of(k));
     }
 
     /// Creates a client handle sharing the cluster's task-id counter.
+    /// Each client runs its own selector instance (the decentralized
+    /// setting): the selector's random stream is seeded by the client's
+    /// creation index, so clusters behave reproducibly run to run.
     pub fn client(&self) -> RtClient {
+        let client_idx = self.next_client_id.fetch_add(1, Ordering::Relaxed);
+        self.client_seeded(client_idx)
+    }
+
+    /// [`Self::client`] with an explicit selector seed — the load
+    /// generator passes the run seed through here so a random selector
+    /// draws a different stream per seeded run (matching the
+    /// simulator's per-run selector seeding), not the same stream for
+    /// every run of a fresh cluster.
+    pub fn client_seeded(&self, selector_seed: u64) -> RtClient {
+        let selector = self
+            .config
+            .selector
+            .build(selector_seed, self.config.num_clients.max(1));
         RtClient::new(
             self.ring.clone(),
             self.cost,
             self.config.policy,
-            self.size_model,
+            self.config.sizes,
             self.senders.clone(),
             Arc::clone(&self.next_task_id),
+            selector,
+            self.config.network_rtt_ns,
         )
     }
 
@@ -226,6 +300,19 @@ impl RtCluster {
             .collect()
     }
 
+    /// Nanoseconds each server's workers have spent in service so far.
+    pub fn busy_ns_per_server(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.busy_ns.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &RtClusterConfig {
+        &self.config
+    }
+
     /// The cluster's ring (for tests and demos).
     pub fn ring(&self) -> &Ring {
         &self.ring
@@ -233,7 +320,7 @@ impl RtCluster {
 
     /// The size model used by `populate_etc` and client forecasts.
     pub fn size_model(&self) -> &SizeModel {
-        &self.size_model
+        &self.config.sizes
     }
 
     /// Stops all threads and joins them. Callers should drain their tasks
@@ -256,12 +343,14 @@ impl RtCluster {
     }
 }
 
-fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel) {
+fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel, noise_seed: u64) {
+    let mut service_rng = StdRng::seed_from_u64(noise_seed);
     loop {
         let req = {
             let mut q = shared.queue.lock();
             loop {
                 if let Some((_, req)) = q.pop() {
+                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
                     break req;
                 }
                 if shared.stop.load(Ordering::SeqCst) {
@@ -274,13 +363,21 @@ fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel) {
         let value = shared.store.get(req.key);
         if let WorkModel::SimulateService(model) = work {
             let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
-            let ns = model.expected_ns(bytes);
-            std::thread::sleep(std::time::Duration::from_nanos(ns as u64));
+            // Sample, not expected_ns: the simulator draws noisy service
+            // times, and the live lane must face the same distribution.
+            let ns = model.sample(bytes, &mut service_rng).as_nanos();
+            timing::wait_for(std::time::Duration::from_nanos(ns));
         }
-        let service_ns = started.elapsed().as_nanos() as u64;
-        let total_ns = req.submitted.elapsed().as_nanos() as u64;
-        let queue_len = shared.queue.lock().len();
+        let completed = Instant::now();
+        let service_ns = (completed - started).as_nanos() as u64;
+        let total_ns = completed
+            .saturating_duration_since(req.submitted)
+            .as_nanos() as u64;
+        // Piggyback feedback from the atomic mirror — no second trip
+        // through the queue mutex per request.
+        let queue_len = shared.queue_len.load(Ordering::Relaxed);
         shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
         // The client may have given up (dropped receiver); ignore errors.
         let _ = req.reply.send(RtResponse {
             key: req.key,
@@ -291,6 +388,7 @@ fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel) {
             queue_len,
             service_ns,
             total_ns,
+            completed,
         });
     }
 }
@@ -307,6 +405,7 @@ mod tests {
             policy,
             work: WorkModel::Instant,
             store_shards: 8,
+            ..Default::default()
         })
     }
 
@@ -358,6 +457,51 @@ mod tests {
         let client = c.client();
         let _ = client.fetch(&[0, 1]);
         c.shutdown(); // must not hang or panic
+    }
+
+    #[test]
+    fn partition_count_is_honored() {
+        // Default: one partition per server.
+        let c = cluster(PolicyKind::Fifo);
+        assert_eq!(c.ring().num_partitions(), 3);
+        c.shutdown();
+        // Explicit partition counts reshape the ring (the lab shim
+        // passes the scenario's num_partitions through here).
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 2,
+            num_partitions: Some(8),
+            replication: 2,
+            ..Default::default()
+        });
+        assert_eq!(c.ring().num_partitions(), 8);
+        c.populate(100, |_| 8);
+        let client = c.client();
+        let resp = client.fetch(&[1, 2, 3]);
+        assert!(resp.values.iter().all(|v| v.is_some()));
+        c.shutdown();
+    }
+
+    #[test]
+    fn busy_time_accumulates_under_simulated_service() {
+        let service =
+            ServiceModel::calibrated_size_linear(100_000.0, 64.0, 1.0, ServiceNoise::None);
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 2,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::SimulateService(service),
+            store_shards: 4,
+            ..Default::default()
+        });
+        c.populate(20, |_| 64);
+        let client = c.client();
+        for k in 0..20u64 {
+            let _ = client.fetch(&[k]);
+        }
+        let busy: u64 = c.busy_ns_per_server().iter().sum();
+        // 20 requests at ~100µs each.
+        assert!(busy >= 20 * 90_000, "busy {busy}ns");
+        c.shutdown();
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Precise short waits for the live runtime.
+//!
+//! `std::thread::sleep` is the wrong tool for service times in the tens
+//! of microseconds: the OS timer adds ~50 µs–1 ms of slack per call,
+//! which inflates *every* simulated service by more than the gaps the
+//! scheduling strategies create — the strategy comparison flattens into
+//! timer noise. The hybrid here hands the bulk of long waits to the OS
+//! (so simulated service does not burn a core) but finishes the last
+//! stretch — and short waits entirely — with a spin on the monotonic
+//! clock, which lands within a microsecond or two of the deadline.
+//!
+//! The spin reserve (how early we bail out of `thread::sleep`) is
+//! calibrated once per process from the observed oversleep of a short
+//! OS sleep, so a machine with tighter timers spins less.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Floor and ceiling for the calibrated spin reserve. The floor covers
+/// the best hrtimer machines; the ceiling keeps a badly-loaded
+/// calibration run from turning sub-millisecond service waits into
+/// pure busy-spins — with typical simulated services around a
+/// millisecond, a reserve beyond 500µs would burn cores and make
+/// wall-clock comparisons scheduler-bound on small CI runners.
+const RESERVE_MIN: Duration = Duration::from_micros(50);
+const RESERVE_MAX: Duration = Duration::from_micros(500);
+
+/// How much of a wait is finished by spinning rather than sleeping —
+/// calibrated once from the worst observed oversleep of a short
+/// `thread::sleep`, then clamped to `[RESERVE_MIN, RESERVE_MAX]`.
+pub fn spin_reserve() -> Duration {
+    static RESERVE: OnceLock<Duration> = OnceLock::new();
+    *RESERVE.get_or_init(|| {
+        let ask = Duration::from_micros(200);
+        let mut worst = Duration::ZERO;
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            std::thread::sleep(ask);
+            worst = worst.max(t0.elapsed().saturating_sub(ask));
+        }
+        // Twice the worst observed slack: oversleep varies run to run.
+        (worst * 2).clamp(RESERVE_MIN, RESERVE_MAX)
+    })
+}
+
+/// Blocks until `deadline`: sleeps while more than the spin reserve
+/// remains, then spins the rest. Returns immediately if the deadline has
+/// already passed (an open-loop generator running behind schedule must
+/// not add recovery sleep on top).
+pub fn wait_until(deadline: Instant) {
+    let reserve = spin_reserve();
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return;
+        }
+        if remaining <= reserve {
+            break;
+        }
+        std::thread::sleep(remaining - reserve);
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Blocks for `duration` with [`wait_until`]'s sleep/spin hybrid.
+pub fn wait_for(duration: Duration) {
+    wait_until(Instant::now() + duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_is_sane() {
+        let r = spin_reserve();
+        assert!(r >= RESERVE_MIN && r <= RESERVE_MAX, "{r:?}");
+    }
+
+    /// The regression the live lane depends on: a simulated service time
+    /// in the tens of microseconds must come out within a few µs of the
+    /// request, not inflated by OS timer slack. `thread::sleep(40µs)`
+    /// typically overshoots by 50µs–1ms — more than the service itself —
+    /// which flattens every strategy difference; the hybrid's median
+    /// overshoot must stay below the threshold at which strategies
+    /// become indistinguishable (well under one small service time).
+    #[test]
+    fn short_waits_are_tight() {
+        let requested = Duration::from_micros(40);
+        let mut overshoot: Vec<Duration> = (0..100)
+            .map(|_| {
+                let t0 = Instant::now();
+                wait_for(requested);
+                let elapsed = t0.elapsed();
+                assert!(elapsed >= requested, "undershoot: {elapsed:?}");
+                elapsed - requested
+            })
+            .collect();
+        overshoot.sort();
+        // Median, not max: a preempted spin can lose the CPU for a whole
+        // scheduler quantum, but the typical wait must be tight.
+        let p50 = overshoot[overshoot.len() / 2];
+        assert!(
+            p50 < Duration::from_micros(20),
+            "median overshoot {p50:?} — OS timer slack is leaking into service times"
+        );
+    }
+
+    /// Long waits must still mostly sleep — the calibration only spins
+    /// the reserve tail, so a 5 ms wait lands close to 5 ms too.
+    #[test]
+    fn long_waits_complete() {
+        let requested = Duration::from_millis(5);
+        let t0 = Instant::now();
+        wait_for(requested);
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= requested);
+        assert!(
+            elapsed < requested + Duration::from_millis(20),
+            "{elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn past_deadlines_return_immediately() {
+        let t0 = Instant::now();
+        wait_until(t0); // already passed by the time wait_until reads the clock
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+}

@@ -40,12 +40,19 @@ pub struct RtResponse {
     /// Which server served it.
     pub server: u32,
     /// Queue length observed when the response left (piggyback feedback,
-    /// as in C3).
+    /// as in C3; maintained by an atomic counter, so reading it costs no
+    /// queue lock).
     pub queue_len: usize,
     /// Wall-clock service latency, nanoseconds (queue wait excluded).
     pub service_ns: u64,
     /// Wall-clock total latency, nanoseconds (submit → response send).
     pub total_ns: u64,
+    /// The instant the server finished this request. Task latency is
+    /// computed from the *latest* `completed` of a task's responses, so
+    /// a client that drains its tickets late (the open-loop generator
+    /// collecting after the submission schedule ends) records the true
+    /// completion time, not the drain time.
+    pub completed: Instant,
 }
 
 #[cfg(test)]
@@ -75,6 +82,7 @@ mod tests {
                 queue_len: 0,
                 service_ns: 10,
                 total_ns: 20,
+                completed: Instant::now(),
             })
             .unwrap();
         let resp = rx.recv().unwrap();

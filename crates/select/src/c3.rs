@@ -358,6 +358,16 @@ impl ReplicaSelector for C3Selector {
         st.rate.maybe_adapt(now_ns, &cfg);
     }
 
+    fn on_abandon(&mut self, server: ServerId) {
+        // Release the outstanding slot taken at dispatch, but record no
+        // response statistics — nothing was observed. The send still
+        // counted toward the rate window (it consumed real send budget).
+        let cfg = self.config;
+        let st = self.state_mut(server);
+        st.outstanding = st.outstanding.saturating_sub(1);
+        st.refresh_score(&cfg);
+    }
+
     fn outstanding(&self, server: ServerId) -> u64 {
         match self.servers.get(server.index()) {
             Some(Some(st)) => st.outstanding,

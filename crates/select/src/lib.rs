@@ -23,10 +23,12 @@
 pub mod c3;
 pub mod feedback;
 pub mod simple;
+pub mod spec;
 
 pub use c3::{C3Config, C3Selector};
 pub use feedback::{ResponseFeedback, Selection, SelectionCtx};
 pub use simple::{LeastOutstandingSelector, OracleSelector, RandomSelector, RoundRobinSelector};
+pub use spec::SelectorSpec;
 
 use brb_store::ids::ServerId;
 
@@ -45,6 +47,15 @@ pub trait ReplicaSelector {
 
     /// Feedback when a response arrives from `server`.
     fn on_response(&mut self, server: ServerId, now_ns: u64, feedback: &ResponseFeedback);
+
+    /// A dispatched request to `server` will never produce a response
+    /// the selector sees (the caller abandoned it): release any
+    /// outstanding-request accounting taken at `select` time *without*
+    /// updating response statistics. Exactly one of `on_response` /
+    /// `on_abandon` must be called per dispatch.
+    fn on_abandon(&mut self, server: ServerId) {
+        let _ = server;
+    }
 
     /// The number of requests this client currently has in flight to
     /// `server` (diagnostics; selectors that do not track it return 0).

@@ -102,6 +102,12 @@ impl ReplicaSelector for LeastOutstandingSelector {
         }
     }
 
+    fn on_abandon(&mut self, server: ServerId) {
+        if let Some(n) = self.outstanding.get_mut(&server) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
     fn outstanding(&self, server: ServerId) -> u64 {
         self.outstanding.get(&server).copied().unwrap_or(0)
     }

@@ -1,0 +1,98 @@
+//! A serializable description of a realizable selector, plus its
+//! factory — so configuration layers (the live `brb-rt` cluster, the
+//! `brb-lab` lowering shim) can carry "which selector" as plain data
+//! without depending on the concrete selector types.
+//!
+//! The oracle is deliberately absent: it needs instantaneous global
+//! queue state, which only the simulator can provide. Layers that
+//! accept an oracle in simulation must reject it with a typed error
+//! when lowering to a live runtime.
+
+use crate::c3::{C3Config, C3Selector};
+use crate::simple::{LeastOutstandingSelector, RandomSelector, RoundRobinSelector};
+use crate::ReplicaSelector;
+use serde::{Deserialize, Serialize};
+
+/// Which realizable replica selector a client should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorSpec {
+    /// Uniform random replica.
+    Random,
+    /// Round-robin across each request's candidate list.
+    RoundRobin,
+    /// Fewest client-local outstanding requests.
+    LeastOutstanding,
+    /// C3 scoring + rate control, fed by piggybacked queue length and
+    /// service time.
+    C3,
+}
+
+impl SelectorSpec {
+    /// Stable name for reports (matches the selector's own `name()`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectorSpec::Random => "random",
+            SelectorSpec::RoundRobin => "round-robin",
+            SelectorSpec::LeastOutstanding => "least-outstanding",
+            SelectorSpec::C3 => "c3",
+        }
+    }
+
+    /// Instantiates the selector. `seed` feeds the random selector's
+    /// stream; `num_clients` is C3's concurrency-compensation weight
+    /// (the C3 paper uses the number of clients sharing the cluster).
+    pub fn build(&self, seed: u64, num_clients: u32) -> Box<dyn ReplicaSelector + Send> {
+        match self {
+            SelectorSpec::Random => Box::new(RandomSelector::new(seed)),
+            SelectorSpec::RoundRobin => Box::new(RoundRobinSelector::new()),
+            SelectorSpec::LeastOutstanding => Box::new(LeastOutstandingSelector::new()),
+            SelectorSpec::C3 => Box::new(C3Selector::new(C3Config::paper_default(num_clients))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::SelectionCtx;
+    use brb_store::ids::ServerId;
+
+    #[test]
+    fn every_spec_builds_a_working_selector() {
+        let candidates = [ServerId::new(0), ServerId::new(1)];
+        for spec in [
+            SelectorSpec::Random,
+            SelectorSpec::RoundRobin,
+            SelectorSpec::LeastOutstanding,
+            SelectorSpec::C3,
+        ] {
+            let mut sel = spec.build(7, 1);
+            assert_eq!(sel.name(), spec.name());
+            let ctx = SelectionCtx {
+                now_ns: 0,
+                candidates: &candidates,
+                value_bytes: 64,
+                oracle_queue_depths: None,
+            };
+            match sel.select(&ctx) {
+                crate::Selection::Dispatch(s) => assert!(candidates.contains(&s)),
+                other => panic!("{}: expected dispatch, got {other:?}", spec.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_serializes() {
+        let json = serde_json::to_string(&SelectorSpec::C3).unwrap();
+        let back: SelectorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SelectorSpec::C3);
+    }
+
+    #[test]
+    fn built_selectors_are_send() {
+        fn assert_send<T: Send + ?Sized>(_: &T) {}
+        for spec in [SelectorSpec::Random, SelectorSpec::C3] {
+            assert_send(&*spec.build(1, 1));
+        }
+    }
+}
