@@ -10,7 +10,7 @@
 //! removed.
 
 use brb_net::{LatencyModel, PlanMode};
-use brb_sched::{CreditsConfig, PolicyKind};
+use brb_sched::{CoDelConfig, CreditsConfig, PolicyKind, QueueBound};
 use brb_store::cost::ForecastQuality;
 use brb_store::service::{ServiceModel, ServiceNoise};
 use brb_workload::taskgen::SizeModel;
@@ -467,6 +467,124 @@ fn policy_label(p: PolicyKind) -> &'static str {
     }
 }
 
+/// Server-queue bound and AQM knobs (the overload lane). All queues are
+/// unbounded when absent — the pre-overload behavior every golden hash
+/// pins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Per-queue capacity: arrivals finding this many queued are
+    /// tail-dropped and NACKed back to the client.
+    pub capacity: usize,
+    /// Admission-control watermark: arrivals finding at least this many
+    /// queued are shed before the queue fills (`None` disables
+    /// shedding; must not exceed `capacity`).
+    #[serde(default)]
+    pub shed_above: Option<usize>,
+    /// CoDel-style AQM at dequeue (`None` disables it): head-of-line
+    /// requests whose sojourn exceeded the target for a sustained
+    /// interval are dropped at an inverse-sqrt-tightening cadence.
+    #[serde(default)]
+    pub codel: Option<CoDelConfig>,
+}
+
+impl QueueConfig {
+    /// The tail-drop/shed bound this config describes.
+    pub fn bound(&self) -> QueueBound {
+        QueueBound {
+            capacity: self.capacity,
+            shed_above: self.shed_above,
+        }
+    }
+
+    /// Validates structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        self.bound().validate()?;
+        if let Some(codel) = &self.codel {
+            codel.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Client-side request timeout and retry knobs (the overload lane).
+/// Clients never time out when absent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeoutConfig {
+    /// Per-attempt timeout in microseconds, measured dispatch → response.
+    pub timeout_us: u64,
+    /// Retries allowed after the first attempt (0 = a single timeout is
+    /// terminal).
+    pub max_retries: u32,
+    /// First-retry backoff in microseconds; doubles per retry (capped
+    /// exponential backoff). 0 retries immediately — the retry-storm
+    /// configuration.
+    #[serde(default)]
+    pub backoff_base_us: u64,
+    /// Cap on the exponential backoff in microseconds.
+    #[serde(default)]
+    pub backoff_cap_us: u64,
+    /// Retry budget: a client stops retrying once its retries reach this
+    /// percentage of its dispatches (`None` = unbudgeted).
+    #[serde(default)]
+    pub retry_budget_percent: Option<u32>,
+}
+
+impl TimeoutConfig {
+    /// Validates structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.timeout_us == 0 {
+            return Err("timeout must be positive".into());
+        }
+        if self.max_retries > 16 {
+            return Err(format!("max_retries {} above cap 16", self.max_retries));
+        }
+        if self.backoff_cap_us < self.backoff_base_us {
+            return Err(format!(
+                "backoff cap {}us below base {}us",
+                self.backoff_cap_us, self.backoff_base_us
+            ));
+        }
+        if let Some(p) = self.retry_budget_percent {
+            if p == 0 || p > 100 {
+                return Err(format!("retry budget {p}% out of (0, 100]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The overload lane's knobs: bounded/AQM-managed server queues and
+/// client-side timeouts with retries. The default (both `None`) is the
+/// pre-overload engine exactly — unbounded queues, no timeouts — and
+/// every pre-existing golden hash runs with that default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Server-queue bound + AQM (`None` = unbounded).
+    #[serde(default)]
+    pub queue: Option<QueueConfig>,
+    /// Client timeouts + retries (`None` = never time out).
+    #[serde(default)]
+    pub timeout: Option<TimeoutConfig>,
+}
+
+impl OverloadConfig {
+    /// Whether every knob is off (legacy behavior).
+    pub fn is_off(&self) -> bool {
+        self.queue.is_none() && self.timeout.is_none()
+    }
+
+    /// Validates structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(q) = &self.queue {
+            q.validate()?;
+        }
+        if let Some(t) = &self.timeout {
+            t.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Everything one seeded run needs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -496,6 +614,10 @@ pub struct ExperimentConfig {
     /// are byte-identical either way (test-enforced).
     #[serde(default)]
     pub net: PlanMode,
+    /// Overload-lane knobs (bounded queues, timeouts + retries). The
+    /// default is everything off — the legacy engine, bit for bit.
+    #[serde(default)]
+    pub overload: OverloadConfig,
 }
 
 /// The paper's harness constants around one (strategy, seed, task-count)
@@ -520,6 +642,7 @@ pub(crate) fn paper_small_config(
         congestion_queue_threshold: 96,
         telemetry_interval_ns: None,
         net: PlanMode::Compiled,
+        overload: OverloadConfig::default(),
     }
 }
 
@@ -540,6 +663,7 @@ impl ExperimentConfig {
         if let Strategy::Credits { credits, .. } = &self.strategy {
             credits.validate()?;
         }
+        self.overload.validate()?;
         Ok(())
     }
 }
@@ -660,6 +784,107 @@ mod tests {
         assert_ne!(json, stripped, "net field missing from serialization");
         let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.net, PlanMode::Compiled);
+    }
+
+    #[test]
+    fn overload_defaults_to_off_on_old_configs() {
+        // Configs serialized before the overload lane existed (and spec
+        // files that omit it) must deserialize with every knob off.
+        let cfg = paper_small_config(Strategy::c3(), 1, 100);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"overload\""));
+        let stripped = json.replace(",\"overload\":{\"queue\":null,\"timeout\":null}", "");
+        assert_ne!(json, stripped, "overload field missing from serialization");
+        let back: ExperimentConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.overload.is_off());
+    }
+
+    #[test]
+    fn overload_validation_rejects_nonsense() {
+        let base = paper_small_config(Strategy::c3(), 1, 100);
+
+        let mut cfg = base.clone();
+        cfg.overload.queue = Some(QueueConfig {
+            capacity: 0,
+            shed_above: None,
+            codel: None,
+        });
+        assert!(cfg.validate().is_err(), "zero capacity");
+
+        let mut cfg = base.clone();
+        cfg.overload.queue = Some(QueueConfig {
+            capacity: 8,
+            shed_above: Some(9),
+            codel: None,
+        });
+        assert!(cfg.validate().is_err(), "watermark above capacity");
+
+        let mut cfg = base.clone();
+        cfg.overload.queue = Some(QueueConfig {
+            capacity: 8,
+            shed_above: None,
+            codel: Some(CoDelConfig {
+                target_ns: 0,
+                interval_ns: 1,
+            }),
+        });
+        assert!(cfg.validate().is_err(), "zero CoDel target");
+
+        let mut cfg = base.clone();
+        cfg.overload.timeout = Some(TimeoutConfig {
+            timeout_us: 0,
+            max_retries: 1,
+            backoff_base_us: 0,
+            backoff_cap_us: 0,
+            retry_budget_percent: None,
+        });
+        assert!(cfg.validate().is_err(), "zero timeout");
+
+        let mut cfg = base.clone();
+        cfg.overload.timeout = Some(TimeoutConfig {
+            timeout_us: 10_000,
+            max_retries: 2,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 100,
+            retry_budget_percent: None,
+        });
+        assert!(cfg.validate().is_err(), "cap below base");
+
+        let mut cfg = base;
+        cfg.overload.queue = Some(QueueConfig {
+            capacity: 64,
+            shed_above: Some(48),
+            codel: Some(CoDelConfig::paper_default()),
+        });
+        cfg.overload.timeout = Some(TimeoutConfig {
+            timeout_us: 10_000,
+            max_retries: 2,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 8_000,
+            retry_budget_percent: Some(10),
+        });
+        assert!(cfg.validate().is_ok(), "sane overload config rejected");
+        assert!(!cfg.overload.is_off());
+    }
+
+    #[test]
+    fn overload_config_round_trips() {
+        let mut cfg = paper_small_config(Strategy::c3(), 1, 100);
+        cfg.overload.queue = Some(QueueConfig {
+            capacity: 64,
+            shed_above: Some(48),
+            codel: Some(CoDelConfig::paper_default()),
+        });
+        cfg.overload.timeout = Some(TimeoutConfig {
+            timeout_us: 10_000,
+            max_retries: 2,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 8_000,
+            retry_budget_percent: Some(10),
+        });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.overload, cfg.overload);
     }
 
     #[test]

@@ -25,15 +25,15 @@
 //!   network latency; idle server cores work-pull with zero coordination
 //!   cost.
 
-use crate::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
+use crate::config::{ExperimentConfig, SelectorKind, Strategy, TimeoutConfig, WorkloadKind};
 use crate::slab::Slab;
 use crate::task::TaskBuilder;
 use crate::timeline::{Timeline, TimelineSample};
 use brb_metrics::Histogram;
 use brb_net::{Fabric, FabricPlan, NetNodeId};
 use brb_sched::{
-    CreditBucket, CreditController, CreditsConfig, GlobalQueue, GrantTable, PolicyKind, Priority,
-    PriorityQueue, RequestQueue,
+    CoDel, CreditBucket, CreditController, CreditsConfig, DropReason, EnqueueOutcome, GlobalQueue,
+    GrantTable, PolicyKind, Priority, PriorityQueue, QueueBound, RequestQueue,
 };
 use brb_select::{
     C3Config, C3Selector, LeastOutstandingSelector, OracleSelector, RandomSelector,
@@ -81,8 +81,19 @@ pub struct InFlight {
     pub priority: Priority,
     /// When the client dispatched it (ns); 0 while held.
     pub dispatched_ns: u64,
+    /// When the attempt entered a server (or the global) queue (ns);
+    /// only maintained when queue knobs are on — it feeds the AQM's
+    /// sojourn measurement.
+    pub enqueued_ns: u64,
     /// Whether this is a hedge duplicate (hedges are never re-hedged).
     pub is_hedge: bool,
+    /// Which attempt of its logical request this record is (0 = the
+    /// original; retries increment).
+    pub attempt: u8,
+    /// Set when a newer attempt replaced this one (its timeout fired or
+    /// its NACK was answered with a retry): whichever of its remaining
+    /// events still fire must not retry or fail the task again.
+    pub superseded: bool,
 }
 
 /// The engine's event alphabet. Every payload is either a small scalar
@@ -121,6 +132,13 @@ pub enum Ev {
     HedgeFire(ReqId),
     /// Telemetry snapshot tick (only when telemetry is enabled).
     TelemetryTick,
+    /// A drop/shed notice from `from` server reaches the owning client
+    /// (overload lane: bounded queues / AQM).
+    Nack(ReqId, u16, DropReason),
+    /// Client-side per-attempt timeout timer (overload lane).
+    ReqTimeout(ReqId),
+    /// A retry's backoff elapsed: re-hold and pump the new attempt.
+    RetryDispatch(ReqId),
 }
 
 /// Which realization the engine is running (derived from `Strategy`).
@@ -175,6 +193,8 @@ struct ServerState {
     arrivals_in_window: u64,
     /// Start of the current congestion-detection window (ns).
     window_start_ns: u64,
+    /// CoDel controller for this server's queue (overload lane).
+    codel: Option<CoDel>,
 }
 
 struct ClientState {
@@ -201,6 +221,8 @@ struct ClientState {
     dispatched_total: u64,
     /// Hedges issued (hedging budget numerator).
     hedged_total: u64,
+    /// Retries issued (retry budget numerator, overload lane).
+    retried_total: u64,
     /// Earliest currently-scheduled pump, to damp duplicate events.
     pump_at: Option<u64>,
 }
@@ -230,10 +252,44 @@ pub struct Counters {
     /// Hedge duplicates issued (hedged strategy only).
     pub hedges_issued: u64,
     /// Responses that arrived after their request was already complete
-    /// (wasted work under hedging).
+    /// (wasted work under hedging, or late arrivals for tasks that
+    /// already failed terminally under the overload lane).
     pub duplicate_responses: u64,
     /// Peak total held requests across clients.
     pub peak_held: usize,
+    /// Request attempts tail-dropped at capacity or AQM-dropped at
+    /// dequeue (overload lane).
+    pub requests_dropped: u64,
+    /// Request attempts shed by admission control (overload lane).
+    pub requests_shed: u64,
+    /// Per-attempt timeouts that fired on a still-pending request.
+    pub timeouts_fired: u64,
+    /// Retry attempts issued (after NACKs or timeouts).
+    pub retries_issued: u64,
+    /// Tasks terminally failed by a dropped request (tail-drop or AQM).
+    pub tasks_dropped: u64,
+    /// Tasks terminally failed by admission-control shedding.
+    pub tasks_shed: u64,
+    /// Tasks terminally failed by timeout (including retries-exhausted).
+    pub tasks_timed_out: u64,
+}
+
+/// Typed terminal failure of a task (overload lane). Every task ends in
+/// exactly one of {completed} ∪ these — the conservation invariant
+/// `completed + dropped + shed + timed_out == issued` is test-enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFailure {
+    /// A required request was tail-dropped or AQM-dropped with no retry
+    /// left.
+    Dropped,
+    /// A required request was shed by admission control with no retry
+    /// left.
+    Shed,
+    /// A required attempt timed out with no retries configured.
+    TimedOut,
+    /// A required attempt timed out after its retries (or the client's
+    /// retry budget) ran out.
+    RetriesExhausted,
 }
 
 /// The complete simulation model for one seeded run of one strategy.
@@ -289,8 +345,19 @@ pub struct EngineWorld {
     /// Reusable client-side task-build pipeline.
     builder: TaskBuilder,
 
+    /// Tail-drop/shed bound applied to server (or global) queues; `None`
+    /// is the legacy unbounded behavior.
+    queue_bound: Option<QueueBound>,
+    /// Client timeout/retry knobs; `None` means clients never time out.
+    timeout: Option<TimeoutConfig>,
+    /// CoDel controller for the model realization's global queue.
+    global_codel: Option<CoDel>,
+
     warmup_ns: u64,
     completed: usize,
+    /// Tasks that failed terminally (overload lane); always 0 with the
+    /// knobs off.
+    failed: usize,
     measured_tasks: u64,
     finished: bool,
 
@@ -486,10 +553,21 @@ impl EngineWorld {
                     queue_ewma: vec![0.0; n_servers],
                     dispatched_total: 0,
                     hedged_total: 0,
+                    retried_total: 0,
                     pump_at: None,
                 }
             })
             .collect();
+
+        // Overload lane: a per-queue bound plus per-queue CoDel
+        // controllers, all off by default.
+        let queue_bound = cfg.overload.queue.map(|q| q.bound());
+        let codel_cfg = cfg.overload.queue.and_then(|q| q.codel);
+        let timeout = cfg.overload.timeout;
+        let global_codel = match realization {
+            Realization::Model => codel_cfg.map(CoDel::new),
+            _ => None,
+        };
 
         // Servers.
         let servers: Vec<ServerState> = (0..n_servers)
@@ -514,6 +592,7 @@ impl EngineWorld {
                 peak_queue: 0,
                 arrivals_in_window: 0,
                 window_start_ns: 0,
+                codel: codel_cfg.map(CoDel::new),
             })
             .collect();
 
@@ -569,8 +648,12 @@ impl EngineWorld {
             grant_table: GrantTable::new(),
             grant_scratch: vec![Vec::new(); num_clients],
             builder: TaskBuilder::default(),
+            queue_bound,
+            timeout,
+            global_codel,
             warmup_ns,
             completed: 0,
+            failed: 0,
             measured_tasks: 0,
             finished: false,
             task_latency: Histogram::for_latency_ns(),
@@ -639,6 +722,17 @@ impl EngineWorld {
         self.completed
     }
 
+    /// Number of tasks that failed terminally (dropped, shed or timed
+    /// out under the overload lane); 0 with the knobs off.
+    pub fn failed_tasks(&self) -> usize {
+        self.failed
+    }
+
+    /// Peak queue depth observed across all server queues.
+    pub fn peak_server_queue(&self) -> usize {
+        self.servers.iter().map(|s| s.peak_queue).max().unwrap_or(0)
+    }
+
     /// Total tasks in the (possibly replayed) trace.
     pub fn total_tasks(&self) -> usize {
         self.tasks.len()
@@ -649,7 +743,8 @@ impl EngineWorld {
         self.measured_tasks
     }
 
-    /// Whether every task has completed.
+    /// Whether every task has resolved (completed, or — with overload
+    /// knobs on — failed terminally).
     pub fn is_finished(&self) -> bool {
         self.finished
     }
@@ -792,7 +887,10 @@ impl EngineWorld {
                 value_bytes: r.value_bytes as u32,
                 priority: r.priority,
                 dispatched_ns: 0,
+                enqueued_ns: 0,
                 is_hedge: false,
+                attempt: 0,
+                superseded: false,
             };
             let id = self.alloc_req(inflight, 1);
             let cs = &mut self.clients[client as usize];
@@ -833,7 +931,11 @@ impl EngineWorld {
                         cs.dispatched_total += 1;
                         self.requests.get_mut(id).0.dispatched_ns = now_ns;
                         self.counters.dispatched += 1;
-                        if self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns {
+                        // Hold time is a per-task metric: only the first
+                        // attempt's wait measures arrival → dispatch.
+                        if head.attempt == 0
+                            && self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns
+                        {
                             self.hold_time
                                 .record(now_ns - self.tasks[head.task_idx as usize].arrival_ns);
                         }
@@ -851,6 +953,7 @@ impl EngineWorld {
                             self.requests.get_mut(id).1 += 1;
                             ctx.schedule_in(SimDuration::from_nanos(hedge_ns), Ev::HedgeFire(id));
                         }
+                        self.arm_timeout(ctx, id);
                     }
                     Admission::ToGlobal => {
                         let cs = &mut self.clients[client as usize];
@@ -859,7 +962,9 @@ impl EngineWorld {
                         cs.held -= 1;
                         self.requests.get_mut(id).0.dispatched_ns = now_ns;
                         self.counters.dispatched += 1;
-                        if self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns {
+                        if head.attempt == 0
+                            && self.tasks[head.task_idx as usize].arrival_ns >= self.warmup_ns
+                        {
                             self.hold_time
                                 .record(now_ns - self.tasks[head.task_idx as usize].arrival_ns);
                         }
@@ -873,6 +978,7 @@ impl EngineWorld {
                             head.value_bytes as u64,
                         );
                         ctx.schedule_in(delay, Ev::ReqAtGlobal(id));
+                        self.arm_timeout(ctx, id);
                     }
                     Admission::Denied { retry_in_ns } => {
                         self.counters.rate_limited += 1;
@@ -985,6 +1091,24 @@ impl EngineWorld {
 
     fn handle_req_at_server(&mut self, ctx: &mut Ctx<'_, Ev>, server: u16, id: ReqId) {
         let now_ns = ctx.now().as_nanos();
+        // Overload lane: bounded admission. Shed (watermark) and
+        // tail-drop (capacity) NACK back to the client instead of
+        // queueing — the queue length itself stays bounded.
+        if let Some(bound) = self.queue_bound {
+            let depth = self.servers[server as usize].queue.len();
+            if let EnqueueOutcome::Dropped(reason) = bound.admit(depth) {
+                match reason {
+                    DropReason::Shed => self.counters.requests_shed += 1,
+                    DropReason::QueueFull | DropReason::Sojourn => {
+                        self.counters.requests_dropped += 1
+                    }
+                }
+                self.send_nack(ctx, server, id, reason);
+                return;
+            }
+            // Feed the AQM's sojourn clock.
+            self.requests.get_mut(id).0.enqueued_ns = now_ns;
+        }
         let priority = self.req(id).priority;
         let congested = {
             let srv = &mut self.servers[server as usize];
@@ -1042,6 +1166,21 @@ impl EngineWorld {
             let Some((_, id)) = srv.queue.pop() else {
                 return;
             };
+            // CoDel head-drop: measure the departing head's sojourn;
+            // once the queue has stood above target for a full interval,
+            // drop at inverse-sqrt cadence until it drains below target.
+            if self.servers[server as usize].codel.is_some() {
+                let now_ns = ctx.now().as_nanos();
+                let enq = self.requests.get(id).0.enqueued_ns;
+                let sojourn = now_ns.saturating_sub(enq);
+                let srv = &mut self.servers[server as usize];
+                if srv.codel.as_mut().unwrap().on_dequeue(now_ns, sojourn) {
+                    self.counters.requests_dropped += 1;
+                    self.send_nack(ctx, server, id, DropReason::Sojourn);
+                    continue;
+                }
+            }
+            let srv = &mut self.servers[server as usize];
             srv.busy_cores += 1;
             let value_bytes = self.requests.get(id).0.value_bytes;
             let srv = &mut self.servers[server as usize];
@@ -1079,6 +1218,24 @@ impl EngineWorld {
 
     fn handle_req_at_global(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
         let req = self.requests.get(id).0;
+        // The model realization's single queue honors the same bound:
+        // the NACK travels back from the replica the request was
+        // addressed to, so the client pays a symmetric network delay.
+        if let Some(bound) = self.queue_bound {
+            let depth = self.global.as_ref().expect("model realization").len();
+            if let EnqueueOutcome::Dropped(reason) = bound.admit(depth) {
+                match reason {
+                    DropReason::Shed => self.counters.requests_shed += 1,
+                    DropReason::QueueFull | DropReason::Sojourn => {
+                        self.counters.requests_dropped += 1
+                    }
+                }
+                let server = self.group_replicas[req.group as usize][0].raw() as u16;
+                self.send_nack(ctx, server, id, reason);
+                return;
+            }
+            self.requests.get_mut(id).0.enqueued_ns = ctx.now().as_nanos();
+        }
         let group = GroupId::new(req.group as u64);
         self.global
             .as_mut()
@@ -1120,6 +1277,21 @@ impl EngineWorld {
             let Some((_, _, id)) = pulled else {
                 return;
             };
+            if self.global_codel.is_some() {
+                let now_ns = ctx.now().as_nanos();
+                let enq = self.requests.get(id).0.enqueued_ns;
+                let sojourn = now_ns.saturating_sub(enq);
+                if self
+                    .global_codel
+                    .as_mut()
+                    .unwrap()
+                    .on_dequeue(now_ns, sojourn)
+                {
+                    self.counters.requests_dropped += 1;
+                    self.send_nack(ctx, server, id, DropReason::Sojourn);
+                    continue;
+                }
+            }
             let value_bytes = self.requests.get(id).0.value_bytes;
             let srv = &mut self.servers[server as usize];
             srv.busy_cores += 1;
@@ -1190,7 +1362,7 @@ impl EngineWorld {
                 self.task_latency.record(now_ns - task_arrival_ns);
                 self.measured_tasks += 1;
             }
-            if self.completed == self.tasks.len() {
+            if self.completed + self.failed == self.tasks.len() {
                 self.finished = true;
             }
         }
@@ -1263,6 +1435,189 @@ impl EngineWorld {
             // Rate-limited or non-direct realization: skip the hedge
             // rather than queueing duplicate work.
             Admission::Denied { .. } | Admission::ToGlobal => {}
+        }
+    }
+
+    /// Arms the per-attempt timeout timer for a just-dispatched request
+    /// (overload lane). The pending timer holds its own reference to the
+    /// record; hedge duplicates never get one (hedges never retry).
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
+        if let Some(tc) = self.timeout {
+            self.requests.get_mut(id).1 += 1;
+            ctx.schedule_in(
+                SimDuration::from_nanos(tc.timeout_us * 1_000),
+                Ev::ReqTimeout(id),
+            );
+        }
+    }
+
+    /// Sends a drop/shed notice back to the owning client. The NACK is a
+    /// small control message (64 B on the wire), and it carries the
+    /// attempt's chain reference — `handle_nack` consumes it.
+    fn send_nack(&mut self, ctx: &mut Ctx<'_, Ev>, server: u16, id: ReqId, reason: DropReason) {
+        let client = self.req(id).client;
+        let delay = self.hop_delay(Hop::ServerToClient { server, client }, 64);
+        ctx.schedule_in(delay, Ev::Nack(id, server, reason));
+    }
+
+    /// Whether a failed attempt may be retried: retries are configured,
+    /// the per-request cap has room, and the client-wide retry budget
+    /// (retries as a percentage of originals dispatched) is not spent —
+    /// the budget is what keeps a retry storm from amplifying itself.
+    fn can_retry(&self, req: &InFlight) -> bool {
+        let Some(tc) = self.timeout else {
+            return false;
+        };
+        if req.attempt as u32 >= tc.max_retries {
+            return false;
+        }
+        if let Some(p) = tc.retry_budget_percent {
+            let cs = &self.clients[req.client as usize];
+            if cs.retried_total * 100 >= cs.dispatched_total.max(1) * p as u64 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Allocates the next attempt of a logical request and schedules its
+    /// re-dispatch after capped exponential backoff. The caller has
+    /// already marked the previous attempt superseded.
+    fn issue_retry(&mut self, ctx: &mut Ctx<'_, Ev>, prev: InFlight) {
+        let tc = self.timeout.expect("retry without timeout config");
+        let mut next = prev;
+        next.attempt = prev.attempt + 1;
+        next.dispatched_ns = 0;
+        next.enqueued_ns = 0;
+        next.is_hedge = false;
+        next.superseded = false;
+        let id = self.alloc_req(next, 1);
+        self.clients[prev.client as usize].retried_total += 1;
+        self.counters.retries_issued += 1;
+        let backoff_ns = retry_backoff_ns(&tc, next.attempt);
+        ctx.schedule_in(SimDuration::from_nanos(backoff_ns), Ev::RetryDispatch(id));
+    }
+
+    /// A drop/shed notice reached the owning client: the attempt never
+    /// entered (or was ejected from) a server queue. Retry if allowed,
+    /// otherwise the task fails terminally.
+    fn handle_nack(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId, from: u16, reason: DropReason) {
+        let req = self.requests.get(id).0;
+        // The attempt is no longer in flight toward `from`. The model
+        // realization never counted it (requests go to the magic shared
+        // queue, not a replica).
+        if !matches!(self.realization, Realization::Model) {
+            let cs = &mut self.clients[req.client as usize];
+            cs.outstanding[from as usize] = cs.outstanding[from as usize].saturating_sub(1);
+        }
+        let done = self.tasks[req.task_idx as usize]
+            .done
+            .get(req.req_idx as usize)
+            .copied()
+            .unwrap_or(true); // recycled vector ⇒ task already resolved
+        if req.is_hedge || req.superseded || done {
+            // An optional duplicate, an attempt a retry already
+            // replaced, or a request that already resolved: nothing
+            // further to do.
+            self.deref_req(id);
+            return;
+        }
+        if self.can_retry(&req) {
+            // The attempt's timeout timer is still pending (retries
+            // imply a timeout config); it must not retry again.
+            self.requests.get_mut(id).0.superseded = true;
+            self.deref_req(id);
+            self.issue_retry(ctx, req);
+        } else {
+            self.deref_req(id);
+            let failure = match reason {
+                DropReason::QueueFull | DropReason::Sojourn => TaskFailure::Dropped,
+                DropReason::Shed => TaskFailure::Shed,
+            };
+            self.fail_task(req.task_idx, failure);
+            if self.clients[req.client as usize].held > 0 {
+                self.pump(ctx, req.client);
+            }
+        }
+    }
+
+    /// A per-attempt timeout fired. If the attempt is still unanswered
+    /// and unreplaced, issue a retry (the late original may still win —
+    /// first response completes the request) or fail the task.
+    fn handle_req_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
+        let req = self.requests.get(id).0;
+        let done = self.tasks[req.task_idx as usize]
+            .done
+            .get(req.req_idx as usize)
+            .copied()
+            .unwrap_or(true);
+        if req.superseded || done {
+            self.deref_req(id);
+            return;
+        }
+        self.counters.timeouts_fired += 1;
+        if self.can_retry(&req) {
+            // The original attempt's chain reference is still live (its
+            // response or NACK has not arrived — the request is not
+            // done), so the record survives this timer's release.
+            self.requests.get_mut(id).0.superseded = true;
+            self.deref_req(id);
+            self.issue_retry(ctx, req);
+        } else {
+            self.deref_req(id);
+            let tc = self.timeout.expect("timeout event without config");
+            let failure = if tc.max_retries == 0 {
+                TaskFailure::TimedOut
+            } else {
+                TaskFailure::RetriesExhausted
+            };
+            self.fail_task(req.task_idx, failure);
+            if self.clients[req.client as usize].held > 0 {
+                self.pump(ctx, req.client);
+            }
+        }
+    }
+
+    /// A retry's backoff elapsed: re-enter the client's hold queue and
+    /// pump — the attempt flows through normal admission from here.
+    fn handle_retry_dispatch(&mut self, ctx: &mut Ctx<'_, Ev>, id: ReqId) {
+        let req = self.requests.get(id).0;
+        let done = self.tasks[req.task_idx as usize]
+            .done
+            .get(req.req_idx as usize)
+            .copied()
+            .unwrap_or(true);
+        if done {
+            // The request resolved (a late original response won, or the
+            // task failed through a sibling) while this retry backed off.
+            self.deref_req(id);
+            return;
+        }
+        let cs = &mut self.clients[req.client as usize];
+        cs.hold[req.group as usize].push(req.priority, id);
+        cs.held += 1;
+        self.pump(ctx, req.client);
+    }
+
+    /// Terminally fails a task (overload lane). The first terminal
+    /// failure wins: recycling the `done` vector marks the task resolved
+    /// for every later event that touches it (sibling responses, pending
+    /// timers, backed-off retries), exactly like completion does.
+    fn fail_task(&mut self, task_idx: u32, failure: TaskFailure) {
+        let task = &mut self.tasks[task_idx as usize];
+        debug_assert!(!task.done.is_empty(), "task failed after resolving");
+        let done = std::mem::take(&mut task.done);
+        self.done_pool.push(done);
+        match failure {
+            TaskFailure::Dropped => self.counters.tasks_dropped += 1,
+            TaskFailure::Shed => self.counters.tasks_shed += 1,
+            TaskFailure::TimedOut | TaskFailure::RetriesExhausted => {
+                self.counters.tasks_timed_out += 1
+            }
+        }
+        self.failed += 1;
+        if self.completed + self.failed == self.tasks.len() {
+            self.finished = true;
         }
     }
 
@@ -1388,6 +1743,21 @@ enum Admission {
     Denied { retry_in_ns: u64 },
 }
 
+/// Capped exponential backoff before retry `attempt` (1-based):
+/// `min(base · 2^(attempt-1), cap)`, in nanoseconds. A zero base means
+/// immediate retry; a zero cap means uncapped.
+fn retry_backoff_ns(tc: &TimeoutConfig, attempt: u8) -> u64 {
+    if tc.backoff_base_us == 0 {
+        return 0;
+    }
+    let shift = u32::from(attempt).saturating_sub(1).min(32);
+    let mut us = tc.backoff_base_us.saturating_mul(1u64 << shift);
+    if tc.backoff_cap_us > 0 {
+        us = us.min(tc.backoff_cap_us);
+    }
+    us.saturating_mul(1_000)
+}
+
 /// The engine's message classes: every directed hop a message can take
 /// across the fabric, by role. `hop_delay` resolves a class to concrete
 /// fabric endpoints only when the mesh actually needs per-pair
@@ -1450,6 +1820,9 @@ impl World for EngineWorld {
             Ev::GrantAtClient(c, grants) => self.handle_grant(ctx, c, grants),
             Ev::HedgeFire(req) => self.handle_hedge_fire(ctx, req),
             Ev::TelemetryTick => self.handle_telemetry_tick(ctx),
+            Ev::Nack(req, from, reason) => self.handle_nack(ctx, req, from, reason),
+            Ev::ReqTimeout(req) => self.handle_req_timeout(ctx, req),
+            Ev::RetryDispatch(req) => self.handle_retry_dispatch(ctx, req),
         }
     }
 }
@@ -1457,7 +1830,8 @@ impl World for EngineWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::paper_small_config;
+    use crate::config::{paper_small_config, OverloadConfig, QueueConfig, TimeoutConfig};
+    use brb_sched::CoDelConfig;
     use brb_sim::Simulation;
 
     fn run(strategy: Strategy, seed: u64, tasks: usize) -> Simulation<EngineWorld> {
@@ -1467,6 +1841,36 @@ mod tests {
         EngineWorld::prime(&mut sim);
         sim.run();
         sim
+    }
+
+    fn overload_run(
+        strategy: Strategy,
+        seed: u64,
+        tasks: usize,
+        load: f64,
+        overload: OverloadConfig,
+    ) -> Simulation<EngineWorld> {
+        let mut cfg = paper_small_config(strategy, seed, tasks);
+        cfg.workload.load = load;
+        cfg.overload = overload;
+        let world = EngineWorld::new(cfg);
+        let mut sim = Simulation::new(world);
+        EngineWorld::prime(&mut sim);
+        sim.run();
+        sim
+    }
+
+    /// Every task resolves exactly once and the pooled records drain —
+    /// the conservation invariant every overload test leans on.
+    fn assert_conserved(w: &EngineWorld, tasks: usize) {
+        assert!(w.is_finished());
+        assert_eq!(w.completed_tasks() + w.failed_tasks(), tasks);
+        let c = &w.counters;
+        assert_eq!(
+            c.tasks_dropped + c.tasks_shed + c.tasks_timed_out,
+            w.failed_tasks() as u64
+        );
+        assert_eq!(w.live_requests(), 0, "overload run leaked records");
     }
 
     #[test]
@@ -1716,6 +2120,265 @@ mod tests {
                 hedged_p99 < plain_p99 * 0.6,
                 "seed {seed}: hedging should absorb spikes: {hedged_p99}ns vs {plain_p99}ns"
             );
+        }
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_conserves_past_saturation() {
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 64,
+                shed_above: None,
+                codel: None,
+            }),
+            timeout: None,
+        };
+        let sim = overload_run(Strategy::c3(), 1, 2_000, 1.3, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(w.counters.requests_dropped > 0, "1.3× load must tail-drop");
+        assert!(w.counters.tasks_dropped > 0);
+        assert_eq!(w.counters.requests_shed, 0, "no watermark configured");
+        assert!(
+            w.peak_server_queue() <= 64,
+            "bound breached: peak {}",
+            w.peak_server_queue()
+        );
+        assert!(w.completed_tasks() > 0, "goodput must not collapse to zero");
+    }
+
+    #[test]
+    fn shed_watermark_fires_before_tail_drop() {
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 64,
+                shed_above: Some(32),
+                codel: None,
+            }),
+            timeout: None,
+        };
+        let sim = overload_run(Strategy::c3(), 2, 2_000, 1.3, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(w.counters.requests_shed > 0, "watermark must shed");
+        assert!(w.counters.tasks_shed > 0);
+        // Admission control keeps depth at the watermark, so the
+        // tail-drop bound above it can never fire.
+        assert_eq!(w.counters.requests_dropped, 0);
+        assert!(w.peak_server_queue() <= 32);
+    }
+
+    #[test]
+    fn codel_sheds_sojourn_under_sustained_overload() {
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 100_000,
+                shed_above: None,
+                codel: Some(CoDelConfig::paper_default()),
+            }),
+            timeout: None,
+        };
+        let sim = overload_run(Strategy::c3(), 3, 2_000, 1.3, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        // The capacity is effectively unbounded: every drop here is the
+        // AQM ejecting over-sojourn heads at dequeue.
+        assert!(w.counters.requests_dropped > 0, "CoDel never fired");
+        assert_eq!(w.counters.requests_shed, 0);
+        assert!(w.completed_tasks() > w.failed_tasks(), "AQM too aggressive");
+    }
+
+    #[test]
+    fn model_realization_honors_bound_and_codel() {
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 256,
+                shed_above: None,
+                codel: Some(CoDelConfig::paper_default()),
+            }),
+            timeout: None,
+        };
+        let sim = overload_run(Strategy::unif_incr_model(), 4, 2_000, 1.3, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(w.counters.requests_dropped > 0);
+        assert_eq!(w.global.as_ref().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn timeouts_without_retries_fail_tasks_typed() {
+        let ov = OverloadConfig {
+            queue: None,
+            timeout: Some(TimeoutConfig {
+                timeout_us: 5_000,
+                max_retries: 0,
+                backoff_base_us: 0,
+                backoff_cap_us: 0,
+                retry_budget_percent: None,
+            }),
+        };
+        let sim = overload_run(Strategy::c3(), 5, 2_000, 1.2, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(w.counters.timeouts_fired > 0, "1.2× must blow a 5ms budget");
+        assert!(w.counters.tasks_timed_out > 0);
+        assert_eq!(w.counters.retries_issued, 0);
+        assert_eq!(w.counters.tasks_dropped + w.counters.tasks_shed, 0);
+    }
+
+    #[test]
+    fn retries_amplify_offered_load_then_exhaust() {
+        let ov = OverloadConfig {
+            queue: None,
+            timeout: Some(TimeoutConfig {
+                timeout_us: 5_000,
+                max_retries: 3,
+                backoff_base_us: 100,
+                backoff_cap_us: 1_000,
+                retry_budget_percent: None,
+            }),
+        };
+        let sim = overload_run(Strategy::c3(), 6, 2_000, 1.2, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(
+            w.counters.retries_issued > 0,
+            "timeouts must trigger retries"
+        );
+        // The storm: every retry is a fresh dispatch on top of the
+        // originals, amplifying offered load past what arrived.
+        let total_requests: u64 = w.trace.iter().map(|t| t.requests.len() as u64).sum();
+        assert!(
+            w.counters.dispatched > total_requests,
+            "retries must amplify dispatch: {} vs {total_requests}",
+            w.counters.dispatched
+        );
+    }
+
+    #[test]
+    fn retry_budget_caps_the_storm() {
+        let budget = 10u64;
+        let ov = OverloadConfig {
+            queue: None,
+            timeout: Some(TimeoutConfig {
+                timeout_us: 5_000,
+                max_retries: 16,
+                backoff_base_us: 0,
+                backoff_cap_us: 0,
+                retry_budget_percent: Some(budget as u32),
+            }),
+        };
+        let sim = overload_run(Strategy::c3(), 7, 2_000, 1.2, ov);
+        let w = sim.world();
+        assert_conserved(w, 2_000);
+        assert!(w.counters.retries_issued > 0);
+        // Per-client: retried*100 < dispatched*budget held at every
+        // issue, so globally retries stay within the budget plus one
+        // attempt of slack per client.
+        let clients = w.clients.len() as u64;
+        assert!(
+            w.counters.retries_issued * 100 <= w.counters.dispatched * budget + 100 * clients,
+            "budget breached: {} retries vs {} dispatched",
+            w.counters.retries_issued,
+            w.counters.dispatched
+        );
+    }
+
+    #[test]
+    fn overload_runs_are_deterministic() {
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 64,
+                shed_above: Some(48),
+                codel: Some(CoDelConfig::paper_default()),
+            }),
+            timeout: Some(TimeoutConfig {
+                timeout_us: 10_000,
+                max_retries: 2,
+                backoff_base_us: 200,
+                backoff_cap_us: 2_000,
+                retry_budget_percent: Some(20),
+            }),
+        };
+        let a = overload_run(Strategy::c3(), 9, 1_000, 1.3, ov);
+        let b = overload_run(Strategy::c3(), 9, 1_000, 1.3, ov);
+        assert_eq!(a.events_executed(), b.events_executed());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(
+            a.world().completed_tasks() + a.world().failed_tasks(),
+            b.world().completed_tasks() + b.world().failed_tasks()
+        );
+        assert_eq!(
+            a.world().counters.retries_issued,
+            b.world().counters.retries_issued
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential() {
+        let tc = TimeoutConfig {
+            timeout_us: 1_000,
+            max_retries: 16,
+            backoff_base_us: 100,
+            backoff_cap_us: 800,
+            retry_budget_percent: None,
+        };
+        assert_eq!(retry_backoff_ns(&tc, 1), 100_000);
+        assert_eq!(retry_backoff_ns(&tc, 2), 200_000);
+        assert_eq!(retry_backoff_ns(&tc, 4), 800_000);
+        assert_eq!(retry_backoff_ns(&tc, 10), 800_000, "cap must hold");
+        let immediate = TimeoutConfig {
+            backoff_base_us: 0,
+            ..tc
+        };
+        assert_eq!(retry_backoff_ns(&immediate, 3), 0);
+        let uncapped = TimeoutConfig {
+            backoff_cap_us: 0,
+            ..tc
+        };
+        assert_eq!(retry_backoff_ns(&uncapped, 4), 800_000);
+        assert_eq!(retry_backoff_ns(&uncapped, 5), 1_600_000);
+    }
+
+    /// Past saturation an unbounded queue's peak depth is the excess
+    /// load integrated over the run — it scales with the task horizon.
+    /// The bound pins it at capacity regardless of horizon and accounts
+    /// the excess as drops instead.
+    #[test]
+    fn unbounded_backlog_scales_with_horizon_where_the_bound_pins_it() {
+        let off = OverloadConfig::default();
+        let short = overload_run(Strategy::c3(), 5, 2_000, 1.3, off);
+        let long = overload_run(Strategy::c3(), 5, 4_000, 1.3, off);
+        let (ps, pl) = (
+            short.world().peak_server_queue(),
+            long.world().peak_server_queue(),
+        );
+        // C3's rate control throttles the excess, so growth is
+        // sub-linear in the horizon — but it must still *grow* (and be
+        // far past any bounded capacity), which is the regression.
+        assert!(
+            pl > ps + ps / 4,
+            "unbounded backlog should grow with the horizon: {ps} -> {pl}"
+        );
+        assert!(
+            ps > 64 * 2,
+            "unbounded backlog should dwarf the bound: {ps}"
+        );
+
+        let ov = OverloadConfig {
+            queue: Some(QueueConfig {
+                capacity: 64,
+                shed_above: None,
+                codel: Some(CoDelConfig::paper_default()),
+            }),
+            timeout: None,
+        };
+        for tasks in [2_000, 4_000] {
+            let sim = overload_run(Strategy::c3(), 5, tasks, 1.3, ov);
+            let w = sim.world();
+            assert!(w.peak_server_queue() <= 64, "the bound must pin the peak");
+            assert!(w.counters.tasks_dropped > 0);
+            assert_conserved(w, tasks);
         }
     }
 

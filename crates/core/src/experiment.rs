@@ -17,8 +17,29 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Overload-lane outcomes of one run, present only when any overload
+/// knob is on. `dropped` / `timed_out` / `shed` count **tasks** — the
+/// terminal outcomes of the conservation invariant
+/// `completed + dropped + timed_out + shed == issued` — while `retries`
+/// counts request attempts re-issued after NACKs or timeouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadStats {
+    /// Completed tasks per virtual second — the metric that stays
+    /// meaningful past the saturation knee, where latency percentiles
+    /// only measure the queue bound.
+    pub goodput: f64,
+    /// Tasks terminally failed by a queue drop (tail-drop or AQM).
+    pub dropped: u64,
+    /// Tasks terminally failed by timeout (incl. retries-exhausted).
+    pub timed_out: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Tasks terminally failed by admission-control shedding.
+    pub shed: u64,
+}
+
 /// The result of one seeded run of one strategy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Strategy display name.
     pub strategy: String,
@@ -51,6 +72,91 @@ pub struct RunResult {
     /// Responses that arrived after their request had completed (wasted
     /// work under hedging).
     pub duplicate_responses: u64,
+    /// Overload-lane outcomes; `None` when every knob is off.
+    pub overload: Option<OverloadStats>,
+}
+
+// Report-v1 stability: the key order here *is* the schema (pinned by
+// the lab golden tests), and the overload keys exist only when the lane
+// is on — a knobs-off run serializes byte-identically to the
+// pre-overload schema, which is what keeps every historical
+// `run_hashes.json` entry valid. Hand-written because the derive
+// stand-in cannot conditionally omit fields.
+impl Serialize for RunResult {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("strategy".into(), self.strategy.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("task_latency_ms".into(), self.task_latency_ms.to_value()),
+            (
+                "request_latency_ms".into(),
+                self.request_latency_ms.to_value(),
+            ),
+            ("hold_time_ms".into(), self.hold_time_ms.to_value()),
+            ("utilization".into(), self.utilization.to_value()),
+            ("completed_tasks".into(), self.completed_tasks.to_value()),
+            ("measured_tasks".into(), self.measured_tasks.to_value()),
+            ("sim_secs".into(), self.sim_secs.to_value()),
+            ("events".into(), self.events.to_value()),
+            ("dispatched".into(), self.dispatched.to_value()),
+            (
+                "congestion_signals".into(),
+                self.congestion_signals.to_value(),
+            ),
+            ("demand_reports".into(), self.demand_reports.to_value()),
+            ("hedges_issued".into(), self.hedges_issued.to_value()),
+            (
+                "duplicate_responses".into(),
+                self.duplicate_responses.to_value(),
+            ),
+        ];
+        if let Some(o) = &self.overload {
+            entries.push(("goodput".into(), o.goodput.to_value()));
+            entries.push(("dropped".into(), o.dropped.to_value()));
+            entries.push(("timed_out".into(), o.timed_out.to_value()));
+            entries.push(("retries".into(), o.retries.to_value()));
+            entries.push(("shed".into(), o.shed.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for RunResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::__private::{as_object, field};
+        let obj = as_object(v, "RunResult")?;
+        // The flattened overload keys are present all-or-nothing;
+        // `goodput` is the sentinel.
+        let overload = if obj.iter().any(|(k, _)| k == "goodput") {
+            Some(OverloadStats {
+                goodput: field(obj, "goodput")?,
+                dropped: field(obj, "dropped")?,
+                timed_out: field(obj, "timed_out")?,
+                retries: field(obj, "retries")?,
+                shed: field(obj, "shed")?,
+            })
+        } else {
+            None
+        };
+        Ok(RunResult {
+            strategy: field(obj, "strategy")?,
+            seed: field(obj, "seed")?,
+            task_latency_ms: field(obj, "task_latency_ms")?,
+            request_latency_ms: field(obj, "request_latency_ms")?,
+            hold_time_ms: field(obj, "hold_time_ms")?,
+            utilization: field(obj, "utilization")?,
+            completed_tasks: field(obj, "completed_tasks")?,
+            measured_tasks: field(obj, "measured_tasks")?,
+            sim_secs: field(obj, "sim_secs")?,
+            events: field(obj, "events")?,
+            dispatched: field(obj, "dispatched")?,
+            congestion_signals: field(obj, "congestion_signals")?,
+            demand_reports: field(obj, "demand_reports")?,
+            hedges_issued: field(obj, "hedges_issued")?,
+            duplicate_responses: field(obj, "duplicate_responses")?,
+            overload,
+        })
+    }
 }
 
 /// Runs one strategy once and collects its metrics.
@@ -81,11 +187,23 @@ fn run_world(world: EngineWorld) -> RunResult {
     let w = sim.world();
     assert!(
         w.is_finished(),
-        "run did not complete: {}/{} tasks",
+        "run did not resolve: {} completed + {} failed of {} tasks",
         w.completed_tasks(),
+        w.failed_tasks(),
         w.total_tasks()
     );
     let counters: Counters = w.counters;
+    let overload = if w.config().overload.is_off() {
+        None
+    } else {
+        Some(OverloadStats {
+            goodput: w.completed_tasks() as f64 / stats.end_time.as_secs_f64(),
+            dropped: counters.tasks_dropped,
+            timed_out: counters.tasks_timed_out,
+            retries: counters.retries_issued,
+            shed: counters.tasks_shed,
+        })
+    };
     RunResult {
         strategy,
         seed,
@@ -104,12 +222,13 @@ fn run_world(world: EngineWorld) -> RunResult {
         demand_reports: counters.demand_reports,
         hedges_issued: counters.hedges_issued,
         duplicate_responses: counters.duplicate_responses,
+        overload,
     }
 }
 
 /// A strategy's metrics aggregated across seeds: the paper's reporting
 /// unit ("read latencies averaged across experiments").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StrategySummary {
     /// Strategy display name.
     pub strategy: String,
@@ -123,6 +242,74 @@ pub struct StrategySummary {
     pub p99_ms: SeedStat,
     /// Mean task latency across seeds (ms).
     pub mean_ms: SeedStat,
+    /// Across-seed overload outcomes; `None` when the lane is off.
+    pub overload: Option<OverloadSummary>,
+}
+
+/// Overload-lane outcomes aggregated across seeds (mean ± stddev each).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSummary {
+    /// Completed tasks per virtual second.
+    pub goodput: SeedStat,
+    /// Tasks failed by queue drops.
+    pub dropped: SeedStat,
+    /// Tasks failed by timeout.
+    pub timed_out: SeedStat,
+    /// Retry attempts issued.
+    pub retries: SeedStat,
+    /// Tasks shed by admission control.
+    pub shed: SeedStat,
+}
+
+// Same additive-schema rule as `RunResult`: the summary's overload keys
+// are appended only when the lane ran, so knobs-off reports keep the
+// historical byte layout.
+impl Serialize for StrategySummary {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("strategy".into(), self.strategy.to_value()),
+            ("runs".into(), self.runs.to_value()),
+            ("p50_ms".into(), self.p50_ms.to_value()),
+            ("p95_ms".into(), self.p95_ms.to_value()),
+            ("p99_ms".into(), self.p99_ms.to_value()),
+            ("mean_ms".into(), self.mean_ms.to_value()),
+        ];
+        if let Some(o) = &self.overload {
+            entries.push(("goodput".into(), o.goodput.to_value()));
+            entries.push(("dropped".into(), o.dropped.to_value()));
+            entries.push(("timed_out".into(), o.timed_out.to_value()));
+            entries.push(("retries".into(), o.retries.to_value()));
+            entries.push(("shed".into(), o.shed.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for StrategySummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::__private::{as_object, field};
+        let obj = as_object(v, "StrategySummary")?;
+        let overload = if obj.iter().any(|(k, _)| k == "goodput") {
+            Some(OverloadSummary {
+                goodput: field(obj, "goodput")?,
+                dropped: field(obj, "dropped")?,
+                timed_out: field(obj, "timed_out")?,
+                retries: field(obj, "retries")?,
+                shed: field(obj, "shed")?,
+            })
+        } else {
+            None
+        };
+        Ok(StrategySummary {
+            strategy: field(obj, "strategy")?,
+            runs: field(obj, "runs")?,
+            p50_ms: field(obj, "p50_ms")?,
+            p95_ms: field(obj, "p95_ms")?,
+            p99_ms: field(obj, "p99_ms")?,
+            mean_ms: field(obj, "mean_ms")?,
+            overload,
+        })
+    }
 }
 
 /// Mean ± stddev of one statistic across seeds.
@@ -154,12 +341,33 @@ impl StrategySummary {
             "mixed strategies in one summary"
         );
         let collect = |f: fn(&RunResult) -> f64| runs.iter().map(f).collect::<Vec<_>>();
+        // Aggregate overload outcomes only when every seed ran the lane
+        // (mixed on/off within one strategy would be a config bug).
+        let overload = if runs.iter().all(|r| r.overload.is_some()) {
+            let ov = |f: fn(&OverloadStats) -> f64| {
+                SeedStat::from_values(
+                    runs.iter()
+                        .map(|r| f(r.overload.as_ref().expect("checked above")))
+                        .collect(),
+                )
+            };
+            Some(OverloadSummary {
+                goodput: ov(|o| o.goodput),
+                dropped: ov(|o| o.dropped as f64),
+                timed_out: ov(|o| o.timed_out as f64),
+                retries: ov(|o| o.retries as f64),
+                shed: ov(|o| o.shed as f64),
+            })
+        } else {
+            None
+        };
         StrategySummary {
             strategy,
             p50_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p50)),
             p95_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p95)),
             p99_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.p99)),
             mean_ms: SeedStat::from_values(collect(|r| r.task_latency_ms.mean)),
+            overload,
             runs,
         }
     }
@@ -458,5 +666,79 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.completed_tasks, r.completed_tasks);
+        assert!(back.overload.is_none());
+        // Knobs off ⇒ the overload keys must not exist at all (their
+        // absence is what keeps historical golden hashes valid).
+        assert!(!json.contains("goodput"));
+        assert!(!json.contains("\"shed\""));
+    }
+
+    #[test]
+    fn overload_fields_flatten_additively_and_round_trip() {
+        let mut cfg = small(Strategy::c3(), 4);
+        cfg.workload.load = 1.2;
+        cfg.overload.queue = Some(crate::config::QueueConfig {
+            capacity: 64,
+            shed_above: None,
+            codel: None,
+        });
+        let r = run_experiment(cfg);
+        let o = r.overload.expect("knobs on ⇒ stats present");
+        assert!(o.goodput > 0.0);
+        assert_eq!(
+            r.completed_tasks as u64 + o.dropped + o.timed_out + o.shed,
+            1_500,
+            "conservation must hold in the report"
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        // Appended after the 15 legacy keys, in schema order.
+        let pos = |k: &str| json.find(k).unwrap_or_else(|| panic!("missing {k}"));
+        assert!(pos("\"duplicate_responses\"") < pos("\"goodput\""));
+        assert!(pos("\"goodput\"") < pos("\"dropped\""));
+        assert!(pos("\"dropped\"") < pos("\"timed_out\""));
+        assert!(pos("\"timed_out\"") < pos("\"retries\""));
+        assert!(pos("\"retries\"") < pos("\"shed\""));
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.overload, r.overload);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        let summary = StrategySummary::from_runs(vec![r]);
+        let sj = serde_json::to_string(&summary).unwrap();
+        assert!(sj.contains("\"goodput\""));
+        let sback: StrategySummary = serde_json::from_str(&sj).unwrap();
+        assert_eq!(serde_json::to_string(&sback).unwrap(), sj);
+    }
+
+    /// The regression the overload lane exists to pin: at 1.3× offered
+    /// load an unbounded system completes everything but its tail is
+    /// the standing backlog; bounding + CoDel trades a slice of the
+    /// offered work (drops > 0) for a far smaller served tail.
+    #[test]
+    fn bounded_codel_beats_the_unbounded_tail_past_saturation() {
+        let mut unbounded = small(Strategy::c3(), 11);
+        unbounded.workload.load = 1.3;
+        let mut bounded = unbounded.clone();
+        bounded.overload.queue = Some(crate::config::QueueConfig {
+            capacity: 64,
+            shed_above: None,
+            codel: Some(brb_sched::CoDelConfig::paper_default()),
+        });
+        let u = run_experiment(unbounded);
+        let b = run_experiment(bounded);
+        assert!(u.overload.is_none(), "knobs off must stay legacy-shaped");
+        assert_eq!(u.completed_tasks, 1_500, "unbounded completes everything");
+        let ov = b.overload.expect("knobs on ⇒ stats present");
+        assert!(ov.dropped > 0, "past saturation the bound must engage");
+        assert!(ov.goodput > 0.0);
+        assert_eq!(
+            b.completed_tasks as u64 + ov.dropped + ov.timed_out + ov.shed,
+            1_500
+        );
+        assert!(
+            b.task_latency_ms.p99 < u.task_latency_ms.p99,
+            "bounded p99 {}ms should beat unbounded p99 {}ms",
+            b.task_latency_ms.p99,
+            u.task_latency_ms.p99
+        );
     }
 }

@@ -28,10 +28,14 @@ pub mod task;
 pub mod timeline;
 
 pub use config::{
-    ClusterConfig, ExperimentConfig, SelectorKind, Strategy, WorkloadConfig, WorkloadKind,
+    ClusterConfig, ExperimentConfig, OverloadConfig, QueueConfig, SelectorKind, Strategy,
+    TimeoutConfig, WorkloadConfig, WorkloadKind,
 };
 pub use engine::EngineWorld;
-pub use experiment::{run_experiment, run_strategies_multi_seed, RunResult, StrategySummary};
+pub use experiment::{
+    run_experiment, run_strategies_multi_seed, OverloadStats, OverloadSummary, RunResult,
+    StrategySummary,
+};
 pub use slab::Slab;
 pub use task::{BuiltRequest, BuiltTask, TaskBuilder};
 pub use timeline::{Timeline, TimelineSample};

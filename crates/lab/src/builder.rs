@@ -7,7 +7,9 @@
 //! combinations panic downstream.
 
 use crate::error::ScenarioError;
-use crate::spec::{DegradedServer, FaultSpec, RunSpec, ScenarioSpec, SpikeFault, SweepSpec};
+use crate::spec::{
+    DegradedServer, FaultSpec, QueueSpec, RunSpec, ScenarioSpec, SpikeFault, SweepSpec, TimeoutSpec,
+};
 use brb_core::config::{ClusterConfig, ExperimentConfig, Strategy, WorkloadConfig, WorkloadKind};
 use brb_net::{LatencyModel, PlanMode};
 use brb_store::cost::ForecastQuality;
@@ -39,6 +41,8 @@ impl ScenarioBuilder {
                 sweep: SweepSpec::default(),
                 run: RunSpec::default(),
                 replay: false,
+                queue: None,
+                timeout: None,
             },
         }
     }
@@ -204,6 +208,23 @@ impl ScenarioBuilder {
             extra_lo_us,
             extra_hi_us,
         });
+        self
+    }
+
+    // -- overload lane ----------------------------------------------------
+
+    /// Bounds every server queue, optionally with an admission-control
+    /// shed watermark and a CoDel AQM (see [`QueueSpec`]; durations in
+    /// microseconds).
+    pub fn bounded_queue(mut self, queue: QueueSpec) -> Self {
+        self.spec.queue = Some(queue);
+        self
+    }
+
+    /// Enables client-side request timeouts with capped-exponential
+    /// retries (see [`TimeoutSpec`]; durations in microseconds).
+    pub fn timeouts(mut self, timeout: TimeoutSpec) -> Self {
+        self.spec.timeout = Some(timeout);
         self
     }
 
@@ -385,6 +406,56 @@ mod tests {
             .build_config(Strategy::c3(), 1)
             .unwrap_err();
         assert_eq!(err, ScenarioError::SpikeNeedsConstantBase);
+
+        // A zero-capacity queue.
+        let err = ScenarioBuilder::new("q")
+            .bounded_queue(QueueSpec {
+                capacity: 0,
+                shed_above: None,
+                codel_target_us: None,
+                codel_interval_us: None,
+            })
+            .build_config(Strategy::c3(), 1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadQueueSpec(_)), "{err:?}");
+
+        // Retries above the engine's cap.
+        let err = ScenarioBuilder::new("t")
+            .timeouts(TimeoutSpec {
+                timeout_us: 10_000,
+                max_retries: 99,
+                backoff_base_us: 0,
+                backoff_cap_us: 0,
+                retry_budget_percent: None,
+            })
+            .build_config(Strategy::c3(), 1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadTimeoutSpec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn overload_setters_lower_into_the_config() {
+        let cfg = ScenarioBuilder::new("overload")
+            .tasks(1_000)
+            .scale_catalog(true)
+            .bounded_queue(QueueSpec {
+                capacity: 64,
+                shed_above: Some(32),
+                codel_target_us: Some(5_000),
+                codel_interval_us: Some(100_000),
+            })
+            .timeouts(TimeoutSpec {
+                timeout_us: 20_000,
+                max_retries: 3,
+                backoff_base_us: 500,
+                backoff_cap_us: 4_000,
+                retry_budget_percent: Some(10),
+            })
+            .build_config(Strategy::c3(), 1)
+            .unwrap();
+        assert!(!cfg.overload.is_off());
+        assert_eq!(cfg.overload.queue.unwrap().capacity, 64);
+        assert_eq!(cfg.overload.timeout.unwrap().timeout_us, 20_000);
     }
 
     #[test]

@@ -100,6 +100,18 @@ pub enum ScenarioError {
     /// A `hedge_delay_us` axis needs at least one `Hedged` strategy to
     /// apply to.
     HedgeAxisWithoutHedgedStrategy,
+    /// The overload lane's bounded-queue spec is structurally invalid
+    /// (carries the core validation message, e.g. a shed watermark
+    /// above capacity).
+    BadQueueSpec(String),
+    /// CoDel wants `codel_target_us` and `codel_interval_us` together;
+    /// one alone is ambiguous (there is no universal default for the
+    /// other).
+    CoDelKnobsIncomplete,
+    /// The overload lane's timeout/retry spec is structurally invalid
+    /// (carries the core validation message, e.g. a backoff cap below
+    /// the base).
+    BadTimeoutSpec(String),
     /// The operation needs a single-cell scenario but the sweep grid has
     /// several cells.
     MultiCell {
@@ -188,6 +200,12 @@ impl fmt::Display for ScenarioError {
                 f,
                 "hedge_delay_us sweep axis needs at least one Hedged strategy"
             ),
+            BadQueueSpec(msg) => write!(f, "queue spec: {msg}"),
+            CoDelKnobsIncomplete => write!(
+                f,
+                "codel_target_us and codel_interval_us must be set together"
+            ),
+            BadTimeoutSpec(msg) => write!(f, "timeout spec: {msg}"),
             MultiCell { cells } => write!(
                 f,
                 "scenario lowers to {cells} sweep cells; a single cell is required here"

@@ -45,5 +45,6 @@ pub use error::ScenarioError;
 pub use report::REPORT_SCHEMA;
 pub use runner::CellResult;
 pub use spec::{
-    CellAxes, DegradedServer, FaultSpec, RunSpec, ScenarioCell, ScenarioSpec, SpikeFault, SweepSpec,
+    CellAxes, DegradedServer, FaultSpec, QueueSpec, RunSpec, ScenarioCell, ScenarioSpec,
+    SpikeFault, SweepSpec, TimeoutSpec,
 };

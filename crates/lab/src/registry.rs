@@ -4,7 +4,7 @@
 
 use crate::builder::ScenarioBuilder;
 use crate::error::ScenarioError;
-use crate::spec::ScenarioSpec;
+use crate::spec::{QueueSpec, ScenarioSpec, TimeoutSpec};
 use brb_core::config::{SelectorKind, Strategy, WorkloadKind};
 use brb_sched::PolicyKind;
 
@@ -56,6 +56,23 @@ const PRESETS: &[Preset] = &[
         name: "live-smoke",
         description: "small cluster sized for wall-clock runs: FIFO vs BRB on sim or --backend rt",
         build: live_smoke,
+    },
+    Preset {
+        name: "sustained-overload",
+        description:
+            "load swept through and past 1.0x against bounded CoDel'd queues: goodput holds",
+        build: sustained_overload,
+    },
+    Preset {
+        name: "retry-storm",
+        description:
+            "tight timeouts, eager retries, no bound: retries amplify offered load past 1.0x",
+        build: retry_storm,
+    },
+    Preset {
+        name: "load-shedding",
+        description: "admission-control watermark sheds early so accepted work still finishes fast",
+        build: load_shedding,
     },
 ];
 
@@ -211,6 +228,88 @@ fn live_smoke() -> ScenarioBuilder {
         .seeds(&[1])
 }
 
+fn sustained_overload() -> ScenarioBuilder {
+    // The overload lane's headline scenario: offered load swept from
+    // busy (0.9) through saturation (1.1) to well past it (1.3), with
+    // every server queue bounded and CoDel keeping standing sojourn
+    // near its 5ms target. The report's goodput/dropped columns show
+    // the bounded system degrading gracefully where an unbounded one
+    // just grows its queues without bound.
+    ScenarioBuilder::new("sustained-overload")
+        .tasks(8_000)
+        .scale_catalog(true)
+        .sweep_load(&[0.9, 1.1, 1.3])
+        .bounded_queue(QueueSpec {
+            capacity: 64,
+            shed_above: None,
+            codel_target_us: Some(5_000),
+            codel_interval_us: Some(100_000),
+        })
+        // Generous timeout: drops surface as NACK-driven retries, and
+        // the 10% budget keeps those retries from becoming their own
+        // overload.
+        .timeouts(TimeoutSpec {
+            timeout_us: 50_000,
+            max_retries: 1,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 8_000,
+            retry_budget_percent: Some(10),
+        })
+        .strategies(vec![
+            Strategy::c3(),
+            Strategy::equal_max_credits(),
+            Strategy::equal_max_model(),
+        ])
+        .seeds(&[1, 2])
+}
+
+fn retry_storm() -> ScenarioBuilder {
+    // The failure mode the retry budget exists for, reproduced without
+    // one: queues unbounded, timeouts tight against the loaded tail,
+    // three eager retries. Past saturation every timeout re-offers its
+    // request, so dispatched climbs well above the issued request count
+    // while goodput falls — the classic storm.
+    ScenarioBuilder::new("retry-storm")
+        .tasks(8_000)
+        .scale_catalog(true)
+        .sweep_load(&[0.9, 1.2])
+        .timeouts(TimeoutSpec {
+            timeout_us: 20_000,
+            max_retries: 3,
+            backoff_base_us: 500,
+            backoff_cap_us: 4_000,
+            retry_budget_percent: None,
+        })
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::c3(),
+        ])
+        .seeds(&[1, 2])
+}
+
+fn load_shedding() -> ScenarioBuilder {
+    // Admission control without AQM: arrivals finding ≥96 queued are
+    // shed at the door (the same depth the credits realization calls
+    // congested), so the queue never reaches its 128 hard cap and the
+    // work that is accepted still completes with a bounded wait.
+    ScenarioBuilder::new("load-shedding")
+        .tasks(8_000)
+        .scale_catalog(true)
+        .sweep_load(&[0.9, 1.1, 1.3])
+        .bounded_queue(QueueSpec {
+            capacity: 128,
+            shed_above: Some(96),
+            codel_target_us: None,
+            codel_interval_us: None,
+        })
+        .strategies(vec![Strategy::c3(), Strategy::equal_max_credits()])
+        .seeds(&[1, 2])
+}
+
 fn trace_replay() -> ScenarioBuilder {
     ScenarioBuilder::new("trace-replay")
         .tasks(5_000)
@@ -245,6 +344,9 @@ mod tests {
             "playlist",
             "hedging-runaway",
             "trace-replay",
+            "sustained-overload",
+            "retry-storm",
+            "load-shedding",
         ] {
             assert!(names().contains(&required), "missing preset {required}");
         }
@@ -265,6 +367,24 @@ mod tests {
     fn hedging_runaway_sweeps_an_axis() {
         let spec = spec("hedging-runaway").unwrap();
         assert!(spec.sweep.num_cells() > 1);
+    }
+
+    #[test]
+    fn overload_presets_sweep_past_saturation_with_their_knobs() {
+        let sustained = spec("sustained-overload").unwrap();
+        assert!(sustained.sweep.load.iter().any(|&l| l > 1.0));
+        assert!(sustained.queue.unwrap().codel_target_us.is_some());
+        assert!(sustained.timeout.unwrap().retry_budget_percent.is_some());
+
+        let storm = spec("retry-storm").unwrap();
+        assert!(storm.queue.is_none(), "the storm needs unbounded queues");
+        let t = storm.timeout.unwrap();
+        assert!(t.max_retries >= 2 && t.retry_budget_percent.is_none());
+
+        let shedding = spec("load-shedding").unwrap();
+        let q = shedding.queue.unwrap();
+        assert!(q.shed_above.unwrap() < q.capacity);
+        assert!(shedding.timeout.is_none());
     }
 
     #[test]

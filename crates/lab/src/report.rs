@@ -118,29 +118,59 @@ pub fn to_jsonl_string(spec: &ScenarioSpec, results: &[CellResult]) -> String {
 }
 
 /// Renders results as a fixed-width human table (one row per
-/// cell × strategy), for the CLI's stderr companion output.
+/// cell × strategy), for the CLI's stderr companion output. When any
+/// summary carries overload stats the table grows goodput and
+/// drops/timeouts/shed columns — latency percentiles alone hide the
+/// difference between "fast because healthy" and "fast because the
+/// queue dropped the slow half".
 pub fn render_table(results: &[CellResult]) -> String {
-    let mut rows: Vec<[String; 6]> = vec![[
+    let overload = results
+        .iter()
+        .flat_map(|c| &c.summaries)
+        .any(|s| s.overload.is_some());
+    let mut header: Vec<String> = vec![
         "cell".into(),
         "axes".into(),
         "strategy".into(),
         "median(ms)".into(),
         "95th(ms)".into(),
         "99th(ms)".into(),
-    ]];
+    ];
+    if overload {
+        header.push("goodput(t/s)".into());
+        header.push("drop/tmo/shed".into());
+    }
+    let ncols = header.len();
+    let mut rows: Vec<Vec<String>> = vec![header];
     for cell in results {
         for s in &cell.summaries {
-            rows.push([
+            let mut row = vec![
                 cell.index.to_string(),
                 axes_label(&cell.axes),
                 s.strategy.clone(),
                 format!("{:.2}±{:.2}", s.p50_ms.mean, s.p50_ms.stddev),
                 format!("{:.2}±{:.2}", s.p95_ms.mean, s.p95_ms.stddev),
                 format!("{:.2}±{:.2}", s.p99_ms.mean, s.p99_ms.stddev),
-            ]);
+            ];
+            if overload {
+                match &s.overload {
+                    Some(o) => {
+                        row.push(format!("{:.0}", o.goodput.mean));
+                        row.push(format!(
+                            "{:.0}/{:.0}/{:.0}",
+                            o.dropped.mean, o.timed_out.mean, o.shed.mean
+                        ));
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
+            rows.push(row);
         }
     }
-    let mut widths = [0usize; 6];
+    let mut widths = vec![0usize; ncols];
     for row in &rows {
         for (w, cell) in widths.iter_mut().zip(row) {
             *w = (*w).max(cell.chars().count());

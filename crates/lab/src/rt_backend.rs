@@ -24,7 +24,10 @@
 //! * hedged strategies (no engine-side duplicate cancellation),
 //! * the oracle selector (needs instantaneous global queue state),
 //! * fault injections (degraded speeds, latency spikes),
-//! * non-constant latency models, telemetry snapshots, replay mode.
+//! * non-constant latency models, telemetry snapshots, replay mode,
+//! * the overload lane (bounded queues, shedding, client timeouts —
+//!   OS channels cannot be bounded and live workers cannot be
+//!   cancelled).
 //!
 //! Two mappings are deliberate approximations and are documented in the
 //! report semantics (`crates/rt/README.md`): `Credits`/`Model`
@@ -141,6 +144,18 @@ fn lower_cluster(base: &ExperimentConfig) -> Result<RtClusterConfig, ScenarioErr
     if base.telemetry_interval_ns.is_some() {
         return Err(unsupported("telemetry snapshots (virtual-time sampling)"));
     }
+    if base.overload.queue.is_some() {
+        return Err(unsupported(
+            "bounded queues / load shedding (live servers queue in OS channels \
+             the engine cannot bound or inspect)",
+        ));
+    }
+    if base.overload.timeout.is_some() {
+        return Err(unsupported(
+            "client timeouts and retries (the live client has no \
+             cancellation path into a worker already serving the request)",
+        ));
+    }
     let service = cluster.service_model(base.workload.sizes.mean_bytes());
     Ok(RtClusterConfig {
         num_servers: cluster.num_servers,
@@ -211,6 +226,7 @@ fn run_one(
         demand_reports: 0,
         hedges_issued: 0,
         duplicate_responses: 0,
+        overload: None,
     }
 }
 
@@ -363,6 +379,35 @@ mod tests {
         let replay = tiny().replay(true).build().unwrap();
         match run_spec_rt(&replay) {
             Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("replay")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let bounded = tiny()
+            .bounded_queue(crate::spec::QueueSpec {
+                capacity: 64,
+                shed_above: None,
+                codel_target_us: None,
+                codel_interval_us: None,
+            })
+            .build()
+            .unwrap();
+        match run_spec_rt(&bounded) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("bounded queues")),
+            other => panic!("expected RtUnsupported, got {other:?}"),
+        }
+
+        let timeouts = tiny()
+            .timeouts(crate::spec::TimeoutSpec {
+                timeout_us: 10_000,
+                max_retries: 1,
+                backoff_base_us: 0,
+                backoff_cap_us: 0,
+                retry_budget_percent: None,
+            })
+            .build()
+            .unwrap();
+        match run_spec_rt(&timeouts) {
+            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("timeouts")),
             other => panic!("expected RtUnsupported, got {other:?}"),
         }
 

@@ -8,8 +8,12 @@
 //! [`ExperimentConfig`] base for the existing multi-seed runner.
 
 use crate::error::ScenarioError;
-use brb_core::config::{ClusterConfig, ExperimentConfig, Strategy, WorkloadConfig, WorkloadKind};
+use brb_core::config::{
+    ClusterConfig, ExperimentConfig, OverloadConfig, QueueConfig, Strategy, TimeoutConfig,
+    WorkloadConfig, WorkloadKind,
+};
 use brb_net::{LatencyModel, PlanMode};
+use brb_sched::CoDelConfig;
 use brb_workload::FanoutDist;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -119,6 +123,80 @@ impl Default for RunSpec {
     }
 }
 
+/// Bounded server queues for the overload lane: a hard capacity
+/// (tail-drop + NACK), an optional admission-control shed watermark,
+/// and an optional CoDel AQM (both `codel_*` knobs set together, in
+/// microseconds of standing sojourn).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct QueueSpec {
+    /// Per-queue capacity; arrivals beyond it are tail-dropped.
+    pub capacity: usize,
+    /// Admission-control watermark: arrivals finding at least this many
+    /// queued are shed before the queue fills (`None` disables).
+    #[serde(default)]
+    pub shed_above: Option<usize>,
+    /// CoDel sojourn target, microseconds.
+    #[serde(default)]
+    pub codel_target_us: Option<u64>,
+    /// CoDel interval (how long sojourn must exceed the target before
+    /// dropping starts), microseconds.
+    #[serde(default)]
+    pub codel_interval_us: Option<u64>,
+}
+
+impl QueueSpec {
+    /// Lowers to the core engine's queue knobs (µs → ns).
+    pub fn lower(&self) -> QueueConfig {
+        QueueConfig {
+            capacity: self.capacity,
+            shed_above: self.shed_above,
+            codel: match (self.codel_target_us, self.codel_interval_us) {
+                (Some(target_us), Some(interval_us)) => Some(CoDelConfig {
+                    target_ns: target_us * 1_000,
+                    interval_ns: interval_us * 1_000,
+                }),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Client-side request timeouts with capped-exponential retries for the
+/// overload lane (all durations in microseconds).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct TimeoutSpec {
+    /// Per-attempt timeout, dispatch → response.
+    pub timeout_us: u64,
+    /// Retries allowed after the first attempt (0 = a single timeout is
+    /// terminal).
+    #[serde(default)]
+    pub max_retries: u32,
+    /// First-retry backoff; doubles per retry. 0 retries immediately —
+    /// the retry-storm configuration.
+    #[serde(default)]
+    pub backoff_base_us: u64,
+    /// Cap on the exponential backoff (must be ≥ the base).
+    #[serde(default)]
+    pub backoff_cap_us: u64,
+    /// Retry budget: a client stops retrying once its retries reach
+    /// this percentage of its dispatches (`None` = unbudgeted).
+    #[serde(default)]
+    pub retry_budget_percent: Option<u32>,
+}
+
+impl TimeoutSpec {
+    /// Lowers to the core engine's timeout knobs.
+    pub fn lower(&self) -> TimeoutConfig {
+        TimeoutConfig {
+            timeout_us: self.timeout_us,
+            max_retries: self.max_retries,
+            backoff_base_us: self.backoff_base_us,
+            backoff_cap_us: self.backoff_cap_us,
+            retry_budget_percent: self.retry_budget_percent,
+        }
+    }
+}
+
 /// A complete declarative scenario.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -157,6 +235,14 @@ pub struct ScenarioSpec {
     /// the replayed bytes (exercises the production-trace path).
     #[serde(default)]
     pub replay: bool,
+    /// Bounded server queues + optional shedding/AQM (the overload
+    /// lane); `None` = unbounded queues, the pre-overload engine.
+    #[serde(default)]
+    pub queue: Option<QueueSpec>,
+    /// Client-side request timeouts + retries (the overload lane);
+    /// `None` = clients never time out.
+    #[serde(default)]
+    pub timeout: Option<TimeoutSpec>,
 }
 
 /// The axis values one grid cell was lowered at (`None` = axis unused).
@@ -288,6 +374,7 @@ impl ScenarioSpec {
                 congestion_queue_threshold: self.run.congestion_queue_threshold,
                 telemetry_interval_ns: self.run.telemetry_interval_ns,
                 net: self.run.net,
+                overload: self.lower_overload(),
             };
             // Everything the typed checks above did not cover (service
             // rates, latency parameters, credits tuning, ...) still goes
@@ -462,7 +549,28 @@ impl ScenarioSpec {
                 });
             }
         }
+        // Overload lane.
+        if let Some(q) = &self.queue {
+            if q.codel_target_us.is_some() != q.codel_interval_us.is_some() {
+                return Err(ScenarioError::CoDelKnobsIncomplete);
+            }
+            q.lower().validate().map_err(ScenarioError::BadQueueSpec)?;
+        }
+        if let Some(t) = &self.timeout {
+            t.lower()
+                .validate()
+                .map_err(ScenarioError::BadTimeoutSpec)?;
+        }
         Ok(())
+    }
+
+    /// Lowers the overload-lane specs (µs-denominated) to the core
+    /// config's ns-denominated knobs.
+    fn lower_overload(&self) -> OverloadConfig {
+        OverloadConfig {
+            queue: self.queue.as_ref().map(QueueSpec::lower),
+            timeout: self.timeout.as_ref().map(TimeoutSpec::lower),
+        }
     }
 
     /// Applies degradation and spike faults to the cluster.
@@ -572,6 +680,8 @@ mod tests {
             sweep: SweepSpec::default(),
             run: RunSpec::default(),
             replay: false,
+            queue: None,
+            timeout: None,
         }
     }
 
@@ -734,5 +844,105 @@ mod tests {
             spec.base_config().map(|_| ()),
             Err(ScenarioError::MultiCell { cells: 2 })
         );
+    }
+
+    #[test]
+    fn overload_specs_lower_microseconds_to_core_knobs() {
+        let mut spec = minimal();
+        spec.queue = Some(QueueSpec {
+            capacity: 64,
+            shed_above: Some(48),
+            codel_target_us: Some(5_000),
+            codel_interval_us: Some(100_000),
+        });
+        spec.timeout = Some(TimeoutSpec {
+            timeout_us: 20_000,
+            max_retries: 2,
+            backoff_base_us: 500,
+            backoff_cap_us: 4_000,
+            retry_budget_percent: Some(10),
+        });
+        let base = spec.base_config().unwrap();
+        let queue = base.overload.queue.unwrap();
+        assert_eq!(queue.capacity, 64);
+        assert_eq!(queue.shed_above, Some(48));
+        let codel = queue.codel.unwrap();
+        assert_eq!(codel.target_ns, 5_000_000);
+        assert_eq!(codel.interval_ns, 100_000_000);
+        let timeout = base.overload.timeout.unwrap();
+        assert_eq!(timeout.timeout_us, 20_000);
+        assert_eq!(timeout.max_retries, 2);
+        assert_eq!(timeout.retry_budget_percent, Some(10));
+        // Knobs off lowers to the legacy engine exactly.
+        assert!(minimal().base_config().unwrap().overload.is_off());
+    }
+
+    #[test]
+    fn overload_specs_are_validated_typed() {
+        // A lone CoDel knob is ambiguous.
+        let mut spec = minimal();
+        spec.queue = Some(QueueSpec {
+            capacity: 64,
+            shed_above: None,
+            codel_target_us: Some(5_000),
+            codel_interval_us: None,
+        });
+        assert_eq!(spec.validate(), Err(ScenarioError::CoDelKnobsIncomplete));
+
+        // Shed watermark above capacity.
+        let mut spec = minimal();
+        spec.queue = Some(QueueSpec {
+            capacity: 64,
+            shed_above: Some(65),
+            codel_target_us: None,
+            codel_interval_us: None,
+        });
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::BadQueueSpec(_))
+        ));
+
+        // Backoff cap below the base.
+        let mut spec = minimal();
+        spec.timeout = Some(TimeoutSpec {
+            timeout_us: 20_000,
+            max_retries: 2,
+            backoff_base_us: 4_000,
+            backoff_cap_us: 500,
+            retry_budget_percent: None,
+        });
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::BadTimeoutSpec(_))
+        ));
+    }
+
+    #[test]
+    fn overload_specs_round_trip_through_toml_and_json() {
+        let mut spec = minimal();
+        spec.queue = Some(QueueSpec {
+            capacity: 128,
+            shed_above: Some(96),
+            codel_target_us: None,
+            codel_interval_us: None,
+        });
+        spec.timeout = Some(TimeoutSpec {
+            timeout_us: 50_000,
+            max_retries: 1,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 8_000,
+            retry_budget_percent: None,
+        });
+        let toml_back = ScenarioSpec::from_toml(&spec.to_toml().unwrap()).unwrap();
+        assert_eq!(toml_back.queue, spec.queue);
+        assert_eq!(toml_back.timeout, spec.timeout);
+        let json_back = ScenarioSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        assert_eq!(json_back.queue, spec.queue);
+        assert_eq!(json_back.timeout, spec.timeout);
+        // Legacy spec files (no overload tables) still parse: knobs off.
+        let legacy = minimal().to_toml().unwrap();
+        assert!(!legacy.contains("[queue]") && !legacy.contains("[timeout]"));
+        let back = ScenarioSpec::from_toml(&legacy).unwrap();
+        assert!(back.queue.is_none() && back.timeout.is_none());
     }
 }

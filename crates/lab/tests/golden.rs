@@ -85,7 +85,9 @@ fn report_jsonl_schema_is_pinned() {
             "faults",
             "sweep",
             "run",
-            "replay"
+            "replay",
+            "queue",
+            "timeout"
         ]
     );
 
@@ -126,6 +128,93 @@ fn report_jsonl_schema_is_pinned() {
                 "demand_reports",
                 "hedges_issued",
                 "duplicate_responses"
+            ]
+        );
+    }
+}
+
+/// The overload lane's report fields are strictly additive: with the
+/// knobs on, every run line grows the same five keys *after* the legacy
+/// block, and the summary aggregates them as mean/stddev pairs. (The
+/// legacy shape without knobs is pinned byte-exactly above and by the
+/// run-hash goldens.)
+#[test]
+fn overload_report_keys_are_additive() {
+    let spec = ScenarioBuilder::new("overload-pin")
+        .tasks(300)
+        .scale_catalog(true)
+        .load(1.2)
+        .strategies(vec![Strategy::c3()])
+        .seeds(&[1, 2])
+        .bounded_queue(brb_lab::QueueSpec {
+            capacity: 64,
+            shed_above: None,
+            codel_target_us: Some(5_000),
+            codel_interval_us: Some(100_000),
+        })
+        .timeouts(brb_lab::TimeoutSpec {
+            timeout_us: 20_000,
+            max_retries: 1,
+            backoff_base_us: 500,
+            backoff_cap_us: 4_000,
+            retry_budget_percent: Some(50),
+        })
+        .build()
+        .expect("valid scenario");
+    let results = runner::run_spec(&spec).expect("scenario runs");
+    // The human table grows its goodput columns only when the lane ran.
+    let table = report::render_table(&results);
+    assert!(table.contains("goodput(t/s)") && table.contains("drop/tmo/shed"));
+    let text = report::to_jsonl_string(&spec, &results);
+    let mut lines = text.lines();
+    let _header = lines.next().expect("header line");
+    let record: Value = serde_json::from_str(lines.next().expect("record line")).unwrap();
+    let summary = record.get("summary").unwrap();
+    assert_eq!(
+        keys(summary),
+        [
+            "strategy",
+            "runs",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "mean_ms",
+            "goodput",
+            "dropped",
+            "timed_out",
+            "retries",
+            "shed"
+        ]
+    );
+    assert_eq!(keys(summary.get("goodput").unwrap()), ["mean", "stddev"]);
+    let runs = match summary.get("runs").unwrap() {
+        Value::Array(runs) => runs,
+        other => panic!("runs should be an array, got {other:?}"),
+    };
+    for run in runs {
+        assert_eq!(
+            keys(run),
+            [
+                "strategy",
+                "seed",
+                "task_latency_ms",
+                "request_latency_ms",
+                "hold_time_ms",
+                "utilization",
+                "completed_tasks",
+                "measured_tasks",
+                "sim_secs",
+                "events",
+                "dispatched",
+                "congestion_signals",
+                "demand_reports",
+                "hedges_issued",
+                "duplicate_responses",
+                "goodput",
+                "dropped",
+                "timed_out",
+                "retries",
+                "shed"
             ]
         );
     }

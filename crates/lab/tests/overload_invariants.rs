@@ -1,0 +1,74 @@
+//! Conservation sweep for the overload lane.
+//!
+//! With every knob engaged at once — bounded queues, an admission
+//! watermark, CoDel, tight timeouts with budgeted retries — and the
+//! offered load past saturation, each issued task must still resolve
+//! exactly once, for *every* strategy realization the engine has
+//! (direct dispatch, credits, the global-queue model, hedging) across
+//! several seeds:
+//!
+//! `completed + dropped + timed_out + shed == issued`
+//!
+//! This is the sweep-level companion to the engine's per-mechanism
+//! unit tests: any path that double-resolves a task (NACK racing a
+//! timeout, a retry racing a late original response, a hedge racing a
+//! drop) or leaks one (a terminal failure that never accounts) breaks
+//! the equation.
+
+use brb_core::config::Strategy;
+use brb_core::experiment::run_experiment;
+use brb_lab::{QueueSpec, ScenarioBuilder, TimeoutSpec};
+
+#[test]
+fn every_strategy_conserves_tasks_under_full_overload() {
+    const TASKS: usize = 800;
+    let mut strategies = Strategy::figure2_set();
+    strategies.push(Strategy::hedged_default());
+    let spec = ScenarioBuilder::new("overload-conservation")
+        .tasks(TASKS)
+        .scale_catalog(true)
+        .load(1.2)
+        .strategies(strategies)
+        .seeds(&[1, 2, 3])
+        .bounded_queue(QueueSpec {
+            capacity: 64,
+            shed_above: Some(48),
+            codel_target_us: Some(5_000),
+            codel_interval_us: Some(100_000),
+        })
+        .timeouts(TimeoutSpec {
+            timeout_us: 15_000,
+            max_retries: 2,
+            backoff_base_us: 200,
+            backoff_cap_us: 2_000,
+            retry_budget_percent: Some(25),
+        })
+        .build()
+        .expect("valid scenario");
+    let cells = spec.lower().expect("single-cell scenario lowers");
+    assert_eq!(cells.len(), 1);
+    for strategy in &cells[0].strategies {
+        for &seed in &cells[0].seeds {
+            let r = run_experiment(cells[0].config_for(strategy.clone(), seed));
+            let ov = r.overload.unwrap_or_else(|| {
+                panic!("{} seed {seed}: knobs on ⇒ stats present", strategy.name())
+            });
+            assert_eq!(
+                r.completed_tasks as u64 + ov.dropped + ov.timed_out + ov.shed,
+                TASKS as u64,
+                "conservation violated for {} seed {seed}: \
+                 completed {} + dropped {} + timed_out {} + shed {}",
+                strategy.name(),
+                r.completed_tasks,
+                ov.dropped,
+                ov.timed_out,
+                ov.shed,
+            );
+            assert!(
+                ov.goodput > 0.0,
+                "{} seed {seed}: overload must degrade, not halt",
+                strategy.name()
+            );
+        }
+    }
+}

@@ -21,15 +21,20 @@
 //!   priority queue; idle servers work-pull the highest-priority request
 //!   they are allowed to serve (replica constraint), with zero
 //!   coordination cost.
+//! * [`overload`] — the overload lane: bounded queues with typed
+//!   enqueue outcomes, admission-control load shedding, and a
+//!   CoDel-style AQM (sojourn-time target, inverse-sqrt drop cadence).
 
 pub mod credits;
 pub mod global_queue;
+pub mod overload;
 pub mod policy;
 pub mod priority;
 pub mod queue;
 
 pub use credits::{CreditBucket, CreditController, CreditsConfig, GrantTable};
 pub use global_queue::GlobalQueue;
+pub use overload::{Bounded, CoDel, CoDelConfig, DropReason, EnqueueOutcome, QueueBound};
 pub use policy::{PolicyKind, PriorityPolicy, TaskView};
 pub use priority::Priority;
 pub use queue::{FifoQueue, PriorityQueue, RequestQueue};
