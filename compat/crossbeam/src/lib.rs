@@ -29,6 +29,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Result of a deadline-bounded receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message queued.
+        Timeout,
+        /// No message queued and all senders dropped.
+        Disconnected,
+    }
+
     /// Result of a non-blocking receive attempt.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -98,6 +107,39 @@ pub mod channel {
                 }
                 q = self.0.ready.wait(q).expect("channel poisoned");
             }
+        }
+
+        /// Blocks until a message arrives, every sender is gone, or
+        /// `deadline` passes — the wait primitive behind the live
+        /// runtime's client-side timeout timers.
+        pub fn recv_deadline(&self, deadline: std::time::Instant) -> Result<T, RecvTimeoutError> {
+            let mut q = self.0.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, remaining)
+                    .expect("channel poisoned");
+                q = guard;
+            }
+        }
+
+        /// [`Receiver::recv_deadline`] with a relative duration.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(std::time::Instant::now() + timeout)
         }
 
         /// Non-blocking receive.
@@ -223,6 +265,29 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::{Duration, Instant};
+        let (tx, rx) = unbounded::<u32>();
+        // Empty channel with a live sender: the deadline fires.
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_deadline(t0 + Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        // A queued message is delivered without waiting out the deadline.
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        // All senders gone: disconnection, not a timeout.
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -485,6 +485,14 @@ pub struct QueueConfig {
     /// interval are dropped at an inverse-sqrt-tightening cadence.
     #[serde(default)]
     pub codel: Option<CoDelConfig>,
+    /// Split the drop/shed counters by priority class (log₂ buckets of
+    /// the assigned priority key) and report them as the additive
+    /// `priority_classes` run field — makes per-class starvation under
+    /// shedding observable (e.g. EqualMax favoring small tasks). Off by
+    /// default: the split is extra report surface, and existing
+    /// serializations must stay byte-identical.
+    #[serde(default)]
+    pub priority_stats: bool,
 }
 
 impl QueueConfig {
@@ -808,6 +816,7 @@ mod tests {
             capacity: 0,
             shed_above: None,
             codel: None,
+            priority_stats: false,
         });
         assert!(cfg.validate().is_err(), "zero capacity");
 
@@ -816,6 +825,7 @@ mod tests {
             capacity: 8,
             shed_above: Some(9),
             codel: None,
+            priority_stats: false,
         });
         assert!(cfg.validate().is_err(), "watermark above capacity");
 
@@ -827,6 +837,7 @@ mod tests {
                 target_ns: 0,
                 interval_ns: 1,
             }),
+            priority_stats: false,
         });
         assert!(cfg.validate().is_err(), "zero CoDel target");
 
@@ -855,6 +866,7 @@ mod tests {
             capacity: 64,
             shed_above: Some(48),
             codel: Some(CoDelConfig::paper_default()),
+            priority_stats: false,
         });
         cfg.overload.timeout = Some(TimeoutConfig {
             timeout_us: 10_000,
@@ -874,6 +886,7 @@ mod tests {
             capacity: 64,
             shed_above: Some(48),
             codel: Some(CoDelConfig::paper_default()),
+            priority_stats: false,
         });
         cfg.overload.timeout = Some(TimeoutConfig {
             timeout_us: 10_000,

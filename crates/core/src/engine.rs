@@ -371,6 +371,12 @@ pub struct EngineWorld {
     pub counters: Counters,
     /// Telemetry snapshots (empty unless `telemetry_interval_ns` is set).
     pub timeline: Timeline,
+    /// Terminal drop/shed counts split by priority class (the bit length
+    /// of the failing request's priority key, so class 0 holds priority
+    /// 0 and class `k` holds keys in `[2^(k-1), 2^k)`). `Some` only when
+    /// `QueueConfig::priority_stats` is on; the per-class drop and shed
+    /// sums then equal `tasks_dropped` and `tasks_shed`.
+    pub dropshed_by_class: Option<std::collections::BTreeMap<u8, (u64, u64)>>,
 
     oracle_scratch: Vec<u64>,
 }
@@ -564,6 +570,11 @@ impl EngineWorld {
         let queue_bound = cfg.overload.queue.map(|q| q.bound());
         let codel_cfg = cfg.overload.queue.and_then(|q| q.codel);
         let timeout = cfg.overload.timeout;
+        let dropshed_by_class = cfg
+            .overload
+            .queue
+            .is_some_and(|q| q.priority_stats)
+            .then(std::collections::BTreeMap::new);
         let global_codel = match realization {
             Realization::Model => codel_cfg.map(CoDel::new),
             _ => None,
@@ -661,6 +672,7 @@ impl EngineWorld {
             hold_time: Histogram::for_latency_ns(),
             counters: Counters::default(),
             timeline: Timeline::default(),
+            dropshed_by_class,
             oracle_scratch: Vec::with_capacity(8),
         }
     }
@@ -1534,7 +1546,7 @@ impl EngineWorld {
                 DropReason::QueueFull | DropReason::Sojourn => TaskFailure::Dropped,
                 DropReason::Shed => TaskFailure::Shed,
             };
-            self.fail_task(req.task_idx, failure);
+            self.fail_task(req.task_idx, failure, req.priority);
             if self.clients[req.client as usize].held > 0 {
                 self.pump(ctx, req.client);
             }
@@ -1571,7 +1583,7 @@ impl EngineWorld {
             } else {
                 TaskFailure::RetriesExhausted
             };
-            self.fail_task(req.task_idx, failure);
+            self.fail_task(req.task_idx, failure, req.priority);
             if self.clients[req.client as usize].held > 0 {
                 self.pump(ctx, req.client);
             }
@@ -1603,7 +1615,7 @@ impl EngineWorld {
     /// failure wins: recycling the `done` vector marks the task resolved
     /// for every later event that touches it (sibling responses, pending
     /// timers, backed-off retries), exactly like completion does.
-    fn fail_task(&mut self, task_idx: u32, failure: TaskFailure) {
+    fn fail_task(&mut self, task_idx: u32, failure: TaskFailure, priority: Priority) {
         let task = &mut self.tasks[task_idx as usize];
         debug_assert!(!task.done.is_empty(), "task failed after resolving");
         let done = std::mem::take(&mut task.done);
@@ -1613,6 +1625,15 @@ impl EngineWorld {
             TaskFailure::Shed => self.counters.tasks_shed += 1,
             TaskFailure::TimedOut | TaskFailure::RetriesExhausted => {
                 self.counters.tasks_timed_out += 1
+            }
+        }
+        if let Some(by_class) = &mut self.dropshed_by_class {
+            let class = (u64::BITS - priority.0.leading_zeros()) as u8;
+            let slot = by_class.entry(class).or_insert((0, 0));
+            match failure {
+                TaskFailure::Dropped => slot.0 += 1,
+                TaskFailure::Shed => slot.1 += 1,
+                TaskFailure::TimedOut | TaskFailure::RetriesExhausted => {}
             }
         }
         self.failed += 1;
@@ -2130,6 +2151,7 @@ mod tests {
                 capacity: 64,
                 shed_above: None,
                 codel: None,
+                priority_stats: false,
             }),
             timeout: None,
         };
@@ -2154,6 +2176,7 @@ mod tests {
                 capacity: 64,
                 shed_above: Some(32),
                 codel: None,
+                priority_stats: false,
             }),
             timeout: None,
         };
@@ -2175,6 +2198,7 @@ mod tests {
                 capacity: 100_000,
                 shed_above: None,
                 codel: Some(CoDelConfig::paper_default()),
+                priority_stats: false,
             }),
             timeout: None,
         };
@@ -2195,6 +2219,7 @@ mod tests {
                 capacity: 256,
                 shed_above: None,
                 codel: Some(CoDelConfig::paper_default()),
+                priority_stats: false,
             }),
             timeout: None,
         };
@@ -2291,6 +2316,7 @@ mod tests {
                 capacity: 64,
                 shed_above: Some(48),
                 codel: Some(CoDelConfig::paper_default()),
+                priority_stats: false,
             }),
             timeout: Some(TimeoutConfig {
                 timeout_us: 10_000,
@@ -2370,6 +2396,7 @@ mod tests {
                 capacity: 64,
                 shed_above: None,
                 codel: Some(CoDelConfig::paper_default()),
+                priority_stats: false,
             }),
             timeout: None,
         };

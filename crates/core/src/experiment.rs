@@ -38,6 +38,21 @@ pub struct OverloadStats {
     pub shed: u64,
 }
 
+/// One priority class's share of the terminal drop/shed counts,
+/// reported only when `QueueConfig::priority_stats` is on. The class is
+/// the bit length of the failing request's priority key: class 0 is
+/// priority 0, class `k` covers keys in `[2^(k-1), 2^k)` — coarse
+/// log₂ buckets so the report stays bounded under arbitrary key spreads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriorityClassStats {
+    /// log₂ bucket of the priority key (bit length).
+    pub class: u8,
+    /// Tasks of this class terminally failed by a queue drop.
+    pub dropped: u64,
+    /// Tasks of this class terminally failed by admission shedding.
+    pub shed: u64,
+}
+
 /// The result of one seeded run of one strategy.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -74,6 +89,9 @@ pub struct RunResult {
     pub duplicate_responses: u64,
     /// Overload-lane outcomes; `None` when every knob is off.
     pub overload: Option<OverloadStats>,
+    /// Per-priority-class drop/shed split, sorted by class; `None`
+    /// unless `QueueConfig::priority_stats` requested it.
+    pub priority_classes: Option<Vec<PriorityClassStats>>,
 }
 
 // Report-v1 stability: the key order here *is* the schema (pinned by
@@ -117,6 +135,9 @@ impl Serialize for RunResult {
             entries.push(("retries".into(), o.retries.to_value()));
             entries.push(("shed".into(), o.shed.to_value()));
         }
+        if let Some(pc) = &self.priority_classes {
+            entries.push(("priority_classes".into(), pc.to_value()));
+        }
         serde::Value::Object(entries)
     }
 }
@@ -138,6 +159,11 @@ impl Deserialize for RunResult {
         } else {
             None
         };
+        let priority_classes = if obj.iter().any(|(k, _)| k == "priority_classes") {
+            Some(field(obj, "priority_classes")?)
+        } else {
+            None
+        };
         Ok(RunResult {
             strategy: field(obj, "strategy")?,
             seed: field(obj, "seed")?,
@@ -155,6 +181,7 @@ impl Deserialize for RunResult {
             hedges_issued: field(obj, "hedges_issued")?,
             duplicate_responses: field(obj, "duplicate_responses")?,
             overload,
+            priority_classes,
         })
     }
 }
@@ -204,6 +231,16 @@ fn run_world(world: EngineWorld) -> RunResult {
             shed: counters.tasks_shed,
         })
     };
+    let priority_classes = w.dropshed_by_class.as_ref().map(|by_class| {
+        by_class
+            .iter()
+            .map(|(&class, &(dropped, shed))| PriorityClassStats {
+                class,
+                dropped,
+                shed,
+            })
+            .collect()
+    });
     RunResult {
         strategy,
         seed,
@@ -223,6 +260,7 @@ fn run_world(world: EngineWorld) -> RunResult {
         hedges_issued: counters.hedges_issued,
         duplicate_responses: counters.duplicate_responses,
         overload,
+        priority_classes,
     }
 }
 
@@ -681,6 +719,7 @@ mod tests {
             capacity: 64,
             shed_above: None,
             codel: None,
+            priority_stats: false,
         });
         let r = run_experiment(cfg);
         let o = r.overload.expect("knobs on ⇒ stats present");
@@ -709,6 +748,47 @@ mod tests {
         assert_eq!(serde_json::to_string(&sback).unwrap(), sj);
     }
 
+    #[test]
+    fn priority_class_split_is_additive_and_sums_match() {
+        let mut cfg = small(Strategy::c3(), 7);
+        cfg.workload.load = 1.3;
+        cfg.overload.queue = Some(crate::config::QueueConfig {
+            capacity: 64,
+            shed_above: Some(48),
+            codel: None,
+            priority_stats: true,
+        });
+        let r = run_experiment(cfg.clone());
+        let o = r.overload.expect("knobs on ⇒ stats present");
+        assert!(o.dropped + o.shed > 0, "split needs failures to classify");
+        let pc = r
+            .priority_classes
+            .as_ref()
+            .expect("priority_stats on ⇒ split present");
+        assert_eq!(pc.iter().map(|c| c.dropped).sum::<u64>(), o.dropped);
+        assert_eq!(pc.iter().map(|c| c.shed).sum::<u64>(), o.shed);
+        assert!(
+            pc.windows(2).all(|w| w[0].class < w[1].class),
+            "classes sorted ascending"
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        // Appended after the overload block, round-trips byte-stably.
+        let pos = |k: &str| json.find(k).unwrap_or_else(|| panic!("missing {k}"));
+        assert!(pos("\"shed\"") < pos("\"priority_classes\""));
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        // The knob is observation-only: same run with it off produces
+        // identical outcomes and no extra key.
+        let mut off = cfg;
+        off.overload.queue.as_mut().unwrap().priority_stats = false;
+        let r_off = run_experiment(off);
+        assert!(r_off.priority_classes.is_none());
+        let off_json = serde_json::to_string(&r_off).unwrap();
+        assert!(!off_json.contains("priority_classes"));
+        assert_eq!(r_off.overload, r.overload);
+    }
+
     /// The regression the overload lane exists to pin: at 1.3× offered
     /// load an unbounded system completes everything but its tail is
     /// the standing backlog; bounding + CoDel trades a slice of the
@@ -722,6 +802,7 @@ mod tests {
             capacity: 64,
             shed_above: None,
             codel: Some(brb_sched::CoDelConfig::paper_default()),
+            priority_stats: false,
         });
         let u = run_experiment(unbounded);
         let b = run_experiment(bounded);

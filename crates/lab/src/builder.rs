@@ -414,6 +414,7 @@ mod tests {
                 shed_above: None,
                 codel_target_us: None,
                 codel_interval_us: None,
+                priority_stats: false,
             })
             .build_config(Strategy::c3(), 1)
             .unwrap_err();
@@ -443,6 +444,7 @@ mod tests {
                 shed_above: Some(32),
                 codel_target_us: Some(5_000),
                 codel_interval_us: Some(100_000),
+                priority_stats: false,
             })
             .timeouts(TimeoutSpec {
                 timeout_us: 20_000,

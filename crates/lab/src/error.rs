@@ -126,6 +126,14 @@ pub enum ScenarioError {
         /// What the live backend cannot honor.
         what: String,
     },
+    /// A live `brb-rt` run failed mid-flight (a worker or router thread
+    /// panicked, or the cluster shut down under a waiting task). The
+    /// run's numbers are unusable; the harness reports the failure typed
+    /// instead of hanging or panicking through the cell loop.
+    RtRunFailed {
+        /// The live runtime's error rendering.
+        cause: String,
+    },
     /// A structural invariant checked by the core config layer failed
     /// (carries the core error message).
     Config(String),
@@ -212,6 +220,9 @@ impl fmt::Display for ScenarioError {
             ),
             RtUnsupported { what } => {
                 write!(f, "the live rt backend cannot honor {what}")
+            }
+            RtRunFailed { cause } => {
+                write!(f, "a live rt run failed: {cause}")
             }
             Config(msg) => write!(f, "invalid configuration: {msg}"),
             Parse(msg) => write!(f, "spec parse error: {msg}"),

@@ -244,6 +244,7 @@ fn sustained_overload() -> ScenarioBuilder {
             shed_above: None,
             codel_target_us: Some(5_000),
             codel_interval_us: Some(100_000),
+            priority_stats: false,
         })
         // Generous timeout: drops surface as NACK-driven retries, and
         // the 10% budget keeps those retries from becoming their own
@@ -305,6 +306,7 @@ fn load_shedding() -> ScenarioBuilder {
             shed_above: Some(96),
             codel_target_us: None,
             codel_interval_us: None,
+            priority_stats: false,
         })
         .strategies(vec![Strategy::c3(), Strategy::equal_max_credits()])
         .seeds(&[1, 2])

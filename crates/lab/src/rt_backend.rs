@@ -14,43 +14,64 @@
 //! Axes lower faithfully where real threads can express them: cluster
 //! shape (servers / cores / replication), offered load (arrival rate
 //! against the service model's capacity), fan-out sweeps, scheduling
-//! policy, selector choice, forecast quality, and the constant mesh
+//! policy, selector choice, forecast quality, the constant mesh
 //! latency (accounted into every recorded latency as a request +
 //! response hop — a uniform shift is exact for a constant-latency
-//! model, so nothing sleeps for it). Everything else fails
-//! with a typed [`ScenarioError::RtUnsupported`] instead of a panic or a
-//! silent approximation:
+//! model, so nothing sleeps for it), and the **overload lane**: bounded
+//! server queues with watermark shedding and CoDel run on real sojourn
+//! timestamps, client timeouts are wall-clock deadline timers with the
+//! simulator's capped-exponential budgeted retries, and every run is
+//! checked against the conservation contract
+//! `completed + dropped + timed_out + shed == issued`. Degraded-server
+//! speed factors divide live service times exactly like the simulator's.
+//! Everything else fails with a typed [`ScenarioError::RtUnsupported`]
+//! instead of a panic or a silent approximation:
 //!
 //! * hedged strategies (no engine-side duplicate cancellation),
 //! * the oracle selector (needs instantaneous global queue state),
-//! * fault injections (degraded speeds, latency spikes),
 //! * non-constant latency models, telemetry snapshots, replay mode,
-//! * the overload lane (bounded queues, shedding, client timeouts —
-//!   OS channels cannot be bounded and live workers cannot be
-//!   cancelled).
+//! * per-priority drop/shed accounting (`priority_stats` — the live
+//!   transport does not tag failures with engine priority classes).
 //!
-//! Two mappings are deliberate approximations and are documented in the
-//! report semantics (`crates/rt/README.md`): `Credits`/`Model`
+//! Three mappings are deliberate approximations and are documented in
+//! the report semantics (`crates/rt/README.md`): `Credits`/`Model`
 //! strategies run as priority-queue scheduling under the same policy
 //! with least-outstanding selection (the runtime has no credits
-//! controller or global queue), and playlist workloads flatten to the
+//! controller or global queue), playlist workloads flatten to the
 //! SoundCloud fan-out mixture over a uniform key universe (synthetic
 //! workloads keep their Zipf key popularity and service noise is
-//! sampled live from the same model the simulator draws).
+//! sampled live from the same model the simulator draws), and transient
+//! latency spikes become extra *service* time held by the worker — the
+//! in-process transport has no wire to delay, so a spike occupies the
+//! server instead of only the message.
+//!
+//! A live run that dies mid-flight — a worker or router thread panics,
+//! or the cluster shuts down under a waiting task — surfaces as
+//! [`ScenarioError::RtRunFailed`]; the panic-guarded runtime converts
+//! what used to be a hang into a typed failure.
 
 use crate::error::ScenarioError;
 use crate::runner::CellResult;
 use crate::spec::{ScenarioCell, ScenarioSpec};
 use brb_core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
-use brb_core::experiment::{RunResult, StrategySummary};
+use brb_core::experiment::{OverloadStats, RunResult, StrategySummary};
 use brb_net::LatencyModel;
-use brb_rt::{run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, WorkModel};
+use brb_rt::{
+    try_run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, RtQueueConfig,
+    RtTimeoutConfig, SpikeModel, WorkModel,
+};
 use brb_sched::PolicyKind;
 use brb_select::SelectorSpec;
 use brb_workload::FanoutDist;
 
 fn unsupported(what: impl Into<String>) -> ScenarioError {
     ScenarioError::RtUnsupported { what: what.into() }
+}
+
+fn rt_failed(e: brb_rt::RtError) -> ScenarioError {
+    ScenarioError::RtRunFailed {
+        cause: e.to_string(),
+    }
 }
 
 /// One strategy lowered to what the live client can run.
@@ -131,31 +152,60 @@ fn lower_workload_kind(kind: &WorkloadKind) -> (FanoutDist, u64, f64) {
 /// produces the live cluster construction parameters.
 fn lower_cluster(base: &ExperimentConfig) -> Result<RtClusterConfig, ScenarioError> {
     let cluster = &base.cluster;
-    if cluster.server_speed_factors.iter().any(|&f| f != 1.0) {
-        return Err(unsupported(
-            "degraded server speeds (live workers run at machine speed)",
-        ));
-    }
-    let LatencyModel::Constant { delay_ns } = cluster.latency else {
-        return Err(unsupported(
-            "non-constant latency models (the in-process transport replaces the mesh)",
-        ));
+    // Request + response hop of the mesh's base latency, accounted into
+    // recorded latencies (a uniform shift leaves queueing dynamics
+    // untouched, so adding it is exact for a constant-latency model).
+    // Spikes become extra worker-held service time — the documented
+    // approximation (there is no wire to delay in-process).
+    let (network_rtt_ns, spike) = match cluster.latency {
+        LatencyModel::Constant { delay_ns } => (2 * delay_ns, None),
+        LatencyModel::Spiky {
+            base_ns,
+            p_spike,
+            spike_lo_ns,
+            spike_hi_ns,
+        } => (
+            2 * base_ns,
+            Some(SpikeModel {
+                p_spike,
+                extra_lo_ns: spike_lo_ns,
+                extra_hi_ns: spike_hi_ns,
+            }),
+        ),
+        _ => {
+            return Err(unsupported(
+                "non-constant latency models (the in-process transport replaces the mesh)",
+            ))
+        }
     };
     if base.telemetry_interval_ns.is_some() {
         return Err(unsupported("telemetry snapshots (virtual-time sampling)"));
     }
-    if base.overload.queue.is_some() {
+    if base.overload.queue.is_some_and(|q| q.priority_stats) {
         return Err(unsupported(
-            "bounded queues / load shedding (live servers queue in OS channels \
-             the engine cannot bound or inspect)",
+            "per-priority drop/shed accounting (the live transport does not \
+             tag failures with engine priority classes)",
         ));
     }
-    if base.overload.timeout.is_some() {
-        return Err(unsupported(
-            "client timeouts and retries (the live client has no \
-             cancellation path into a worker already serving the request)",
-        ));
-    }
+    let queue = base.overload.queue.map(|q| RtQueueConfig {
+        bound: q.bound(),
+        codel: q.codel,
+    });
+    let timeout = base.overload.timeout.map(|t| RtTimeoutConfig {
+        timeout_ns: t.timeout_us * 1_000,
+        max_retries: t.max_retries,
+        backoff_base_ns: t.backoff_base_us * 1_000,
+        backoff_cap_ns: t.backoff_cap_us * 1_000,
+        retry_budget_percent: t.retry_budget_percent,
+    });
+    // Nominal-speed clusters keep the empty vector (the legacy shape);
+    // degraded ones hand the factors to the live workers, which divide
+    // service times by them exactly like the simulator does.
+    let speed_factors = if cluster.server_speed_factors.iter().all(|&f| f == 1.0) {
+        Vec::new()
+    } else {
+        cluster.server_speed_factors.clone()
+    };
     let service = cluster.service_model(base.workload.sizes.mean_bytes());
     Ok(RtClusterConfig {
         num_servers: cluster.num_servers,
@@ -169,10 +219,12 @@ fn lower_cluster(base: &ExperimentConfig) -> Result<RtClusterConfig, ScenarioErr
         sizes: base.workload.sizes,
         forecast: cluster.forecast,
         num_clients: cluster.num_clients,
-        // Request + response hop of the constant mesh, accounted into
-        // recorded latencies (a uniform shift leaves queueing dynamics
-        // untouched, so adding it is exact for a constant-latency model).
-        network_rtt_ns: 2 * delay_ns,
+        network_rtt_ns,
+        queue,
+        timeout,
+        speed_factors,
+        spike,
+        panic_on_key: None,
     })
 }
 
@@ -183,16 +235,17 @@ fn run_one(
     strategy: &Strategy,
     rt: RtStrategy,
     seed: u64,
-) -> RunResult {
+) -> Result<RunResult, ScenarioError> {
     let mut config = cluster_template.clone();
     config.policy = rt.policy;
     config.selector = rt.selector;
+    let overload_lane = config.queue.is_some() || config.timeout.is_some();
 
     let (fanout, key_range, key_zipf) = lower_workload_kind(&cell.base.workload.kind);
     let task_rate = cell.base.workload.task_rate(&cell.base.cluster);
     let cluster = RtCluster::start(config);
     cluster.populate_etc(key_range);
-    let report = run_load(
+    let report = try_run_load(
         &cluster,
         &LoadGenConfig {
             tasks: cell.base.workload.num_tasks,
@@ -204,20 +257,31 @@ fn run_one(
             key_zipf,
             seed,
         },
-    );
-    cluster.shutdown();
+    )
+    .map_err(rt_failed)?;
+    cluster.shutdown_checked().map_err(rt_failed)?;
 
     // The live lane fills the fields it actually measures and zeroes the
     // simulator-only counters — the mapping is documented next to the
-    // report-v1 schema (crates/rt/README.md).
-    RunResult {
+    // report-v1 schema (crates/rt/README.md). With the overload knobs
+    // off the loadgen guarantees `completed == tasks` and all-zero
+    // failure counters, so the report stays byte-identical to the
+    // legacy shape (`overload: None` omits the additive keys).
+    let overload = overload_lane.then_some(OverloadStats {
+        goodput: report.goodput,
+        dropped: report.dropped,
+        timed_out: report.timed_out,
+        retries: report.retries,
+        shed: report.shed,
+    });
+    Ok(RunResult {
         strategy: strategy.name(),
         seed,
         task_latency_ms: report.task_latency_ms,
         request_latency_ms: report.request_latency_ms,
         hold_time_ms: None,
         utilization: report.utilization,
-        completed_tasks: report.tasks,
+        completed_tasks: report.completed,
         measured_tasks: report.task_latency_ms.count,
         sim_secs: report.wall.as_secs_f64(),
         events: 0,
@@ -226,8 +290,9 @@ fn run_one(
         demand_reports: 0,
         hedges_issued: 0,
         duplicate_responses: 0,
-        overload: None,
-    }
+        overload,
+        priority_classes: None,
+    })
 }
 
 /// Runs every cell of a validated spec on the live runtime. Cells (and
@@ -246,16 +311,6 @@ pub fn run_spec_rt_with_progress(
 ) -> Result<Vec<CellResult>, ScenarioError> {
     if spec.replay {
         return Err(unsupported("replay mode (trace JSONL round-trips)"));
-    }
-    if !spec.faults.degraded.is_empty() {
-        return Err(unsupported(
-            "degraded server speeds (live workers run at machine speed)",
-        ));
-    }
-    if spec.faults.spike.is_some() {
-        return Err(unsupported(
-            "transient latency spikes (the in-process transport replaces the mesh)",
-        ));
     }
     let cells = spec.lower()?;
     let num_cells = cells.len();
@@ -280,10 +335,10 @@ pub fn run_spec_rt_with_progress(
                         .seeds
                         .iter()
                         .map(|&seed| run_one(&cell, &cluster_template, strategy, rt, seed))
-                        .collect();
-                    StrategySummary::from_runs(runs)
+                        .collect::<Result<_, _>>()?;
+                    Ok(StrategySummary::from_runs(runs))
                 })
-                .collect();
+                .collect::<Result<_, ScenarioError>>()?;
             Ok(CellResult {
                 index: cell.index,
                 axes: cell.axes,
@@ -332,6 +387,56 @@ mod tests {
     }
 
     #[test]
+    fn faults_run_live() {
+        // Degraded speeds divide live service times; spikes become extra
+        // worker-held time. Both lanes complete at modest load with the
+        // legacy report shape (no overload knobs ⇒ no additive keys).
+        let degraded = tiny().load(0.3).degrade_server(0, 0.5).build().unwrap();
+        let results = run_spec_rt(&degraded).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.completed_tasks, 150);
+        assert!(run.overload.is_none());
+
+        let spiky = tiny().load(0.3).spike(0.05, 200, 500).build().unwrap();
+        let results = run_spec_rt(&spiky).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.completed_tasks, 150);
+        assert!(run.overload.is_none());
+    }
+
+    #[test]
+    fn overload_knobs_run_live_and_conserve() {
+        let spec = tiny()
+            .load(1.2)
+            .bounded_queue(crate::spec::QueueSpec {
+                capacity: 8,
+                shed_above: Some(6),
+                codel_target_us: None,
+                codel_interval_us: None,
+                priority_stats: false,
+            })
+            .timeouts(crate::spec::TimeoutSpec {
+                timeout_us: 5_000,
+                max_retries: 1,
+                backoff_base_us: 100,
+                backoff_cap_us: 1_000,
+                retry_budget_percent: Some(10),
+            })
+            .build()
+            .unwrap();
+        let results = run_spec_rt(&spec).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        let o = run.overload.expect("overload lane on ⇒ stats present");
+        assert_eq!(
+            run.completed_tasks as u64 + o.dropped + o.timed_out + o.shed,
+            150,
+            "live conservation must hold in the report"
+        );
+        assert!(o.goodput > 0.0);
+        assert!(run.priority_classes.is_none());
+    }
+
+    #[test]
     fn load_axis_lowers_to_arrival_rates() {
         let spec = tiny().sweep_load(&[0.3, 0.6]).build().unwrap();
         let results = run_spec_rt(&spec).unwrap();
@@ -364,50 +469,26 @@ mod tests {
             other => panic!("expected RtUnsupported, got {other:?}"),
         }
 
-        let degraded = tiny().load(0.3).degrade_server(0, 0.5).build().unwrap();
-        match run_spec_rt(&degraded) {
-            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("degraded")),
-            other => panic!("expected RtUnsupported, got {other:?}"),
-        }
-
-        let spiky = tiny().spike(0.01, 1_000, 2_000).build().unwrap();
-        match run_spec_rt(&spiky) {
-            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("spikes")),
-            other => panic!("expected RtUnsupported, got {other:?}"),
-        }
-
         let replay = tiny().replay(true).build().unwrap();
         match run_spec_rt(&replay) {
             Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("replay")),
             other => panic!("expected RtUnsupported, got {other:?}"),
         }
 
-        let bounded = tiny()
+        let priority_stats = tiny()
             .bounded_queue(crate::spec::QueueSpec {
                 capacity: 64,
                 shed_above: None,
                 codel_target_us: None,
                 codel_interval_us: None,
+                priority_stats: true,
             })
             .build()
             .unwrap();
-        match run_spec_rt(&bounded) {
-            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("bounded queues")),
-            other => panic!("expected RtUnsupported, got {other:?}"),
-        }
-
-        let timeouts = tiny()
-            .timeouts(crate::spec::TimeoutSpec {
-                timeout_us: 10_000,
-                max_retries: 1,
-                backoff_base_us: 0,
-                backoff_cap_us: 0,
-                retry_budget_percent: None,
-            })
-            .build()
-            .unwrap();
-        match run_spec_rt(&timeouts) {
-            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("timeouts")),
+        match run_spec_rt(&priority_stats) {
+            Err(ScenarioError::RtUnsupported { what }) => {
+                assert!(what.contains("per-priority"))
+            }
             other => panic!("expected RtUnsupported, got {other:?}"),
         }
 

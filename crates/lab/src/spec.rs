@@ -142,6 +142,11 @@ pub struct QueueSpec {
     /// dropping starts), microseconds.
     #[serde(default)]
     pub codel_interval_us: Option<u64>,
+    /// Split terminal drop/shed counts by priority class (log₂ buckets
+    /// of the priority key) in the report's additive `priority_classes`
+    /// field. Observation-only; off by default. Simulator backend only.
+    #[serde(default)]
+    pub priority_stats: bool,
 }
 
 impl QueueSpec {
@@ -157,6 +162,7 @@ impl QueueSpec {
                 }),
                 _ => None,
             },
+            priority_stats: self.priority_stats,
         }
     }
 }
@@ -854,6 +860,7 @@ mod tests {
             shed_above: Some(48),
             codel_target_us: Some(5_000),
             codel_interval_us: Some(100_000),
+            priority_stats: false,
         });
         spec.timeout = Some(TimeoutSpec {
             timeout_us: 20_000,
@@ -886,6 +893,7 @@ mod tests {
             shed_above: None,
             codel_target_us: Some(5_000),
             codel_interval_us: None,
+            priority_stats: false,
         });
         assert_eq!(spec.validate(), Err(ScenarioError::CoDelKnobsIncomplete));
 
@@ -896,6 +904,7 @@ mod tests {
             shed_above: Some(65),
             codel_target_us: None,
             codel_interval_us: None,
+            priority_stats: false,
         });
         assert!(matches!(
             spec.validate(),
@@ -925,6 +934,7 @@ mod tests {
             shed_above: Some(96),
             codel_target_us: None,
             codel_interval_us: None,
+            priority_stats: false,
         });
         spec.timeout = Some(TimeoutSpec {
             timeout_us: 50_000,

@@ -151,6 +151,7 @@ fn overload_report_keys_are_additive() {
             shed_above: None,
             codel_target_us: Some(5_000),
             codel_interval_us: Some(100_000),
+            priority_stats: false,
         })
         .timeouts(brb_lab::TimeoutSpec {
             timeout_us: 20_000,

@@ -35,6 +35,7 @@ fn every_strategy_conserves_tasks_under_full_overload() {
             shed_above: Some(48),
             codel_target_us: Some(5_000),
             codel_interval_us: Some(100_000),
+            priority_stats: false,
         })
         .timeouts(TimeoutSpec {
             timeout_us: 15_000,

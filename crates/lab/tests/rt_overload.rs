@@ -1,0 +1,160 @@
+//! Live-vs-simulated overload concordance, plus the rt backend's
+//! report-shape pin.
+//!
+//! The concordance scenario is `retry-storm` shrunk to the live-smoke
+//! cluster shape (3 servers × 2 workers, ~1.25ms mean services) so this
+//! machine can genuinely saturate the servers: at 1.2× offered load the
+//! tight 20ms deadlines fire for real, random+FIFO collapses into
+//! timeouts, and C3's feedback keeps more of the offered work completing
+//! — on **both** backends. The schema pin mirrors the simulator's golden
+//! test: a knobs-off live run serializes with exactly the 15 legacy run
+//! keys, and the overload lane appends exactly the five additive keys.
+
+use brb_core::config::Strategy;
+use brb_lab::{registry, rt_backend, runner, ScenarioBuilder, ScenarioSpec};
+use serde::Value;
+
+/// `retry-storm` at a size real threads can saturate: same strategies,
+/// same tight-timeout/eager-retry knobs, smaller cluster and task count.
+fn shrunk_retry_storm() -> ScenarioSpec {
+    registry::builder("retry-storm")
+        .expect("registry preset")
+        .servers(3)
+        .cores(2)
+        .partitions(3)
+        .replication(2)
+        .service_rate(800.0)
+        .tasks(1_200)
+        .scale_catalog(true)
+        .sweep_load(&[1.2])
+        .seeds(&[1])
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn rt_retry_storm_concords_with_sim() {
+    let spec = shrunk_retry_storm();
+    let live = rt_backend::run_spec_rt(&spec).expect("live run");
+    let sim = runner::run_spec(&spec).expect("sim run");
+
+    for (backend, results) in [("rt", &live), ("sim", &sim)] {
+        assert_eq!(results.len(), 1);
+        let fifo = &results[0].summaries[0].runs[0];
+        let c3 = &results[0].summaries[1].runs[0];
+        assert_eq!(fifo.strategy, "random+FIFO");
+        assert_eq!(c3.strategy, "C3");
+        for run in [fifo, c3] {
+            let o = run.overload.expect("overload lane on ⇒ stats present");
+            assert_eq!(
+                run.completed_tasks as u64 + o.dropped + o.timed_out + o.shed,
+                1_200,
+                "{backend}/{}: conservation must hold",
+                run.strategy
+            );
+        }
+        let of = fifo.overload.unwrap();
+        let oc = c3.overload.unwrap();
+        assert!(
+            of.timed_out > 0,
+            "{backend}: random+FIFO must shed goodput into timeouts past 1.0×"
+        );
+        assert!(
+            oc.goodput > of.goodput,
+            "{backend}: C3 goodput {:.0} must beat random+FIFO {:.0} past 1.0×",
+            oc.goodput,
+            of.goodput
+        );
+    }
+
+    // The live collapse is substantial, not marginal: the storm times
+    // out over a quarter of random+FIFO's tasks.
+    let of = live[0].summaries[0].runs[0].overload.unwrap();
+    assert!(
+        of.timed_out * 4 > 1_200,
+        "live random+FIFO should time out >25% of tasks, got {}",
+        of.timed_out
+    );
+}
+
+/// Collects an object's keys in order; panics on non-objects.
+fn keys(v: &Value) -> Vec<&str> {
+    match v {
+        Value::Object(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+const LEGACY_RUN_KEYS: [&str; 15] = [
+    "strategy",
+    "seed",
+    "task_latency_ms",
+    "request_latency_ms",
+    "hold_time_ms",
+    "utilization",
+    "completed_tasks",
+    "measured_tasks",
+    "sim_secs",
+    "events",
+    "dispatched",
+    "congestion_signals",
+    "demand_reports",
+    "hedges_issued",
+    "duplicate_responses",
+];
+
+fn tiny() -> ScenarioBuilder {
+    ScenarioBuilder::new("rt-schema-pin")
+        .servers(3)
+        .cores(2)
+        .partitions(3)
+        .replication(2)
+        .service_rate(20_000.0)
+        .tasks(150)
+        .load(0.5)
+        .scale_catalog(true)
+        .strategies(vec![Strategy::c3()])
+        .seeds(&[1])
+}
+
+#[test]
+fn rt_report_shape_is_pinned() {
+    // Knobs off: the live run must serialize byte-compatibly with the
+    // legacy report — exactly the 15 keys, no overload block.
+    let spec = tiny().build().expect("valid scenario");
+    let results = rt_backend::run_spec_rt(&spec).expect("live run");
+    let run = &results[0].summaries[0].runs[0];
+    assert!(run.overload.is_none() && run.priority_classes.is_none());
+    let v: Value = serde_json::from_str(&serde_json::to_string(run).unwrap()).unwrap();
+    assert_eq!(keys(&v), LEGACY_RUN_KEYS);
+
+    // Knobs on: exactly the five additive overload keys, after the
+    // legacy block, in schema order.
+    let spec = tiny()
+        .load(1.2)
+        .bounded_queue(brb_lab::QueueSpec {
+            capacity: 8,
+            shed_above: Some(6),
+            codel_target_us: None,
+            codel_interval_us: None,
+            priority_stats: false,
+        })
+        .timeouts(brb_lab::TimeoutSpec {
+            timeout_us: 5_000,
+            max_retries: 1,
+            backoff_base_us: 100,
+            backoff_cap_us: 1_000,
+            retry_budget_percent: Some(10),
+        })
+        .build()
+        .expect("valid scenario");
+    let results = rt_backend::run_spec_rt(&spec).expect("live run");
+    let run = &results[0].summaries[0].runs[0];
+    let v: Value = serde_json::from_str(&serde_json::to_string(run).unwrap()).unwrap();
+    let expected: Vec<&str> = LEGACY_RUN_KEYS
+        .iter()
+        .copied()
+        .chain(["goodput", "dropped", "timed_out", "retries", "shed"])
+        .collect();
+    assert_eq!(keys(&v), expected);
+}

@@ -6,19 +6,32 @@
 //! piggybacked `queue_len` / `service_ns` response fields (the C3
 //! feedback mechanism), replacing the load-oblivious global round-robin
 //! counter this client started with.
+//!
+//! The overload lane adds the client half of the sim's contract: when
+//! the cluster carries a timeout config, every attempt gets a wall-clock
+//! deadline; a timeout or a server NACK triggers a capped-exponential
+//! retry with a *fresh attempt id* (stale replies stay distinguishable)
+//! under a per-client retry budget, and exhaustion resolves the task
+//! into a typed [`TaskOutcome::Failed`] instead of a hang. Semantics —
+//! retry counting, backoff shifts, the budget inequality, late-original
+//! wins — mirror the simulator's engine so sim-vs-rt goodput numbers
+//! compare like for like.
 
+use crate::error::RtError;
+use crate::server::RtTimeoutConfig;
 use crate::timing;
-use crate::transport::{RtRequest, RtResponse};
+use crate::transport::{RtNack, RtReply, RtRequest, RtResponse};
+use brb_sched::overload::DropReason;
 use brb_sched::{PolicyKind, Priority, PriorityPolicy, TaskView};
 use brb_select::{ReplicaSelector, ResponseFeedback, Selection, SelectionCtx};
 use brb_store::cost::CostModel;
-use brb_store::ids::ServerId;
+use brb_store::ids::{GroupId, ServerId};
 use brb_store::partition::Ring;
 use brb_workload::taskgen::SizeModel;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +55,47 @@ pub struct TaskResponse {
     pub request_ns: Vec<u64>,
 }
 
+/// Why a task failed under the overload lane. Matches the simulator's
+/// terminal `TaskFailure` classification so both backends bucket the
+/// same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFailureKind {
+    /// A request was tail-dropped or CoDel-dropped with no retry left.
+    Dropped,
+    /// A request was shed by admission control with no retry left.
+    Shed,
+    /// A request's deadline passed and retries are disabled
+    /// (`max_retries == 0`).
+    TimedOut,
+    /// A request's deadline passed after the last permitted retry (or
+    /// the retry budget ran dry).
+    RetriesExhausted,
+}
+
+/// How a task resolved.
+#[derive(Debug)]
+pub enum TaskOutcome {
+    /// Every request was served.
+    Completed(TaskResponse),
+    /// A request failed terminally; the task counts against goodput.
+    Failed {
+        /// The terminal failure (first one wins, as in the simulator).
+        failure: TaskFailureKind,
+    },
+}
+
+/// A resolved task: its outcome plus retry accounting.
+#[derive(Debug)]
+pub struct TaskResolution {
+    /// The task id assigned at submission.
+    pub task_id: u64,
+    /// Retries this task issued (0 when every request's first attempt
+    /// resolved it).
+    pub retries: u32,
+    /// How it ended.
+    pub outcome: TaskOutcome,
+}
+
 type SharedSelector = Arc<Mutex<Box<dyn ReplicaSelector + Send>>>;
 
 /// The piggybacked server state a response carries; `rtt_ns` is the
@@ -55,244 +109,48 @@ fn feedback_of(resp: &RtResponse, rtt_ns: u64) -> ResponseFeedback {
     }
 }
 
-/// A pending asynchronous task.
-///
-/// Dropping a ticket without waiting abandons the task: responses that
-/// already arrived still feed the selector, and the rest release their
-/// outstanding-request accounting (`on_abandon`), so an abandoned
-/// large-fanout task cannot permanently steer traffic away from the
-/// replicas it touched.
-pub struct TaskTicket {
-    task_id: u64,
-    n: usize,
-    started: Instant,
-    rx: Receiver<RtResponse>,
-    selector: SharedSelector,
-    epoch: Instant,
-    /// The server each request was dispatched to (by request index).
-    dispatched: Vec<ServerId>,
-    /// Which request indices have been accounted to the selector
-    /// (`on_response`). Shared between `wait_from` and `Drop` so a
-    /// panic mid-collection (cluster shutdown) cannot double-account a
-    /// dispatch as both response and abandon.
-    accounted: Vec<bool>,
-    /// Accounted network round trip, nanoseconds.
-    rtt_ns: u64,
-    /// Set by `wait_from` once every dispatch has been accounted.
-    collected: bool,
-}
-
-impl TaskTicket {
-    /// Blocks until every response arrives; latency is measured from the
-    /// submit instant.
-    pub fn wait(self) -> TaskResponse {
-        let origin = self.started;
-        self.wait_from(origin)
+/// Backoff before retry attempt `attempt` (1-based), the simulator's
+/// curve exactly: base 0 retries immediately; otherwise the base doubles
+/// per retry (shift saturated at 32) under an optional cap (0 = uncapped).
+fn backoff_ns(tc: &RtTimeoutConfig, attempt: u32) -> u64 {
+    if tc.backoff_base_ns == 0 {
+        return 0;
     }
-
-    /// Blocks until every response arrives, measuring latency from
-    /// `origin` — the corrected recording path shared by both load
-    /// generator modes. The recorded latency ends at the *server-side
-    /// completion instant* of the last response, so collecting a ticket
-    /// long after the task finished (an open-loop generator draining its
-    /// backlog) does not inflate the measurement.
-    pub fn wait_from(mut self, origin: Instant) -> TaskResponse {
-        let rtt = Duration::from_nanos(self.rtt_ns);
-        let mut values: Vec<Option<Bytes>> = (0..self.n).map(|_| None).collect();
-        let mut servers = vec![0u32; self.n];
-        let mut request_ns = vec![0u64; self.n];
-        let mut completed = origin;
-        for _ in 0..self.n {
-            let resp = self.rx.recv().expect("cluster has shut down");
-            debug_assert_eq!(resp.task_id, self.task_id);
-            // Feed the selector the piggybacked server state.
-            let now_ns = self.epoch.elapsed().as_nanos() as u64;
-            self.selector.lock().on_response(
-                ServerId::new(resp.server as u64),
-                now_ns,
-                &feedback_of(&resp, self.rtt_ns),
-            );
-            let i = resp.req_idx as usize;
-            self.accounted[i] = true;
-            values[i] = resp.value;
-            servers[i] = resp.server;
-            request_ns[i] = resp.total_ns + self.rtt_ns;
-            let done = resp.completed + rtt;
-            if done > completed {
-                completed = done;
-            }
-        }
-        self.collected = true;
-        TaskResponse {
-            task_id: self.task_id,
-            latency: completed.saturating_duration_since(origin),
-            values,
-            servers,
-            request_ns,
-        }
-    }
-
-    /// Whether every response has already arrived (`wait*` would not
-    /// block). Lets an open-loop generator drain completed tasks — and
-    /// deliver their selector feedback — while staying on schedule.
-    pub fn is_ready(&self) -> bool {
-        self.rx.len() >= self.n
+    let shift = attempt.saturating_sub(1).min(32);
+    let raw = ((tc.backoff_base_ns as u128) << shift).min(u64::MAX as u128) as u64;
+    if tc.backoff_cap_ns > 0 {
+        raw.min(tc.backoff_cap_ns)
+    } else {
+        raw
     }
 }
 
-impl Drop for TaskTicket {
-    fn drop(&mut self) {
-        if self.collected {
-            return;
-        }
-        // The task was abandoned (or collection panicked part-way).
-        // Credit what arrived and was not yet accounted as regular
-        // feedback, then release the outstanding slots of the rest —
-        // exactly one accounting action per dispatch, even when
-        // `wait_from` consumed some responses before unwinding. A
-        // response landing after this drain is dropped with the
-        // receiver; its slot was already released here, so the count
-        // stays balanced.
-        let mut selector = self.selector.lock();
-        while let Ok(resp) = self.rx.try_recv() {
-            let now_ns = self.epoch.elapsed().as_nanos() as u64;
-            selector.on_response(
-                ServerId::new(resp.server as u64),
-                now_ns,
-                &feedback_of(&resp, self.rtt_ns),
-            );
-            self.accounted[resp.req_idx as usize] = true;
-        }
-        for (i, &server) in self.dispatched.iter().enumerate() {
-            if !self.accounted[i] {
-                selector.on_abandon(server);
-            }
-        }
-    }
-}
-
-/// A handle for submitting tasks to an [`crate::RtCluster`].
-pub struct RtClient {
+/// State shared by a client and its tickets (tickets must redispatch
+/// retries through the same selector, budget and senders the client
+/// uses).
+pub(crate) struct ClientInner {
     ring: Ring,
     cost: CostModel,
-    policy: PolicyKind,
     sizes: SizeModel,
     senders: Vec<Sender<RtRequest>>,
-    task_counter: Arc<AtomicU64>,
     selector: SharedSelector,
     epoch: Instant,
     /// Accounted network round trip per request (see
     /// [`crate::RtClusterConfig::network_rtt_ns`]).
     rtt_ns: u64,
+    /// Deadline/retry knobs (`None` = wait forever, the legacy path).
+    timeout: Option<RtTimeoutConfig>,
+    /// Requests this client dispatched (originals and retries) — the
+    /// denominator of the retry budget, as in the sim's `ClientState`.
+    dispatched_total: AtomicU64,
+    /// Retries this client issued — the budget numerator.
+    retried_total: AtomicU64,
+    /// The cluster's sticky panic flag; waits poll it so a dead worker
+    /// thread fails runs typed instead of hanging them.
+    panicked: Arc<AtomicBool>,
 }
 
-impl RtClient {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        ring: Ring,
-        cost: CostModel,
-        policy: PolicyKind,
-        sizes: SizeModel,
-        senders: Vec<Sender<RtRequest>>,
-        task_counter: Arc<AtomicU64>,
-        selector: Box<dyn ReplicaSelector + Send>,
-        rtt_ns: u64,
-    ) -> RtClient {
-        RtClient {
-            ring,
-            cost,
-            policy,
-            sizes,
-            senders,
-            task_counter,
-            selector: Arc::new(Mutex::new(selector)),
-            epoch: Instant::now(),
-            rtt_ns,
-        }
-    }
-
-    /// Submits a batch read and blocks until it completes.
-    ///
-    /// # Panics
-    /// Panics on an empty key list or if the cluster shut down mid-task.
-    pub fn fetch(&self, keys: &[u64]) -> TaskResponse {
-        self.fetch_async(keys).wait()
-    }
-
-    /// Submits a batch read and returns a ticket to wait on — lets one
-    /// client keep many tasks in flight (the large fan-out pattern).
-    pub fn fetch_async(&self, keys: &[u64]) -> TaskTicket {
-        assert!(!keys.is_empty(), "a task needs at least one key");
-        let task_id = self.task_counter.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
-        let arrival_ns = self.epoch.elapsed().as_nanos() as u64;
-
-        // Split into sub-tasks per replica group and forecast costs from
-        // the size catalog (the client-side knowledge BRB assumes).
-        let n = keys.len();
-        let mut costs = Vec::with_capacity(n);
-        let mut groups = Vec::with_capacity(n);
-        for &key in keys {
-            groups.push(self.ring.group_of_key(key));
-            costs.push(self.cost.forecast_ns(self.sizes.size_of(key)));
-        }
-        // Group → sub-task index via a dense scratch table: replica
-        // groups are few (one per partition set), so this is O(n + G)
-        // where the old linear rescan was O(n·g) — quadratic on the
-        // SoundCloud-style hundreds-of-keys fan-outs.
-        let mut group_slot = vec![usize::MAX; self.ring.num_groups() as usize];
-        let mut request_subtask = Vec::with_capacity(n);
-        let mut subtask_costs: Vec<u64> = Vec::new();
-        for (i, g) in groups.iter().enumerate() {
-            let slot = &mut group_slot[g.index()];
-            if *slot == usize::MAX {
-                *slot = subtask_costs.len();
-                subtask_costs.push(0);
-            }
-            let idx = *slot;
-            request_subtask.push(idx);
-            subtask_costs[idx] += costs[i];
-        }
-        let view = TaskView {
-            arrival_ns,
-            request_costs: &costs,
-            request_subtask: &request_subtask,
-            subtask_costs: &subtask_costs,
-        };
-        let priorities: Vec<Priority> = self.policy.assign(&view);
-
-        // One response channel per task: no cross-task interference.
-        let (tx, rx) = unbounded();
-        let mut dispatched = Vec::with_capacity(n);
-        for (i, &key) in keys.iter().enumerate() {
-            let replicas = self.ring.replicas_of_group(groups[i]);
-            let server = self.select_replica(&replicas, self.sizes.size_of(key));
-            dispatched.push(server);
-            self.senders[server.index()]
-                .send(RtRequest {
-                    key,
-                    priority: priorities[i],
-                    req_idx: i as u32,
-                    task_id,
-                    submitted: started,
-                    reply: tx.clone(),
-                })
-                .expect("cluster has shut down");
-        }
-        TaskTicket {
-            task_id,
-            n,
-            started,
-            rx,
-            selector: Arc::clone(&self.selector),
-            epoch: self.epoch,
-            dispatched,
-            accounted: vec![false; n],
-            rtt_ns: self.rtt_ns,
-            collected: false,
-        }
-    }
-
+impl ClientInner {
     /// Runs the selector over a request's replica group. A rate-limiting
     /// selector (C3) may refuse every candidate; the live client then
     /// waits out the earliest token (bounded per iteration so a clock
@@ -316,18 +174,636 @@ impl RtClient {
         }
     }
 
+    /// Whether one more retry fits — the simulator's gate verbatim:
+    /// attempts bounded by `max_retries`, then the per-client budget
+    /// (`retried · 100 ≥ dispatched · percent` means dry).
+    fn can_retry(&self, attempt: u32) -> bool {
+        let Some(tc) = self.timeout else {
+            return false;
+        };
+        if attempt >= tc.max_retries {
+            return false;
+        }
+        if let Some(percent) = tc.retry_budget_percent {
+            let retried = self.retried_total.load(Ordering::Relaxed);
+            let dispatched = self.dispatched_total.load(Ordering::Relaxed).max(1);
+            if retried * 100 >= dispatched * percent as u64 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One request slot's lifecycle.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    /// An attempt is in flight; `deadline` arms the timeout timer
+    /// (`None` when the cluster has no timeout config).
+    Pending {
+        attempt: u32,
+        deadline: Option<Instant>,
+    },
+    /// Waiting out the backoff before dispatching `next_attempt`.
+    Backoff { next_attempt: u32, at: Instant },
+    /// Served, or terminally failed (the task's `failure` is set then).
+    Settled,
+}
+
+/// A dispatch awaiting selector accounting: every send is balanced by
+/// exactly one `on_response` (its reply arrived) or `on_abandon` (it was
+/// NACKed, superseded and never answered, or the ticket dropped).
+#[derive(Debug, Clone, Copy)]
+struct OpenDispatch {
+    req_idx: usize,
+    attempt: u32,
+    server: ServerId,
+}
+
+/// How often a blocked wait wakes to poll the cluster's panic flag.
+const WATCHDOG: Duration = Duration::from_millis(10);
+
+/// A pending asynchronous task.
+///
+/// Dropping a ticket without waiting abandons the task: responses that
+/// already arrived still feed the selector, and the rest release their
+/// outstanding-request accounting (`on_abandon`), so an abandoned
+/// large-fanout task cannot permanently steer traffic away from the
+/// replicas it touched.
+pub struct TaskTicket {
+    inner: Arc<ClientInner>,
+    task_id: u64,
+    n: usize,
+    started: Instant,
+    rx: Receiver<RtReply>,
+    /// Retained while retries are possible so redispatches reuse the
+    /// task's reply channel. `None` when the cluster has no timeout
+    /// config — then a shut-down cluster surfaces as channel
+    /// disconnection (the legacy liveness path) instead of a deadline.
+    reply_tx: Option<Sender<RtReply>>,
+    keys: Vec<u64>,
+    groups: Vec<GroupId>,
+    priorities: Vec<Priority>,
+    slots: Vec<SlotState>,
+    open: Vec<OpenDispatch>,
+    values: Vec<Option<Bytes>>,
+    servers: Vec<u32>,
+    request_ns: Vec<u64>,
+    /// Latest server-side completion (+RTT) seen so far.
+    latest_completed: Option<Instant>,
+    /// Slots served (not terminally failed).
+    served: usize,
+    retries: u32,
+    failure: Option<TaskFailureKind>,
+    /// Set once an outcome has been taken (poll path).
+    taken: bool,
+}
+
+impl TaskTicket {
+    /// Blocks until every response arrives; latency is measured from the
+    /// submit instant.
+    ///
+    /// # Panics
+    /// Panics if the task fails under the overload lane or the cluster
+    /// shut down mid-task; overload runs should use
+    /// [`TaskTicket::wait_outcome_from`].
+    pub fn wait(self) -> TaskResponse {
+        let origin = self.started;
+        self.wait_from(origin)
+    }
+
+    /// Blocks until every response arrives, measuring latency from
+    /// `origin` — the corrected recording path shared by both load
+    /// generator modes. The recorded latency ends at the *server-side
+    /// completion instant* of the last response, so collecting a ticket
+    /// long after the task finished (an open-loop generator draining its
+    /// backlog) does not inflate the measurement.
+    ///
+    /// # Panics
+    /// Panics if the task fails under the overload lane or the cluster
+    /// shut down mid-task.
+    pub fn wait_from(self, origin: Instant) -> TaskResponse {
+        match self.wait_outcome_from(origin) {
+            Ok(TaskResolution {
+                outcome: TaskOutcome::Completed(resp),
+                ..
+            }) => resp,
+            Ok(TaskResolution {
+                outcome: TaskOutcome::Failed { failure },
+                ..
+            }) => panic!("task failed under overload: {failure:?}"),
+            Err(e) => panic!("cluster has shut down: {e}"),
+        }
+    }
+
+    /// Blocks until the task resolves — served, terminally failed, or
+    /// runtime error — measuring latency from the submit instant.
+    pub fn wait_outcome(self) -> Result<TaskResolution, RtError> {
+        let origin = self.started;
+        self.wait_outcome_from(origin)
+    }
+
+    /// Blocks until the task resolves, measuring latency from `origin`.
+    /// This is the overload lane's collection path: timeouts, retries
+    /// and NACK handling all run inside this wait (or inside
+    /// [`TaskTicket::poll_outcome`] for the non-blocking variant).
+    pub fn wait_outcome_from(mut self, origin: Instant) -> Result<TaskResolution, RtError> {
+        self.advance(true)?;
+        debug_assert!(self.resolved());
+        self.taken = true;
+        Ok(self.take_resolution(origin))
+    }
+
+    /// Non-blocking progress: handles any replies, timers and backoffs
+    /// that are due, and returns the resolution once the task has one.
+    /// Returns `Ok(None)` while the task is still in flight (or after
+    /// the resolution was already taken). The open-loop generator calls
+    /// this between scheduled submissions so retries fire on time.
+    pub fn poll_outcome(&mut self, origin: Instant) -> Result<Option<TaskResolution>, RtError> {
+        if self.taken {
+            return Ok(None);
+        }
+        self.advance(false)?;
+        if self.resolved() {
+            self.taken = true;
+            Ok(Some(self.take_resolution(origin)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Whether every response has already arrived (`wait*` would not
+    /// block). Only meaningful on the legacy path (no timeout config):
+    /// under the overload lane replies include NACKs and retries, so
+    /// schedulers should use [`TaskTicket::poll_outcome`] instead.
+    pub fn is_ready(&self) -> bool {
+        self.rx.len() >= self.n
+    }
+
+    fn resolved(&self) -> bool {
+        self.failure.is_some() || self.served == self.n
+    }
+
+    /// Drives the state machine: drains replies, fires due timers and
+    /// backoffs; with `block` it waits (in panic-watchdog slices) until
+    /// the task resolves.
+    fn advance(&mut self, block: bool) -> Result<(), RtError> {
+        loop {
+            if self.inner.panicked.load(Ordering::SeqCst) {
+                return Err(RtError::WorkerPanicked);
+            }
+            loop {
+                if self.resolved() {
+                    return Ok(());
+                }
+                match self.rx.try_recv() {
+                    Ok(reply) => self.handle_reply(reply)?,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return Err(RtError::ClusterDown),
+                }
+            }
+            let now = Instant::now();
+            self.fire_timers(now)?;
+            if self.resolved() {
+                return Ok(());
+            }
+            if !block {
+                return Ok(());
+            }
+            // Sleep until the next deadline/backoff, a reply, or the
+            // watchdog tick — whichever is first.
+            let mut wake = now + WATCHDOG;
+            for slot in &self.slots {
+                match slot {
+                    SlotState::Pending {
+                        deadline: Some(d), ..
+                    } => wake = wake.min(*d),
+                    SlotState::Backoff { at, .. } => wake = wake.min(*at),
+                    _ => {}
+                }
+            }
+            match self.rx.recv_deadline(wake) {
+                Ok(reply) => self.handle_reply(reply)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(RtError::ClusterDown),
+            }
+        }
+    }
+
+    fn handle_reply(&mut self, reply: RtReply) -> Result<(), RtError> {
+        match reply {
+            RtReply::Served(resp) => {
+                self.on_served(resp);
+                Ok(())
+            }
+            RtReply::Nack(nack) => self.on_nack(nack),
+        }
+    }
+
+    fn on_served(&mut self, resp: RtResponse) {
+        debug_assert_eq!(resp.task_id, self.task_id);
+        // Balance this attempt's dispatch with selector feedback.
+        if let Some(pos) = self
+            .open
+            .iter()
+            .position(|o| o.req_idx == resp.req_idx as usize && o.attempt == resp.attempt)
+        {
+            self.open.swap_remove(pos);
+            let now_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+            self.inner.selector.lock().on_response(
+                ServerId::new(resp.server as u64),
+                now_ns,
+                &feedback_of(&resp, self.inner.rtt_ns),
+            );
+        }
+        let i = resp.req_idx as usize;
+        // Any served reply resolves an unresolved slot — a late original
+        // beats its own retry, as in the simulator.
+        if matches!(self.slots[i], SlotState::Settled) {
+            return;
+        }
+        self.slots[i] = SlotState::Settled;
+        self.served += 1;
+        self.values[i] = resp.value;
+        self.servers[i] = resp.server;
+        self.request_ns[i] = resp.total_ns + self.inner.rtt_ns;
+        let done_at = resp.completed + Duration::from_nanos(self.inner.rtt_ns);
+        if self.latest_completed.is_none_or(|c| done_at > c) {
+            self.latest_completed = Some(done_at);
+        }
+    }
+
+    fn on_nack(&mut self, nack: RtNack) -> Result<(), RtError> {
+        debug_assert_eq!(nack.task_id, self.task_id);
+        // The NACKed attempt never occupied the server; release it.
+        if let Some(pos) = self
+            .open
+            .iter()
+            .position(|o| o.req_idx == nack.req_idx as usize && o.attempt == nack.attempt)
+        {
+            let o = self.open.swap_remove(pos);
+            self.inner.selector.lock().on_abandon(o.server);
+        }
+        let i = nack.req_idx as usize;
+        // Only a NACK for the *current* attempt drives the slot; one for
+        // a superseded attempt is accounting only.
+        let current = matches!(
+            self.slots[i],
+            SlotState::Pending { attempt, .. } if attempt == nack.attempt
+        );
+        if !current {
+            return Ok(());
+        }
+        if self.inner.can_retry(nack.attempt) {
+            self.begin_retry(i, nack.attempt + 1)
+        } else {
+            self.failure = Some(match nack.reason {
+                DropReason::Shed => TaskFailureKind::Shed,
+                DropReason::QueueFull | DropReason::Sojourn => TaskFailureKind::Dropped,
+            });
+            self.slots[i] = SlotState::Settled;
+            Ok(())
+        }
+    }
+
+    fn fire_timers(&mut self, now: Instant) -> Result<(), RtError> {
+        for i in 0..self.slots.len() {
+            if self.failure.is_some() {
+                return Ok(());
+            }
+            match self.slots[i] {
+                SlotState::Pending {
+                    attempt,
+                    deadline: Some(d),
+                } if d <= now => self.on_attempt_timeout(i, attempt)?,
+                SlotState::Backoff { next_attempt, at } if at <= now => {
+                    self.redispatch(i, next_attempt)?
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn on_attempt_timeout(&mut self, i: usize, attempt: u32) -> Result<(), RtError> {
+        let tc = self.inner.timeout.expect("timeout fired without config");
+        if self.inner.can_retry(attempt) {
+            self.begin_retry(i, attempt + 1)
+        } else {
+            // The sim's terminal classification: a single-attempt config
+            // times out; a retrying config exhausts.
+            self.failure = Some(if tc.max_retries == 0 {
+                TaskFailureKind::TimedOut
+            } else {
+                TaskFailureKind::RetriesExhausted
+            });
+            self.slots[i] = SlotState::Settled;
+            Ok(())
+        }
+    }
+
+    fn begin_retry(&mut self, i: usize, next_attempt: u32) -> Result<(), RtError> {
+        let tc = self.inner.timeout.expect("retry without timeout config");
+        self.inner.retried_total.fetch_add(1, Ordering::Relaxed);
+        self.retries += 1;
+        let backoff = backoff_ns(&tc, next_attempt);
+        if backoff == 0 {
+            self.redispatch(i, next_attempt)
+        } else {
+            self.slots[i] = SlotState::Backoff {
+                next_attempt,
+                at: Instant::now() + Duration::from_nanos(backoff),
+            };
+            Ok(())
+        }
+    }
+
+    /// Dispatches attempt `attempt` of request `i`: replica selection
+    /// runs again (the retry may pick a healthier server), the attempt
+    /// id is fresh, and the deadline re-arms from this dispatch.
+    fn redispatch(&mut self, i: usize, attempt: u32) -> Result<(), RtError> {
+        let key = self.keys[i];
+        let replicas = self.inner.ring.replicas_of_group(self.groups[i]);
+        let server = self
+            .inner
+            .select_replica(&replicas, self.inner.sizes.size_of(key));
+        let tc = self
+            .inner
+            .timeout
+            .expect("redispatch without timeout config");
+        let tx = self
+            .reply_tx
+            .as_ref()
+            .expect("redispatch without reply sender");
+        let now = Instant::now();
+        self.inner.dispatched_total.fetch_add(1, Ordering::Relaxed);
+        let sent = self.inner.senders[server.index()].send(RtRequest {
+            key,
+            priority: self.priorities[i],
+            req_idx: i as u32,
+            task_id: self.task_id,
+            attempt,
+            submitted: now,
+            reply: tx.clone(),
+        });
+        if sent.is_err() {
+            return Err(if self.inner.panicked.load(Ordering::SeqCst) {
+                RtError::WorkerPanicked
+            } else {
+                RtError::ClusterDown
+            });
+        }
+        self.open.push(OpenDispatch {
+            req_idx: i,
+            attempt,
+            server,
+        });
+        self.slots[i] = SlotState::Pending {
+            attempt,
+            deadline: Some(now + Duration::from_nanos(tc.timeout_ns)),
+        };
+        Ok(())
+    }
+
+    fn take_resolution(&mut self, origin: Instant) -> TaskResolution {
+        let outcome = match self.failure {
+            Some(failure) => TaskOutcome::Failed { failure },
+            None => {
+                let completed = self.latest_completed.unwrap_or(origin);
+                TaskOutcome::Completed(TaskResponse {
+                    task_id: self.task_id,
+                    latency: completed.saturating_duration_since(origin),
+                    values: std::mem::take(&mut self.values),
+                    servers: std::mem::take(&mut self.servers),
+                    request_ns: std::mem::take(&mut self.request_ns),
+                })
+            }
+        };
+        TaskResolution {
+            task_id: self.task_id,
+            retries: self.retries,
+            outcome,
+        }
+    }
+}
+
+impl Drop for TaskTicket {
+    fn drop(&mut self) {
+        if self.open.is_empty() {
+            return;
+        }
+        // Balance every still-open dispatch exactly once: replies that
+        // already landed take the regular feedback path, the rest release
+        // their outstanding slots. A reply landing after this drain is
+        // dropped with the receiver; its slot was already released here,
+        // so the count stays balanced.
+        let mut selector = self.inner.selector.lock();
+        while let Ok(reply) = self.rx.try_recv() {
+            let (req_idx, attempt) = match &reply {
+                RtReply::Served(r) => (r.req_idx as usize, r.attempt),
+                RtReply::Nack(n) => (n.req_idx as usize, n.attempt),
+            };
+            let Some(pos) = self
+                .open
+                .iter()
+                .position(|o| o.req_idx == req_idx && o.attempt == attempt)
+            else {
+                continue;
+            };
+            let o = self.open.swap_remove(pos);
+            match reply {
+                RtReply::Served(resp) => {
+                    let now_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+                    selector.on_response(
+                        ServerId::new(resp.server as u64),
+                        now_ns,
+                        &feedback_of(&resp, self.inner.rtt_ns),
+                    );
+                }
+                RtReply::Nack(_) => selector.on_abandon(o.server),
+            }
+        }
+        for o in self.open.drain(..) {
+            selector.on_abandon(o.server);
+        }
+    }
+}
+
+/// A handle for submitting tasks to an [`crate::RtCluster`].
+pub struct RtClient {
+    inner: Arc<ClientInner>,
+    policy: PolicyKind,
+    task_counter: Arc<AtomicU64>,
+}
+
+impl RtClient {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ring: Ring,
+        cost: CostModel,
+        policy: PolicyKind,
+        sizes: SizeModel,
+        senders: Vec<Sender<RtRequest>>,
+        task_counter: Arc<AtomicU64>,
+        selector: Box<dyn ReplicaSelector + Send>,
+        rtt_ns: u64,
+        timeout: Option<RtTimeoutConfig>,
+        panicked: Arc<AtomicBool>,
+    ) -> RtClient {
+        RtClient {
+            inner: Arc::new(ClientInner {
+                ring,
+                cost,
+                sizes,
+                senders,
+                selector: Arc::new(Mutex::new(selector)),
+                epoch: Instant::now(),
+                rtt_ns,
+                timeout,
+                dispatched_total: AtomicU64::new(0),
+                retried_total: AtomicU64::new(0),
+                panicked,
+            }),
+            policy,
+            task_counter,
+        }
+    }
+
+    /// Submits a batch read and blocks until it completes.
+    ///
+    /// # Panics
+    /// Panics on an empty key list, if the cluster shut down mid-task, or
+    /// if the task fails under the overload lane.
+    pub fn fetch(&self, keys: &[u64]) -> TaskResponse {
+        self.fetch_async(keys).wait()
+    }
+
+    /// Submits a batch read and returns a ticket to wait on — lets one
+    /// client keep many tasks in flight (the large fan-out pattern).
+    pub fn fetch_async(&self, keys: &[u64]) -> TaskTicket {
+        assert!(!keys.is_empty(), "a task needs at least one key");
+        let task_id = self.task_counter.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let arrival_ns = self.inner.epoch.elapsed().as_nanos() as u64;
+
+        // Split into sub-tasks per replica group and forecast costs from
+        // the size catalog (the client-side knowledge BRB assumes).
+        let n = keys.len();
+        let mut costs = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        for &key in keys {
+            groups.push(self.inner.ring.group_of_key(key));
+            costs.push(self.inner.cost.forecast_ns(self.inner.sizes.size_of(key)));
+        }
+        // Group → sub-task index via a dense scratch table: replica
+        // groups are few (one per partition set), so this is O(n + G)
+        // where the old linear rescan was O(n·g) — quadratic on the
+        // SoundCloud-style hundreds-of-keys fan-outs.
+        let mut group_slot = vec![usize::MAX; self.inner.ring.num_groups() as usize];
+        let mut request_subtask = Vec::with_capacity(n);
+        let mut subtask_costs: Vec<u64> = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            let slot = &mut group_slot[g.index()];
+            if *slot == usize::MAX {
+                *slot = subtask_costs.len();
+                subtask_costs.push(0);
+            }
+            let idx = *slot;
+            request_subtask.push(idx);
+            subtask_costs[idx] += costs[i];
+        }
+        let view = TaskView {
+            arrival_ns,
+            request_costs: &costs,
+            request_subtask: &request_subtask,
+            subtask_costs: &subtask_costs,
+        };
+        let priorities: Vec<Priority> = self.policy.assign(&view);
+
+        // One response channel per task: no cross-task interference.
+        let (tx, rx) = unbounded();
+        let deadline = self
+            .inner
+            .timeout
+            .map(|tc| started + Duration::from_nanos(tc.timeout_ns));
+        let mut open = Vec::with_capacity(n);
+        for (i, &key) in keys.iter().enumerate() {
+            let replicas = self.inner.ring.replicas_of_group(groups[i]);
+            let server = self
+                .inner
+                .select_replica(&replicas, self.inner.sizes.size_of(key));
+            self.inner.dispatched_total.fetch_add(1, Ordering::Relaxed);
+            self.inner.senders[server.index()]
+                .send(RtRequest {
+                    key,
+                    priority: priorities[i],
+                    req_idx: i as u32,
+                    task_id,
+                    attempt: 0,
+                    submitted: started,
+                    reply: tx.clone(),
+                })
+                .expect("cluster has shut down");
+            open.push(OpenDispatch {
+                req_idx: i,
+                attempt: 0,
+                server,
+            });
+        }
+        TaskTicket {
+            inner: Arc::clone(&self.inner),
+            task_id,
+            n,
+            started,
+            rx,
+            reply_tx: self.inner.timeout.map(|_| tx),
+            keys: keys.to_vec(),
+            groups,
+            priorities,
+            slots: vec![
+                SlotState::Pending {
+                    attempt: 0,
+                    deadline,
+                };
+                n
+            ],
+            open,
+            values: (0..n).map(|_| None).collect(),
+            servers: vec![0; n],
+            request_ns: vec![0; n],
+            latest_completed: None,
+            served: 0,
+            retries: 0,
+            failure: None,
+            taken: false,
+        }
+    }
+
     /// This client's outstanding-request count toward `server`
     /// (selector-tracked; diagnostics).
     pub fn outstanding(&self, server: ServerId) -> u64 {
-        self.selector.lock().outstanding(server)
+        self.inner.selector.lock().outstanding(server)
+    }
+
+    /// Requests this client has dispatched (originals and retries).
+    pub fn dispatched_total(&self) -> u64 {
+        self.inner.dispatched_total.load(Ordering::Relaxed)
+    }
+
+    /// Retries this client has issued.
+    pub fn retried_total(&self) -> u64 {
+        self.inner.retried_total.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::server::{RtCluster, RtClusterConfig, WorkModel};
+    use super::*;
+    use crate::server::{RtCluster, RtClusterConfig, RtQueueConfig, RtTimeoutConfig, WorkModel};
+    use brb_sched::overload::QueueBound;
     use brb_sched::PolicyKind;
     use brb_select::SelectorSpec;
+    use brb_store::service::{ServiceModel, ServiceNoise};
 
     fn cluster() -> RtCluster {
         let c = RtCluster::start(RtClusterConfig {
@@ -341,6 +817,11 @@ mod tests {
         });
         c.populate_etc(2_000);
         c
+    }
+
+    /// ~`mean_us` µs of noiseless service per request at 64-byte values.
+    fn slow_service(mean_us: f64) -> ServiceModel {
+        ServiceModel::calibrated_size_linear(mean_us * 1_000.0, 64.0, 1.0, ServiceNoise::None)
     }
 
     #[test]
@@ -541,5 +1022,189 @@ mod tests {
         let client = c.client();
         // Hold the cluster alive until the panic fires.
         let _ = client.fetch(&[]);
+    }
+
+    /// A saturated bounded queue must tail-drop: a burst against one
+    /// slow worker with capacity 1 NACKs the overflow back, and with no
+    /// retry config those tasks fail typed as `Dropped` — while the
+    /// resolution counts conserve (`completed + failed == issued`).
+    #[test]
+    fn bounded_queue_tail_drops_as_typed_failures() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::SimulateService(slow_service(2_000.0)), // ~2ms
+            store_shards: 4,
+            queue: Some(RtQueueConfig {
+                bound: QueueBound {
+                    capacity: 1,
+                    shed_above: None,
+                },
+                codel: None,
+            }),
+            ..Default::default()
+        });
+        c.populate(64, |_| 64);
+        let client = c.client();
+        let tickets: Vec<_> = (0..10u64).map(|k| client.fetch_async(&[k])).collect();
+        let mut completed = 0;
+        let mut dropped = 0;
+        for t in tickets {
+            match t.wait_outcome().expect("live run failed").outcome {
+                TaskOutcome::Completed(_) => completed += 1,
+                TaskOutcome::Failed { failure } => {
+                    assert_eq!(failure, TaskFailureKind::Dropped);
+                    dropped += 1;
+                }
+            }
+        }
+        assert_eq!(completed + dropped, 10, "conservation");
+        assert!(dropped >= 1, "burst of 10 into capacity 1 never dropped");
+        assert_eq!(c.dropped_per_server().iter().sum::<u64>(), dropped);
+        c.shutdown();
+    }
+
+    /// The shed watermark must refuse work *below* capacity and the
+    /// refusal must classify as `Shed`, not `Dropped`.
+    #[test]
+    fn watermark_shedding_classifies_as_shed() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::SimulateService(slow_service(2_000.0)),
+            store_shards: 4,
+            queue: Some(RtQueueConfig {
+                bound: QueueBound {
+                    capacity: 100,
+                    shed_above: Some(1),
+                },
+                codel: None,
+            }),
+            ..Default::default()
+        });
+        c.populate(64, |_| 64);
+        let client = c.client();
+        let tickets: Vec<_> = (0..10u64).map(|k| client.fetch_async(&[k])).collect();
+        let mut shed = 0;
+        for t in tickets {
+            if let TaskOutcome::Failed { failure } =
+                t.wait_outcome().expect("live run failed").outcome
+            {
+                assert_eq!(failure, TaskFailureKind::Shed);
+                shed += 1;
+            }
+        }
+        assert!(shed >= 1, "watermark 1 never shed a 10-task burst");
+        assert_eq!(c.shed_per_server().iter().sum::<u64>(), shed);
+        c.shutdown();
+    }
+
+    /// Deadline timers: a service far beyond the timeout must resolve as
+    /// `TimedOut` with retries disabled, and as `RetriesExhausted` after
+    /// exactly `max_retries` fresh attempts otherwise.
+    #[test]
+    fn deadlines_fire_and_retries_exhaust() {
+        for (max_retries, expect, expect_retries) in [
+            (0u32, TaskFailureKind::TimedOut, 0u32),
+            (2, TaskFailureKind::RetriesExhausted, 2),
+        ] {
+            let c = RtCluster::start(RtClusterConfig {
+                num_servers: 1,
+                workers_per_server: 1,
+                replication: 1,
+                work: WorkModel::SimulateService(slow_service(20_000.0)), // ~20ms
+                store_shards: 4,
+                timeout: Some(RtTimeoutConfig {
+                    timeout_ns: 500_000, // 0.5ms
+                    max_retries,
+                    backoff_base_ns: 0,
+                    backoff_cap_ns: 0,
+                    retry_budget_percent: None,
+                }),
+                ..Default::default()
+            });
+            c.populate(8, |_| 64);
+            let client = c.client();
+            let res = client
+                .fetch_async(&[1])
+                .wait_outcome()
+                .expect("live run failed");
+            match res.outcome {
+                TaskOutcome::Failed { failure } => assert_eq!(failure, expect),
+                TaskOutcome::Completed(_) => panic!("20ms service beat a 0.5ms deadline"),
+            }
+            assert_eq!(res.retries, expect_retries);
+            c.shutdown();
+        }
+    }
+
+    /// The retry budget must dry up long before `max_retries` when the
+    /// dispatch denominator is small — the simulator's inequality
+    /// (`retried·100 ≥ dispatched·percent`) verbatim.
+    #[test]
+    fn retry_budget_limits_retries() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::SimulateService(slow_service(20_000.0)),
+            store_shards: 4,
+            timeout: Some(RtTimeoutConfig {
+                timeout_ns: 500_000,
+                max_retries: 10,
+                backoff_base_ns: 0,
+                backoff_cap_ns: 0,
+                retry_budget_percent: Some(1),
+            }),
+            ..Default::default()
+        });
+        c.populate(8, |_| 64);
+        let client = c.client();
+        let res = client
+            .fetch_async(&[1])
+            .wait_outcome()
+            .expect("live run failed");
+        assert!(
+            matches!(
+                res.outcome,
+                TaskOutcome::Failed {
+                    failure: TaskFailureKind::RetriesExhausted
+                }
+            ),
+            "{:?}",
+            res.outcome
+        );
+        // One retry doubles the dispatch count to 2; 1·100 ≥ 2·1 dries
+        // the 1% budget immediately after.
+        assert_eq!(res.retries, 1, "budget did not bind");
+        c.shutdown();
+    }
+
+    /// Exponential backoff mirrors the simulator's curve.
+    #[test]
+    fn backoff_curve_matches_sim() {
+        let tc = RtTimeoutConfig {
+            timeout_ns: 1,
+            max_retries: 16,
+            backoff_base_ns: 100,
+            backoff_cap_ns: 1_000,
+            retry_budget_percent: None,
+        };
+        assert_eq!(backoff_ns(&tc, 1), 100);
+        assert_eq!(backoff_ns(&tc, 2), 200);
+        assert_eq!(backoff_ns(&tc, 3), 400);
+        assert_eq!(backoff_ns(&tc, 5), 1_000, "cap binds");
+        let uncapped = RtTimeoutConfig {
+            backoff_cap_ns: 0,
+            ..tc
+        };
+        assert_eq!(backoff_ns(&uncapped, 5), 1_600, "cap 0 = uncapped");
+        let immediate = RtTimeoutConfig {
+            backoff_base_ns: 0,
+            ..tc
+        };
+        assert_eq!(backoff_ns(&immediate, 1), 0, "base 0 retries immediately");
     }
 }

@@ -21,6 +21,17 @@
 //!   ([`brb_select::SelectorSpec`]), consuming the `queue_len` /
 //!   `service_ns` fields servers piggyback on every response.
 //!
+//! The **overload lane** ports the simulator's saturation story onto
+//! real threads: bounded server queues with watermark shedding and a
+//! CoDel controller on measured sojourn times ([`RtQueueConfig`]),
+//! typed NACKs over the transport, client-side wall-clock deadline
+//! timers with budgeted capped-exponential retries ([`RtTimeoutConfig`]),
+//! and typed task outcomes ([`TaskOutcome`]) under the conservation
+//! contract `completed + dropped + timed_out + shed == issued`. Worker
+//! and router threads are panic-guarded: a thread that dies mid-run
+//! trips a sticky flag and every wait fails fast with a typed
+//! [`RtError`] instead of hanging the harness.
+//!
 //! ```
 //! use brb_rt::{RtClusterConfig, RtCluster, WorkModel};
 //! use brb_sched::PolicyKind;
@@ -41,12 +52,18 @@
 //! ```
 
 pub mod client;
+pub mod error;
 pub mod loadgen;
 pub mod server;
 pub mod timing;
 pub mod transport;
 
-pub use client::{RtClient, TaskResponse, TaskTicket};
-pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
-pub use server::{RtCluster, RtClusterConfig, WorkModel};
-pub use transport::{RtRequest, RtResponse};
+pub use client::{
+    RtClient, TaskFailureKind, TaskOutcome, TaskResolution, TaskResponse, TaskTicket,
+};
+pub use error::RtError;
+pub use loadgen::{run_load, try_run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use server::{
+    RtCluster, RtClusterConfig, RtQueueConfig, RtTimeoutConfig, SpikeModel, WorkModel,
+};
+pub use transport::{RtNack, RtReply, RtRequest, RtResponse};

@@ -14,12 +14,19 @@
 //!   the measurement model the simulator (and the paper) uses.
 //!
 //! Both modes share one corrected recording path
-//! ([`crate::client::TaskTicket::wait_from`]): latency runs from the
-//! measurement origin (submit instant or intended arrival) to the
+//! ([`crate::client::TaskTicket::wait_outcome_from`]): latency runs from
+//! the measurement origin (submit instant or intended arrival) to the
 //! server-side completion instant of the task's last response, so
 //! draining tickets late never inflates a sample.
+//!
+//! Under the overload lane tasks can *fail* — dropped, shed, or timed
+//! out — and the report splits them out with the same conservation
+//! contract the simulator pins: `completed + dropped + timed_out + shed
+//! == issued`, checked at the end of every run. Latency histograms
+//! record completed tasks only; failed tasks count against goodput.
 
-use crate::client::{RtClient, TaskTicket};
+use crate::client::{RtClient, TaskFailureKind, TaskOutcome, TaskResolution, TaskTicket};
+use crate::error::RtError;
 use crate::server::RtCluster;
 use crate::timing;
 use brb_metrics::{Histogram, Percentiles};
@@ -80,8 +87,9 @@ impl Default for LoadGenConfig {
 /// Results of one load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Wall-clock task latency percentiles (ms), measured from each
-    /// task's origin (submit or intended arrival by mode).
+    /// Wall-clock task latency percentiles (ms) over *completed* tasks,
+    /// measured from each task's origin (submit or intended arrival by
+    /// mode).
     pub task_latency_ms: Percentiles,
     /// Wall-clock per-request latency percentiles (ms): submit →
     /// response send, plus the cluster's accounted network RTT
@@ -89,51 +97,127 @@ pub struct LoadReport {
     pub request_latency_ms: Percentiles,
     /// Total wall time of the run (first submission → last drain).
     pub wall: Duration,
-    /// Completed tasks per second.
+    /// Completed tasks per second (== `goodput`).
     pub tasks_per_sec: f64,
-    /// Tasks issued (== recorded latency samples).
+    /// Tasks issued.
     pub tasks: usize,
-    /// Requests issued across all tasks.
+    /// Served requests recorded across completed tasks.
     pub requests: u64,
     /// Requests served per server during this run (load-balance check).
     pub served_per_server: Vec<u64>,
     /// Mean worker utilization during the run: service time accumulated
     /// by all workers over `wall × total_workers`.
     pub utilization: f64,
+    /// Tasks issued (alias of `tasks`; the conservation denominator).
+    pub issued: usize,
+    /// Tasks every request of which was served.
+    pub completed: usize,
+    /// Tasks that failed on a tail/CoDel drop with no retry left.
+    pub dropped: u64,
+    /// Tasks that failed on a deadline (including retries-exhausted).
+    pub timed_out: u64,
+    /// Tasks refused by the admission watermark with no retry left.
+    pub shed: u64,
+    /// Retries issued across all tasks.
+    pub retries: u64,
+    /// Completed tasks per second of wall time — the run's goodput.
+    pub goodput: f64,
 }
 
-/// Records one completed task into the shared histograms.
-struct Recorder {
+/// Accumulates task resolutions into histograms and overload counters.
+struct Collector {
     task_hist: Histogram,
     request_hist: Histogram,
     requests: u64,
+    completed: usize,
+    dropped: u64,
+    timed_out: u64,
+    shed: u64,
+    retries: u64,
 }
 
-impl Recorder {
+impl Collector {
     fn new() -> Self {
-        Recorder {
+        Collector {
             task_hist: Histogram::for_latency_ns(),
             request_hist: Histogram::for_latency_ns(),
             requests: 0,
+            completed: 0,
+            dropped: 0,
+            timed_out: 0,
+            shed: 0,
+            retries: 0,
         }
     }
 
-    fn record(&mut self, ticket: TaskTicket, origin: Instant) {
-        let resp = ticket.wait_from(origin);
-        self.task_hist.record(resp.latency.as_nanos() as u64);
-        for &ns in &resp.request_ns {
-            self.request_hist.record(ns);
+    fn record(&mut self, res: TaskResolution) {
+        self.retries += res.retries as u64;
+        match res.outcome {
+            TaskOutcome::Completed(resp) => {
+                self.completed += 1;
+                self.task_hist.record(resp.latency.as_nanos() as u64);
+                for &ns in &resp.request_ns {
+                    self.request_hist.record(ns);
+                }
+                self.requests += resp.request_ns.len() as u64;
+            }
+            TaskOutcome::Failed { failure } => match failure {
+                TaskFailureKind::Dropped => self.dropped += 1,
+                TaskFailureKind::Shed => self.shed += 1,
+                TaskFailureKind::TimedOut | TaskFailureKind::RetriesExhausted => {
+                    self.timed_out += 1
+                }
+            },
         }
-        self.requests += resp.request_ns.len() as u64;
     }
+
+    fn collect(&mut self, ticket: TaskTicket, origin: Instant) -> Result<(), RtError> {
+        let res = ticket.wait_outcome_from(origin)?;
+        self.record(res);
+        Ok(())
+    }
+}
+
+/// Polls every in-flight ticket once, collecting those that resolved —
+/// the overload lane's drain: retries and deadline timers progress
+/// through these polls while the generator holds the submission
+/// schedule.
+fn poll_inflight(
+    inflight: &mut VecDeque<(TaskTicket, Instant)>,
+    col: &mut Collector,
+) -> Result<(), RtError> {
+    let mut i = 0;
+    while i < inflight.len() {
+        let (ticket, origin) = &mut inflight[i];
+        let origin = *origin;
+        if let Some(res) = ticket.poll_outcome(origin)? {
+            col.record(res);
+            inflight.swap_remove_back(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Runs a load against `cluster` through a fresh client.
 ///
 /// # Panics
-/// Panics if the configuration is degenerate (no tasks, zero concurrency,
-/// non-positive rate) or the cluster shuts down mid-run.
+/// Panics if the configuration is degenerate (no tasks, zero
+/// concurrency, non-positive rate) or the run fails
+/// ([`try_run_load`] is the non-panicking form).
 pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
+    try_run_load(cluster, cfg).expect("live run failed")
+}
+
+/// [`run_load`], returning runtime failures (a panicked worker thread, a
+/// shut-down cluster) as a typed [`RtError`] instead of panicking.
+///
+/// # Panics
+/// Still panics on a degenerate configuration (no tasks, zero
+/// concurrency, non-positive rate) — those are caller bugs, not runtime
+/// conditions.
+pub fn try_run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> Result<LoadReport, RtError> {
     assert!(cfg.tasks > 0, "need at least one task");
     cfg.fanout.validate().expect("invalid fan-out distribution");
     assert!(
@@ -144,8 +228,9 @@ pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
     // The run seed also seeds the client's selector stream, so seeded
     // runs differ in replica choice the way the simulator's do.
     let client: RtClient = cluster.client_seeded(cfg.seed);
+    let overload_lane = cluster.config().queue.is_some() || cluster.config().timeout.is_some();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut recorder = Recorder::new();
+    let mut col = Collector::new();
     let served_before = cluster.served_per_server();
     let busy_before = cluster.busy_ns_per_server();
     let started = Instant::now();
@@ -176,11 +261,11 @@ pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
                 inflight.push_back((client.fetch_async(&keys), origin));
                 if inflight.len() >= concurrency {
                     let (ticket, origin) = inflight.pop_front().expect("non-empty window");
-                    recorder.record(ticket, origin);
+                    col.collect(ticket, origin)?;
                 }
             }
             for (ticket, origin) in inflight {
-                recorder.record(ticket, origin);
+                col.collect(ticket, origin)?;
             }
         }
         LoadMode::Open { task_rate_per_sec } => {
@@ -190,23 +275,42 @@ pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
             );
             let mut arrivals = PoissonProcess::new(task_rate_per_sec);
             let mut inflight: VecDeque<(TaskTicket, Instant)> = VecDeque::new();
+            // Poll slice while holding the schedule: deadline timers and
+            // backoff redispatches live inside ticket polls, so under the
+            // overload lane the generator must keep polling between
+            // submissions or retries would only fire at collection time.
+            const POLL_SLICE: Duration = Duration::from_millis(1);
             for _ in 0..cfg.tasks {
                 // Draw the schedule and the task before waiting, so the
                 // random stream is a deterministic function of the seed.
                 let due = started + Duration::from_nanos(arrivals.next_arrival_ns(&mut rng));
                 let keys = sample_keys(&mut rng);
-                timing::wait_until(due);
+                if overload_lane {
+                    loop {
+                        poll_inflight(&mut inflight, &mut col)?;
+                        let now = Instant::now();
+                        if now >= due {
+                            break;
+                        }
+                        timing::wait_until(due.min(now + POLL_SLICE));
+                    }
+                } else {
+                    timing::wait_until(due);
+                }
                 inflight.push_back((client.fetch_async(&keys), due));
-                // Drain finished heads without blocking: the selector
-                // only learns from responses at collection time, so
-                // feedback must flow *during* the run, not after it.
-                while inflight.front().is_some_and(|(t, _)| t.is_ready()) {
-                    let (ticket, origin) = inflight.pop_front().expect("non-empty front");
-                    recorder.record(ticket, origin);
+                if !overload_lane {
+                    // Legacy drain: pop finished heads without blocking —
+                    // the selector only learns from responses at
+                    // collection time, so feedback must flow *during* the
+                    // run, not after it.
+                    while inflight.front().is_some_and(|(t, _)| t.is_ready()) {
+                        let (ticket, origin) = inflight.pop_front().expect("non-empty front");
+                        col.collect(ticket, origin)?;
+                    }
                 }
             }
             for (ticket, origin) in inflight {
-                recorder.record(ticket, origin);
+                col.collect(ticket, origin)?;
             }
         }
     }
@@ -227,24 +331,47 @@ pub fn run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> LoadReport {
     let total_workers = (cluster.config().num_servers * cluster.config().workers_per_server) as f64;
     let utilization = (busy_ns as f64 / 1e9) / (wall.as_secs_f64() * total_workers);
 
-    LoadReport {
-        task_latency_ms: Percentiles::from_histogram_ns(&recorder.task_hist)
-            .expect("recorded tasks"),
-        request_latency_ms: Percentiles::from_histogram_ns(&recorder.request_hist)
-            .expect("recorded requests"),
+    // The conservation contract both backends pin: every issued task
+    // resolved exactly one way.
+    assert_eq!(
+        col.completed as u64 + col.dropped + col.timed_out + col.shed,
+        cfg.tasks as u64,
+        "task conservation violated"
+    );
+    let goodput = col.completed as f64 / wall.as_secs_f64();
+    let zeroed = Percentiles {
+        count: 0,
+        mean: 0.0,
+        p50: 0.0,
+        p95: 0.0,
+        p99: 0.0,
+        max: 0.0,
+    };
+    Ok(LoadReport {
+        // A fully-failed run (total collapse) has no latency samples.
+        task_latency_ms: Percentiles::from_histogram_ns(&col.task_hist).unwrap_or(zeroed),
+        request_latency_ms: Percentiles::from_histogram_ns(&col.request_hist).unwrap_or(zeroed),
         wall,
-        tasks_per_sec: cfg.tasks as f64 / wall.as_secs_f64(),
+        tasks_per_sec: goodput,
         tasks: cfg.tasks,
-        requests: recorder.requests,
+        requests: col.requests,
         served_per_server,
         utilization,
-    }
+        issued: cfg.tasks,
+        completed: col.completed,
+        dropped: col.dropped,
+        timed_out: col.timed_out,
+        shed: col.shed,
+        retries: col.retries,
+        goodput,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{RtClusterConfig, WorkModel};
+    use crate::server::{RtClusterConfig, RtQueueConfig, RtTimeoutConfig, WorkModel};
+    use brb_sched::overload::QueueBound;
     use brb_sched::PolicyKind;
     use brb_store::service::{ServiceModel, ServiceNoise};
 
@@ -280,6 +407,10 @@ mod tests {
         assert!(report.request_latency_ms.count >= 300);
         assert_eq!(report.request_latency_ms.count, report.requests);
         assert!(report.tasks_per_sec > 0.0);
+        // Knobs off: every task completes and nothing is dropped.
+        assert_eq!(report.completed, 300);
+        assert_eq!(report.dropped + report.timed_out + report.shed, 0);
+        assert_eq!(report.retries, 0);
         let total: u64 = report.served_per_server.iter().sum();
         assert!(total >= 300, "at least one request per task");
         assert_eq!(total, report.requests);
@@ -303,6 +434,7 @@ mod tests {
         );
         assert_eq!(report.task_latency_ms.count, 200);
         assert_eq!(report.request_latency_ms.count, report.requests);
+        assert_eq!(report.completed, 200);
         c.shutdown();
     }
 
@@ -378,6 +510,105 @@ mod tests {
             report.task_latency_ms.mean
         );
         c.shutdown();
+    }
+
+    /// The overload lane end to end: sustained 1.5× overload into a
+    /// tightly bounded queue with immediate-retry timeouts must fail
+    /// some tasks — and the report must conserve
+    /// `completed + dropped + timed_out + shed == issued` while
+    /// recording latency for completed tasks only.
+    #[test]
+    fn overload_run_conserves_tasks_and_reports_goodput() {
+        const SERVICE_NS: f64 = 300_000.0;
+        let service =
+            ServiceModel::calibrated_size_linear(SERVICE_NS, 64.0, 1.0, ServiceNoise::None);
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 2,
+            workers_per_server: 1,
+            replication: 2,
+            work: WorkModel::SimulateService(service),
+            store_shards: 4,
+            queue: Some(RtQueueConfig {
+                bound: QueueBound {
+                    capacity: 8,
+                    shed_above: None,
+                },
+                codel: None,
+            }),
+            timeout: Some(RtTimeoutConfig {
+                timeout_ns: 3_000_000, // 3ms
+                max_retries: 2,
+                backoff_base_ns: 0,
+                backoff_cap_ns: 0,
+                retry_budget_percent: None,
+            }),
+            ..Default::default()
+        });
+        c.populate(64, |_| 64);
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 300,
+                mode: LoadMode::Open {
+                    task_rate_per_sec: 2.0 * 1.5 / (SERVICE_NS / 1e9),
+                },
+                fanout: FanoutDist::Fixed(1),
+                key_range: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            report.completed as u64 + report.dropped + report.timed_out + report.shed,
+            report.issued as u64,
+            "conservation"
+        );
+        assert!(
+            report.dropped + report.timed_out > 0,
+            "1.5× overload into capacity 8 never failed a task"
+        );
+        assert!(report.completed > 0, "overload must not starve everything");
+        assert_eq!(report.task_latency_ms.count as usize, report.completed);
+        assert!(report.goodput > 0.0 && report.goodput == report.tasks_per_sec);
+        c.shutdown();
+    }
+
+    /// Fault injection: a worker that panics mid-run must fail the run
+    /// with a typed error — never hang the generator. The timeout
+    /// config keeps every other task resolving while the poisoned key's
+    /// task dies with the worker.
+    #[test]
+    fn worker_panic_fails_the_run_typed() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 1,
+            replication: 1,
+            work: WorkModel::Instant,
+            store_shards: 4,
+            panic_on_key: Some(13),
+            timeout: Some(RtTimeoutConfig {
+                timeout_ns: 5_000_000,
+                max_retries: 0,
+                backoff_base_ns: 0,
+                backoff_cap_ns: 0,
+                retry_budget_percent: None,
+            }),
+            ..Default::default()
+        });
+        c.populate(64, |_| 8);
+        let err = try_run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 200,
+                mode: LoadMode::Closed { concurrency: 4 },
+                fanout: FanoutDist::Fixed(1),
+                key_range: 64, // key 13 is in range: the fault will fire
+                ..Default::default()
+            },
+        )
+        .expect_err("run over a poisoned key must fail");
+        assert_eq!(err, RtError::WorkerPanicked);
+        assert!(c.panicked());
+        assert!(c.shutdown_checked().is_err());
     }
 
     #[test]

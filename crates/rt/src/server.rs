@@ -5,10 +5,18 @@
 //! threads that pull the most urgent request, read the value, optionally
 //! simulate a size-proportional service cost and reply over the request's
 //! channel.
+//!
+//! The overload lane runs on real queues: the router applies the
+//! configured [`QueueBound`] at admission (tail-drop at capacity, shed
+//! at the watermark) and workers feed a [`CoDel`] controller with each
+//! dequeued request's *measured* sojourn time — drops and sheds NACK
+//! back over the transport as typed [`RtNack`] replies instead of
+//! silently growing the queue.
 
 use crate::client::RtClient;
 use crate::timing;
-use crate::transport::{RtRequest, RtResponse};
+use crate::transport::{RtNack, RtReply, RtRequest, RtResponse};
+use brb_sched::overload::{CoDel, CoDelConfig, DropReason, EnqueueOutcome, QueueBound};
 use brb_sched::{PolicyKind, PriorityQueue, RequestQueue};
 use brb_select::SelectorSpec;
 use brb_store::cost::{CostModel, ForecastQuality};
@@ -20,7 +28,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,6 +47,55 @@ pub enum WorkModel {
     /// `thread::sleep` overshoots tens-of-µs services by 50µs–1ms of OS
     /// timer slack, which would drown every strategy difference.
     SimulateService(ServiceModel),
+}
+
+/// Bounded-queue knobs for every live server queue (the overload lane).
+#[derive(Debug, Clone, Copy)]
+pub struct RtQueueConfig {
+    /// Tail-drop capacity and optional shed watermark, applied by the
+    /// router at admission against the queue-length mirror.
+    pub bound: QueueBound,
+    /// CoDel AQM at dequeue (`None` disables it), driven by measured
+    /// sojourn timestamps (enqueue `Instant` → dequeue `Instant`).
+    pub codel: Option<CoDelConfig>,
+}
+
+/// Client-side timeout/retry knobs (the overload lane), in wall-clock
+/// nanoseconds. Mirrors the simulator's `TimeoutConfig` semantics:
+/// per-attempt deadlines, capped exponential backoff, and a per-client
+/// retry budget as a percentage of dispatches.
+#[derive(Debug, Clone, Copy)]
+pub struct RtTimeoutConfig {
+    /// Per-attempt timeout, dispatch → reply (ns).
+    pub timeout_ns: u64,
+    /// Retries allowed after the first attempt (0 = a single timeout is
+    /// terminal).
+    pub max_retries: u32,
+    /// First-retry backoff (ns); doubles per retry. 0 retries
+    /// immediately — the retry-storm configuration.
+    pub backoff_base_ns: u64,
+    /// Cap on the exponential backoff (ns); 0 = uncapped.
+    pub backoff_cap_ns: u64,
+    /// Retry budget: a client stops retrying once its retries reach
+    /// this percentage of its dispatches (`None` = unbudgeted).
+    pub retry_budget_percent: Option<u32>,
+}
+
+/// Transient service spikes: with probability `p_spike` a request's
+/// service wait stretches by a uniform `[extra_lo_ns, extra_hi_ns]`
+/// draw. This is the live lowering of the simulator's in-network spike
+/// fault — the in-process transport has no wire to delay, so the spike
+/// occupies the serving worker instead (a deliberate, documented
+/// approximation: spiked requests still hit client deadlines and still
+/// consume server capacity).
+#[derive(Debug, Clone, Copy)]
+pub struct SpikeModel {
+    /// Per-request spike probability in `[0, 1]`.
+    pub p_spike: f64,
+    /// Minimum additional delay (ns).
+    pub extra_lo_ns: u64,
+    /// Maximum additional delay (ns), inclusive.
+    pub extra_hi_ns: u64,
 }
 
 /// Cluster construction parameters.
@@ -77,6 +134,21 @@ pub struct RtClusterConfig {
     /// untouched, so the RTT is *added to the recorded latencies*
     /// (request, task completion, selector feedback) rather than slept.
     pub network_rtt_ns: u64,
+    /// Bounded server queues + AQM (`None` = unbounded, the legacy
+    /// behavior).
+    pub queue: Option<RtQueueConfig>,
+    /// Client-side deadline timers and retries (`None` = clients wait
+    /// forever, the legacy behavior).
+    pub timeout: Option<RtTimeoutConfig>,
+    /// Per-server speed factors: service times divide by the factor
+    /// (0.5 = half speed, the degraded-node fault). Empty or shorter
+    /// than the server count means nominal speed for the rest.
+    pub speed_factors: Vec<f64>,
+    /// Transient service spikes (`None` = no spikes).
+    pub spike: Option<SpikeModel>,
+    /// Fault injection for panic-safety tests: a worker that pops this
+    /// key panics mid-service. Never set outside tests.
+    pub panic_on_key: Option<u64>,
 }
 
 impl Default for RtClusterConfig {
@@ -94,20 +166,49 @@ impl Default for RtClusterConfig {
             forecast: ForecastQuality::Exact,
             num_clients: 1,
             network_rtt_ns: 0,
+            queue: None,
+            timeout: None,
+            speed_factors: Vec::new(),
+            spike: None,
+            panic_on_key: None,
         }
     }
 }
 
+/// A queued request plus the instant it entered the queue — the AQM's
+/// sojourn clock.
+pub(crate) struct Queued {
+    pub(crate) req: RtRequest,
+    pub(crate) enqueued: Instant,
+}
+
+/// The priority queue and its (optional) CoDel controller, guarded by
+/// one mutex: drop decisions must serialize with dequeues anyway, so a
+/// second lock would only add an acquisition per request.
+pub(crate) struct ServerQueue {
+    pub(crate) pq: PriorityQueue<Queued>,
+    pub(crate) codel: Option<CoDel>,
+}
+
 /// Shared state of one server.
 pub(crate) struct ServerShared {
-    pub(crate) queue: Mutex<PriorityQueue<RtRequest>>,
+    pub(crate) queue: Mutex<ServerQueue>,
     pub(crate) available: Condvar,
     /// Queue length mirror maintained by router push / worker pop, so
-    /// the piggybacked feedback read costs no queue lock.
+    /// the piggybacked feedback read (and bounded admission) costs no
+    /// queue lock.
     pub(crate) queue_len: AtomicUsize,
+    /// Admission bound, applied by the router (`None` = unbounded).
+    pub(crate) bound: Option<QueueBound>,
+    /// Time base for the CoDel controller's `now_ns`.
+    pub(crate) epoch: Instant,
     pub(crate) store: ShardedStore,
     pub(crate) stop: AtomicBool,
     pub(crate) served: AtomicU64,
+    /// Requests tail-dropped at capacity or CoDel-dropped at dequeue.
+    pub(crate) dropped: AtomicU64,
+    /// Requests shed by the admission watermark.
+    pub(crate) shed: AtomicU64,
     /// Total nanoseconds workers spent in service (utilization).
     pub(crate) busy_ns: AtomicU64,
 }
@@ -124,6 +225,9 @@ pub struct RtCluster {
     /// Dropped on shutdown to stop routers even while clients still hold
     /// cloned request senders.
     stop_tx: Option<Sender<()>>,
+    /// Sticky flag set when any worker or router thread panics; clients
+    /// poll it so a dead thread fails runs fast instead of hanging them.
+    panicked: Arc<AtomicBool>,
     next_task_id: Arc<AtomicU64>,
     next_client_id: AtomicU64,
 }
@@ -137,6 +241,32 @@ impl RtCluster {
     pub fn start(config: RtClusterConfig) -> RtCluster {
         assert!(config.num_servers > 0, "need at least one server");
         assert!(config.workers_per_server > 0, "need at least one worker");
+        if let Some(q) = &config.queue {
+            q.bound.validate().expect("invalid queue bound");
+            if let Some(codel) = &q.codel {
+                codel.validate().expect("invalid CoDel config");
+            }
+        }
+        if let Some(t) = &config.timeout {
+            assert!(t.timeout_ns > 0, "timeout must be positive");
+        }
+        assert!(
+            config.speed_factors.len() <= config.num_servers as usize,
+            "more speed factors than servers"
+        );
+        assert!(
+            config
+                .speed_factors
+                .iter()
+                .all(|f| f.is_finite() && *f > 0.0),
+            "speed factors must be positive and finite"
+        );
+        if let Some(s) = &config.spike {
+            assert!(
+                (0.0..=1.0).contains(&s.p_spike) && s.extra_lo_ns <= s.extra_hi_ns,
+                "invalid spike model"
+            );
+        }
         let ring = Ring::new(
             config.num_servers,
             config.num_partitions.unwrap_or(config.num_servers),
@@ -158,67 +288,90 @@ impl RtCluster {
         let mut workers = Vec::new();
         let mut routers = Vec::new();
         let (stop_tx, stop_rx) = unbounded::<()>();
+        let panicked = Arc::new(AtomicBool::new(false));
 
         for s in 0..config.num_servers {
             let shared = Arc::new(ServerShared {
-                queue: Mutex::new(PriorityQueue::new()),
+                queue: Mutex::new(ServerQueue {
+                    pq: PriorityQueue::new(),
+                    codel: config.queue.and_then(|q| q.codel).map(CoDel::new),
+                }),
                 available: Condvar::new(),
                 queue_len: AtomicUsize::new(0),
+                bound: config.queue.map(|q| q.bound),
+                epoch: Instant::now(),
                 store: ShardedStore::new(config.store_shards),
                 stop: AtomicBool::new(false),
                 served: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
                 busy_ns: AtomicU64::new(0),
             });
             let (tx, rx): (Sender<RtRequest>, Receiver<RtRequest>) = unbounded();
 
             // Router: drains the channel into the priority queue so that
             // priorities take effect the moment requests arrive, not in
-            // channel FIFO order. Exits when the cluster's stop channel
-            // closes (clients may still hold request senders then).
+            // channel FIFO order — and applies bounded admission there,
+            // NACKing drops/sheds back before they ever consume queue
+            // space. Exits when the cluster's stop channel closes
+            // (clients may still hold request senders then).
             {
                 let shared = Arc::clone(&shared);
                 let stop_rx = stop_rx.clone();
+                let panicked = Arc::clone(&panicked);
                 routers.push(
                     std::thread::Builder::new()
                         .name(format!("brb-router-{s}"))
                         .spawn(move || {
-                            loop {
-                                crossbeam::channel::select! {
-                                    recv(rx) -> msg => match msg {
-                                        Ok(req) => {
-                                            // Increment the mirror *before* the push: a
-                                            // worker may pop (and decrement) the instant
-                                            // the lock drops, and the counter must never
-                                            // underflow.
-                                            shared.queue_len.fetch_add(1, Ordering::Relaxed);
-                                            let mut q = shared.queue.lock();
-                                            q.push(req.priority, req);
-                                            drop(q);
-                                            shared.available.notify_one();
-                                        }
-                                        Err(_) => break,
-                                    },
-                                    recv(stop_rx) -> _ => break,
-                                }
-                            }
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    router_loop(s, &shared, &rx, &stop_rx)
+                                }));
                             // Wake workers so they observe the stop flag.
                             shared.stop.store(true, Ordering::SeqCst);
                             shared.available.notify_all();
+                            if result.is_err() {
+                                panicked.store(true, Ordering::SeqCst);
+                            }
                         })
                         .expect("spawn router"),
                 );
             }
 
+            let speed = config.speed_factors.get(s as usize).copied().unwrap_or(1.0);
             for w in 0..config.workers_per_server {
                 let shared = Arc::clone(&shared);
                 let work = config.work;
+                let spike = config.spike;
+                let panic_on_key = config.panic_on_key;
+                let panicked = Arc::clone(&panicked);
                 // Per-worker service-noise stream, seeded by position so
                 // the draw sequences are reproducible run to run.
                 let noise_seed = ((s as u64) << 32) | w as u64;
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("brb-worker-{s}-{w}"))
-                        .spawn(move || worker_loop(s, shared, work, noise_seed))
+                        .spawn(move || {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker_loop(
+                                        s,
+                                        &shared,
+                                        work,
+                                        noise_seed,
+                                        speed,
+                                        spike,
+                                        panic_on_key,
+                                    )
+                                }));
+                            if result.is_err() {
+                                panicked.store(true, Ordering::SeqCst);
+                                // Wake sibling workers parked on the
+                                // condvar so a fully-dead server cannot
+                                // strand them.
+                                shared.available.notify_all();
+                            }
+                        })
                         .expect("spawn worker"),
                 );
             }
@@ -236,6 +389,7 @@ impl RtCluster {
             workers,
             routers,
             stop_tx: Some(stop_tx),
+            panicked,
             next_task_id: Arc::new(AtomicU64::new(0)),
             next_client_id: AtomicU64::new(0),
         }
@@ -289,6 +443,8 @@ impl RtCluster {
             Arc::clone(&self.next_task_id),
             selector,
             self.config.network_rtt_ns,
+            self.config.timeout,
+            Arc::clone(&self.panicked),
         )
     }
 
@@ -300,12 +456,33 @@ impl RtCluster {
             .collect()
     }
 
+    /// Requests tail-dropped or CoDel-dropped per server (overload lane).
+    pub fn dropped_per_server(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Requests shed by admission control per server (overload lane).
+    pub fn shed_per_server(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.shed.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Nanoseconds each server's workers have spent in service so far.
     pub fn busy_ns_per_server(&self) -> Vec<u64> {
         self.servers
             .iter()
             .map(|s| s.busy_ns.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Whether any worker or router thread has panicked.
+    pub fn panicked(&self) -> bool {
+        self.panicked.load(Ordering::SeqCst)
     }
 
     /// The cluster's configuration.
@@ -323,49 +500,180 @@ impl RtCluster {
         &self.config.sizes
     }
 
-    /// Stops all threads and joins them. Callers should drain their tasks
-    /// first: requests still queued when shutdown starts are dropped.
-    pub fn shutdown(mut self) {
+    /// Stops all threads and joins them, reporting a panicked thread as
+    /// a typed error instead of a harness panic. Callers should drain
+    /// their tasks first: requests still queued when shutdown starts are
+    /// dropped.
+    pub fn shutdown_checked(mut self) -> Result<(), crate::error::RtError> {
         // Closing the stop channel ends the routers (even if clients
         // still hold request senders); routers set stop and wake workers.
         drop(self.stop_tx.take());
         drop(self.senders);
         for r in self.routers {
-            r.join().expect("router panicked");
+            // The catch_unwind wrapper makes join errors impossible in
+            // practice; a failed join still counts as a panic.
+            if r.join().is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
         }
         for s in &self.servers {
             s.stop.store(true, Ordering::SeqCst);
             s.available.notify_all();
         }
         for w in self.workers {
-            w.join().expect("worker panicked");
+            if w.join().is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+        if self.panicked.load(Ordering::SeqCst) {
+            Err(crate::error::RtError::WorkerPanicked)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// [`Self::shutdown_checked`], panicking on a panicked thread (test
+    /// ergonomics).
+    pub fn shutdown(self) {
+        self.shutdown_checked().expect("worker panicked");
+    }
+}
+
+/// Sends a typed drop/shed notice back to the request's owner. The
+/// client may have given up (dropped receiver); ignore errors.
+fn send_nack(server_id: u32, req: &RtRequest, reason: DropReason) {
+    let _ = req.reply.send(RtReply::Nack(RtNack {
+        key: req.key,
+        req_idx: req.req_idx,
+        task_id: req.task_id,
+        attempt: req.attempt,
+        server: server_id,
+        reason,
+    }));
+}
+
+fn router_loop(
+    server_id: u32,
+    shared: &Arc<ServerShared>,
+    rx: &Receiver<RtRequest>,
+    stop_rx: &Receiver<()>,
+) {
+    loop {
+        crossbeam::channel::select! {
+            recv(rx) -> msg => match msg {
+                Ok(req) => {
+                    // Bounded admission against the mirror — the same
+                    // length feedback responses piggyback, so admission
+                    // costs no queue lock.
+                    if let Some(bound) = shared.bound {
+                        let len = shared.queue_len.load(Ordering::Relaxed);
+                        if let EnqueueOutcome::Dropped(reason) = bound.admit(len) {
+                            match reason {
+                                DropReason::Shed => {
+                                    shared.shed.fetch_add(1, Ordering::Relaxed)
+                                }
+                                DropReason::QueueFull | DropReason::Sojourn => {
+                                    shared.dropped.fetch_add(1, Ordering::Relaxed)
+                                }
+                            };
+                            send_nack(server_id, &req, reason);
+                            continue;
+                        }
+                    }
+                    // Increment the mirror *before* the push: a
+                    // worker may pop (and decrement) the instant
+                    // the lock drops, and the counter must never
+                    // underflow.
+                    shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                    let mut q = shared.queue.lock();
+                    let priority = req.priority;
+                    q.pq.push(
+                        priority,
+                        Queued {
+                            req,
+                            enqueued: Instant::now(),
+                        },
+                    );
+                    drop(q);
+                    shared.available.notify_one();
+                }
+                Err(_) => break,
+            },
+            recv(stop_rx) -> _ => break,
         }
     }
 }
 
-fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel, noise_seed: u64) {
+fn worker_loop(
+    server_id: u32,
+    shared: &Arc<ServerShared>,
+    work: WorkModel,
+    noise_seed: u64,
+    speed: f64,
+    spike: Option<SpikeModel>,
+    panic_on_key: Option<u64>,
+) {
     let mut service_rng = StdRng::seed_from_u64(noise_seed);
+    // CoDel rejects collected under the queue lock, NACKed after it
+    // drops — the reply channel's own lock stays out of the queue's
+    // critical section.
+    let mut codel_rejects: Vec<RtRequest> = Vec::new();
     loop {
-        let req = {
+        let popped = {
             let mut q = shared.queue.lock();
             loop {
-                if let Some((_, req)) = q.pop() {
+                if let Some((_, queued)) = q.pq.pop() {
                     shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                    break req;
+                    if let Some(codel) = q.codel.as_mut() {
+                        let now = Instant::now();
+                        let now_ns = now.saturating_duration_since(shared.epoch).as_nanos() as u64;
+                        let sojourn_ns =
+                            now.saturating_duration_since(queued.enqueued).as_nanos() as u64;
+                        if codel.on_dequeue(now_ns, sojourn_ns) {
+                            codel_rejects.push(queued.req);
+                            continue; // drop head-of-line, pop the next
+                        }
+                    }
+                    break Some(queued.req);
                 }
                 if shared.stop.load(Ordering::SeqCst) {
-                    return;
+                    break None;
                 }
                 shared.available.wait(&mut q);
             }
         };
+        for rejected in codel_rejects.drain(..) {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            send_nack(server_id, &rejected, DropReason::Sojourn);
+        }
+        let Some(req) = popped else {
+            return;
+        };
+        if panic_on_key == Some(req.key) {
+            panic!("injected worker fault on key {}", req.key);
+        }
         let started = Instant::now();
         let value = shared.store.get(req.key);
         if let WorkModel::SimulateService(model) = work {
             let bytes = value.as_ref().map_or(0, |v| v.len() as u64);
             // Sample, not expected_ns: the simulator draws noisy service
             // times, and the live lane must face the same distribution.
-            let ns = model.sample(bytes, &mut service_rng).as_nanos();
+            let mut ns = model.sample(bytes, &mut service_rng).as_nanos();
+            // Degraded-node fault: service times divide by the speed
+            // factor, the simulator's semantics exactly.
+            if speed != 1.0 {
+                ns = ((ns as f64) / speed).round() as u64;
+            }
+            // Transient spike fault: the extra delay occupies the worker
+            // (see `SpikeModel` for why the live lane spikes service, not
+            // the wire).
+            if let Some(spike) = spike {
+                if service_rng.random::<f64>() < spike.p_spike {
+                    ns = ns.saturating_add(
+                        service_rng.random_range(spike.extra_lo_ns..=spike.extra_hi_ns),
+                    );
+                }
+            }
             timing::wait_for(std::time::Duration::from_nanos(ns));
         }
         let completed = Instant::now();
@@ -379,17 +687,18 @@ fn worker_loop(server_id: u32, shared: Arc<ServerShared>, work: WorkModel, noise
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
         // The client may have given up (dropped receiver); ignore errors.
-        let _ = req.reply.send(RtResponse {
+        let _ = req.reply.send(RtReply::Served(RtResponse {
             key: req.key,
             req_idx: req.req_idx,
             task_id: req.task_id,
+            attempt: req.attempt,
             value,
             server: server_id,
             queue_len,
             service_ns,
             total_ns,
             completed,
-        });
+        }));
     }
 }
 
@@ -527,5 +836,71 @@ mod tests {
         let served: u64 = c.served_per_server().iter().sum();
         assert_eq!(served, 4 * 100 * 5);
         Arc::try_unwrap(c).ok().expect("sole owner").shutdown();
+    }
+
+    /// A degraded server (speed factor 0.25) must take ~4× the nominal
+    /// service time — the live lowering of the degraded-node fault.
+    #[test]
+    fn speed_factor_slows_service() {
+        let service =
+            ServiceModel::calibrated_size_linear(200_000.0, 64.0, 1.0, ServiceNoise::None);
+        let mut busy = Vec::new();
+        for factors in [vec![], vec![0.25]] {
+            let c = RtCluster::start(RtClusterConfig {
+                num_servers: 1,
+                workers_per_server: 1,
+                replication: 1,
+                work: WorkModel::SimulateService(service),
+                store_shards: 4,
+                speed_factors: factors,
+                ..Default::default()
+            });
+            c.populate(10, |_| 64);
+            let client = c.client();
+            for k in 0..10u64 {
+                let _ = client.fetch(&[k]);
+            }
+            busy.push(c.busy_ns_per_server()[0]);
+            c.shutdown();
+        }
+        assert!(
+            busy[1] as f64 >= busy[0] as f64 * 2.5,
+            "degraded server not slower: nominal {}ns vs degraded {}ns",
+            busy[0],
+            busy[1]
+        );
+    }
+
+    /// A panicking worker must trip the cluster's sticky panic flag and
+    /// surface from `shutdown_checked` as a typed error — never a
+    /// harness panic, never a hang.
+    #[test]
+    fn injected_worker_panic_is_reported_typed() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 1,
+            workers_per_server: 2,
+            replication: 1,
+            work: WorkModel::Instant,
+            store_shards: 4,
+            panic_on_key: Some(3),
+            ..Default::default()
+        });
+        c.populate(10, |_| 8);
+        let client = c.client();
+        // Benign traffic first, then the poisoned key; the sibling
+        // worker keeps the server alive for the benign requests.
+        let _ = client.fetch(&[1, 2]);
+        let ticket = client.fetch_async(&[3]);
+        // The poisoned request never gets a reply; the flag goes up.
+        let t0 = Instant::now();
+        while !c.panicked() && t0.elapsed() < std::time::Duration::from_secs(5) {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(c.panicked(), "worker panic not observed");
+        drop(ticket);
+        assert_eq!(
+            c.shutdown_checked(),
+            Err(crate::error::RtError::WorkerPanicked)
+        );
     }
 }

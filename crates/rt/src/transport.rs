@@ -1,9 +1,13 @@
 //! Message types and the in-process transport.
 //!
 //! Requests travel over a per-server channel into the server's priority
-//! queue; responses return over a per-client channel. Payloads are
-//! [`bytes::Bytes`] so values move by reference count, never by copy.
+//! queue; replies return over a per-task channel. A reply is either a
+//! served [`RtResponse`] or a typed [`RtNack`] — the overload lane's
+//! drop/shed notice, so a bounded server queue can refuse work without
+//! silently stranding the client. Payloads are [`bytes::Bytes`] so
+//! values move by reference count, never by copy.
 
+use brb_sched::overload::DropReason;
 use brb_sched::Priority;
 use bytes::Bytes;
 use crossbeam::channel::Sender;
@@ -16,17 +20,30 @@ pub struct RtRequest {
     pub key: u64,
     /// Scheduling priority (lower serves first).
     pub priority: Priority,
-    /// Task-local request index, echoed in the response.
+    /// Task-local request index, echoed in the reply.
     pub req_idx: u32,
-    /// Task id, echoed in the response.
+    /// Task id, echoed in the reply.
     pub task_id: u64,
+    /// Attempt number of this logical request (0 = original; each retry
+    /// gets a fresh attempt id, so stale replies are distinguishable).
+    pub attempt: u32,
     /// When the client submitted it (for latency accounting).
     pub submitted: Instant,
-    /// Where to deliver the response.
-    pub reply: Sender<RtResponse>,
+    /// Where to deliver the reply.
+    pub reply: Sender<RtReply>,
 }
 
-/// A server's response to one request.
+/// What a server sends back for one request: served data or a typed
+/// refusal.
+#[derive(Debug)]
+pub enum RtReply {
+    /// The request was served.
+    Served(RtResponse),
+    /// The request was dropped or shed by the overload lane.
+    Nack(RtNack),
+}
+
+/// A server's response to one served request.
 #[derive(Debug)]
 pub struct RtResponse {
     /// The requested key.
@@ -35,6 +52,8 @@ pub struct RtResponse {
     pub req_idx: u32,
     /// Task id from the request.
     pub task_id: u64,
+    /// Attempt number from the request.
+    pub attempt: u32,
     /// The value, or `None` if the key is unknown.
     pub value: Option<Bytes>,
     /// Which server served it.
@@ -55,6 +74,27 @@ pub struct RtResponse {
     pub completed: Instant,
 }
 
+/// A drop/shed notice for one request attempt. Carries the attempt id
+/// so the client can tell a NACK for its *current* attempt (retry or
+/// fail) from one for an attempt a retry already superseded (accounting
+/// only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtNack {
+    /// The requested key.
+    pub key: u64,
+    /// Task-local request index from the request.
+    pub req_idx: u32,
+    /// Task id from the request.
+    pub task_id: u64,
+    /// Attempt number from the request.
+    pub attempt: u32,
+    /// Which server refused it.
+    pub server: u32,
+    /// Which overload mechanism refused it (tail-drop, shed, or CoDel
+    /// sojourn).
+    pub reason: DropReason,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,26 +108,59 @@ mod tests {
             priority: Priority(3),
             req_idx: 0,
             task_id: 1,
+            attempt: 0,
             submitted: Instant::now(),
             reply: tx,
         };
         // Simulate a server answering.
         req.reply
-            .send(RtResponse {
+            .send(RtReply::Served(RtResponse {
                 key: req.key,
                 req_idx: req.req_idx,
                 task_id: req.task_id,
+                attempt: req.attempt,
                 value: Some(Bytes::from_static(b"v")),
                 server: 0,
                 queue_len: 0,
                 service_ns: 10,
                 total_ns: 20,
                 completed: Instant::now(),
-            })
+            }))
             .unwrap();
-        let resp = rx.recv().unwrap();
+        let RtReply::Served(resp) = rx.recv().unwrap() else {
+            panic!("expected a served response");
+        };
         assert_eq!(resp.key, 7);
         assert_eq!(resp.task_id, 1);
         assert_eq!(resp.value.unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn nack_carries_attempt_and_reason() {
+        let (tx, rx) = unbounded();
+        let req = RtRequest {
+            key: 3,
+            priority: Priority(1),
+            req_idx: 2,
+            task_id: 5,
+            attempt: 1,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        req.reply
+            .send(RtReply::Nack(RtNack {
+                key: req.key,
+                req_idx: req.req_idx,
+                task_id: req.task_id,
+                attempt: req.attempt,
+                server: 4,
+                reason: DropReason::Shed,
+            }))
+            .unwrap();
+        let RtReply::Nack(nack) = rx.recv().unwrap() else {
+            panic!("expected a NACK");
+        };
+        assert_eq!(nack.attempt, 1);
+        assert_eq!(nack.reason, DropReason::Shed);
     }
 }
