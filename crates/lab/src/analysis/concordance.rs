@@ -1,0 +1,146 @@
+//! Strategy-ordering agreement between two backends.
+//!
+//! `compare --backend both` runs the same spec through the sim and the
+//! rt backend. Absolute latencies differ (virtual vs wall clock), but
+//! the *ordering* of strategies should agree — that is the claim that
+//! makes the simulator trustworthy. This module scores the agreement
+//! per cell with Kendall tau over across-seed metric means: +1 is
+//! identical ordering, −1 inverted, 0 unrelated.
+
+use super::AnalysisError;
+use crate::runner::CellResult;
+use crate::spec::CellAxes;
+use serde::{Serialize, Value};
+
+/// Per-cell ordering agreement between two backends.
+#[derive(Debug, Clone)]
+pub struct CellConcordance {
+    /// Cell index in grid order.
+    pub cell: usize,
+    /// The axis values the cell ran at.
+    pub axes: CellAxes,
+    /// Kendall tau per metric; `None` when the tau is undefined
+    /// (fewer than two strategies).
+    pub metrics: Vec<(&'static str, Option<f64>)>,
+}
+
+/// Scores strategy-ordering agreement cell by cell. Metrics covered:
+/// `p99_ms` always, `goodput` when both backends ran the overload lane.
+/// The two runs must agree structurally (same cells, same strategy
+/// sets) or the comparison is meaningless — typed error otherwise.
+pub fn ordering_concordance(
+    a: &[CellResult],
+    b: &[CellResult],
+) -> Result<Vec<CellConcordance>, AnalysisError> {
+    if a.len() != b.len() {
+        return Err(AnalysisError::BackendShapeMismatch {
+            what: format!("{} cells vs {}", a.len(), b.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(a.len());
+    for (ca, cb) in a.iter().zip(b) {
+        let names_a: Vec<&str> = ca.summaries.iter().map(|s| s.strategy.as_str()).collect();
+        let names_b: Vec<&str> = cb.summaries.iter().map(|s| s.strategy.as_str()).collect();
+        if names_a != names_b {
+            return Err(AnalysisError::BackendShapeMismatch {
+                what: format!("cell {}: strategies {names_a:?} vs {names_b:?}", ca.index),
+            });
+        }
+        let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
+        let p99 = |c: &CellResult| -> Vec<f64> {
+            c.summaries
+                .iter()
+                .map(|s| mean(s.runs.iter().map(|r| r.task_latency_ms.p99).collect()))
+                .collect()
+        };
+        let mut metrics = vec![("p99_ms", brb_metrics::kendall_tau(&p99(ca), &p99(cb)))];
+        let has_goodput = |c: &CellResult| {
+            c.summaries
+                .iter()
+                .all(|s| s.runs.iter().all(|r| r.overload.is_some()))
+        };
+        if has_goodput(ca) && has_goodput(cb) {
+            let goodput = |c: &CellResult| -> Vec<f64> {
+                c.summaries
+                    .iter()
+                    .map(|s| {
+                        mean(
+                            s.runs
+                                .iter()
+                                .map(|r| r.overload.as_ref().expect("checked above").goodput)
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            };
+            metrics.push((
+                "goodput",
+                brb_metrics::kendall_tau(&goodput(ca), &goodput(cb)),
+            ));
+        }
+        out.push(CellConcordance {
+            cell: ca.index,
+            axes: ca.axes,
+            metrics,
+        });
+    }
+    Ok(out)
+}
+
+impl Serialize for CellConcordance {
+    fn to_value(&self) -> Value {
+        let scores = Value::Object(
+            self.metrics
+                .iter()
+                .map(|(name, tau)| (name.to_string(), tau.to_value()))
+                .collect(),
+        );
+        Value::Object(vec![
+            ("cell".into(), self.cell.to_value()),
+            ("axes".into(), self.axes.to_value()),
+            ("concordance".into(), scores),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use crate::runner::run_spec;
+    use brb_core::config::Strategy;
+
+    fn results() -> Vec<CellResult> {
+        let spec = ScenarioBuilder::new("concordance")
+            .tasks(500)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+            .seeds(&[1, 2])
+            .build()
+            .unwrap();
+        run_spec(&spec).unwrap()
+    }
+
+    #[test]
+    fn identical_backends_agree_perfectly() {
+        let r = results();
+        let scored = ordering_concordance(&r, &r).unwrap();
+        assert_eq!(scored.len(), 1);
+        assert_eq!(scored[0].metrics[0], ("p99_ms", Some(1.0)));
+    }
+
+    #[test]
+    fn structural_disagreement_is_typed() {
+        let r = results();
+        assert!(matches!(
+            ordering_concordance(&r, &[]).unwrap_err(),
+            AnalysisError::BackendShapeMismatch { .. }
+        ));
+        let mut renamed = r.clone();
+        renamed[0].summaries[0].strategy = "other".into();
+        assert!(matches!(
+            ordering_concordance(&r, &renamed).unwrap_err(),
+            AnalysisError::BackendShapeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,149 @@
+//! Reading `brb-lab/report-v1` JSONL back into the `(spec, results)`
+//! pair that produced it.
+//!
+//! The reader is the writer's inverse on *every* shape the writer can
+//! emit — legacy, overload, and `priority_classes` records — and the
+//! round trip is byte-exact (test-enforced against every registry
+//! preset): re-serializing a parsed report reproduces the input bytes.
+//! That property is what lets `compare --from report.jsonl` trust a
+//! file as much as a fresh run.
+
+use super::AnalysisError;
+use crate::report::REPORT_SCHEMA;
+use crate::runner::CellResult;
+use crate::spec::{CellAxes, ScenarioSpec};
+use brb_core::experiment::StrategySummary;
+use serde::__private::{as_object, field};
+use serde::Value;
+
+/// A fully-parsed report: the header fields plus the reconstructed
+/// per-cell results, ready for the same analysis paths a fresh run
+/// flows through.
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    /// The header's schema tag (always [`REPORT_SCHEMA`] after a
+    /// successful parse).
+    pub schema: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Strategy display names, in spec order.
+    pub strategies: Vec<String>,
+    /// Seeds each strategy ran under.
+    pub seeds: Vec<u64>,
+    /// The spec that produced the report.
+    pub spec: ScenarioSpec,
+    /// Reconstructed per-cell results, in grid order.
+    pub results: Vec<CellResult>,
+}
+
+/// Parses a `report-v1` JSONL document.
+pub fn parse_jsonl(text: &str) -> Result<ParsedReport, AnalysisError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or(AnalysisError::EmptyReport)?;
+    let header: Value = serde_json::from_str(header_line)
+        .map_err(|e| AnalysisError::Parse(format!("header: {e}")))?;
+    let obj =
+        as_object(&header, "report header").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+    let schema: String = field(obj, "schema").map_err(|_| AnalysisError::SchemaMismatch {
+        found: "no schema tag".into(),
+    })?;
+    if schema != REPORT_SCHEMA {
+        return Err(AnalysisError::SchemaMismatch { found: schema });
+    }
+    let scenario: String =
+        field(obj, "scenario").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+    let cells: usize = field(obj, "cells").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+    let strategies: Vec<String> =
+        field(obj, "strategies").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+    let seeds: Vec<u64> = field(obj, "seeds").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+    let spec: ScenarioSpec =
+        field(obj, "spec").map_err(|e| AnalysisError::Parse(format!("spec echo: {e}")))?;
+
+    let mut results: Vec<CellResult> = Vec::with_capacity(cells);
+    for (i, line) in lines.enumerate() {
+        let record: Value = serde_json::from_str(line)
+            .map_err(|e| AnalysisError::Parse(format!("record {i}: {e}")))?;
+        let obj =
+            as_object(&record, "report record").map_err(|e| AnalysisError::Parse(e.to_string()))?;
+        let cell: usize =
+            field(obj, "cell").map_err(|e| AnalysisError::Parse(format!("record {i}: {e}")))?;
+        let axes: CellAxes =
+            field(obj, "axes").map_err(|e| AnalysisError::Parse(format!("record {i}: {e}")))?;
+        let summary: StrategySummary =
+            field(obj, "summary").map_err(|e| AnalysisError::Parse(format!("record {i}: {e}")))?;
+        // Records arrive cell-major (the writer's order); open a new
+        // cell whenever the index moves on.
+        match results.last_mut() {
+            Some(last) if last.index == cell => last.summaries.push(summary),
+            _ => results.push(CellResult {
+                index: cell,
+                axes,
+                summaries: vec![summary],
+            }),
+        }
+    }
+    if results.is_empty() {
+        return Err(AnalysisError::EmptyReport);
+    }
+    if results.len() != cells {
+        return Err(AnalysisError::Parse(format!(
+            "header promises {cells} cells, records cover {}",
+            results.len()
+        )));
+    }
+    Ok(ParsedReport {
+        schema,
+        scenario,
+        strategies,
+        seeds,
+        spec,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use crate::report::to_jsonl_string;
+    use crate::runner::run_spec;
+    use brb_core::config::Strategy;
+
+    #[test]
+    fn parse_inverts_write_byte_for_byte() {
+        let spec = ScenarioBuilder::new("roundtrip")
+            .tasks(500)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+            .seeds(&[1, 2])
+            .sweep_load(&[0.4, 0.6])
+            .build()
+            .unwrap();
+        let results = run_spec(&spec).unwrap();
+        let text = to_jsonl_string(&spec, &results);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.scenario, "roundtrip");
+        assert_eq!(parsed.seeds, vec![1, 2]);
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(to_jsonl_string(&parsed.spec, &parsed.results), text);
+    }
+
+    #[test]
+    fn schema_and_shape_errors_are_typed() {
+        assert_eq!(parse_jsonl("").unwrap_err(), AnalysisError::EmptyReport);
+        assert_eq!(
+            parse_jsonl("{\"schema\":\"something-else\"}").unwrap_err(),
+            AnalysisError::SchemaMismatch {
+                found: "something-else".into()
+            }
+        );
+        assert!(matches!(
+            parse_jsonl("{\"cells\":1}").unwrap_err(),
+            AnalysisError::SchemaMismatch { .. }
+        ));
+        assert!(matches!(
+            parse_jsonl("not json").unwrap_err(),
+            AnalysisError::Parse(_)
+        ));
+    }
+}

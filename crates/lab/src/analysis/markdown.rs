@@ -1,0 +1,242 @@
+//! Human-readable companions to the `compare-v1` / `capacity-v1` JSONL.
+//!
+//! The JSONL is for machines and golden pins; these renderers are for
+//! the person deciding whether to ship a strategy. Deterministic like
+//! everything else in the subsystem — fixed-precision formatting, no
+//! timestamps.
+
+use super::compare::CompareReport;
+use super::concordance::CellConcordance;
+use super::knee::CapacityReport;
+use crate::spec::CellAxes;
+use std::fmt::Write;
+
+fn axes_label(axes: &CellAxes) -> String {
+    let mut parts = Vec::new();
+    if let Some(l) = axes.load {
+        parts.push(format!("load={l}"));
+    }
+    if let Some(f) = axes.mean_fanout {
+        parts.push(format!("fanout={f}"));
+    }
+    if let Some(h) = axes.hedge_delay_us {
+        parts.push(format!("hedge={h}us"));
+    }
+    if let Some(w) = axes.shed_above {
+        parts.push(format!("shed={w}"));
+    }
+    if parts.is_empty() {
+        "(single cell)".into()
+    } else {
+        parts.join(", ")
+    }
+}
+
+fn fmt_ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn fmt_signed_pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Renders a comparison (and its backend concordance, when the run
+/// covered both backends) as markdown.
+pub fn render_compare(report: &CompareReport, concordance: Option<&[CellConcordance]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Compare: {}", report.scenario);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Baseline **{}** on backend `{}`; seeds {:?}; {} bootstrap \
+         resamples at {:.0}% confidence. Deltas are candidate − baseline \
+         over per-seed paired differences (shared workload traces per \
+         seed). **Significant** means the bootstrap CI excludes zero.",
+        report.baseline,
+        report.backend,
+        report.seeds,
+        report.resamples,
+        report.confidence * 100.0
+    );
+    for line in &report.lines {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "## cell {} [{}] — {} vs {}",
+            line.cell,
+            axes_label(&line.axes),
+            line.strategy,
+            report.baseline
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| metric | baseline | candidate | delta | delta% | t | p | 95% CI | significant |"
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|:---:|");
+        for d in &line.deltas {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:+.3} | {} | {:.2} | {:.4} | [{:+.3}, {:+.3}] | {} |",
+                d.metric,
+                fmt_ms(d.baseline_mean),
+                fmt_ms(d.mean),
+                d.delta,
+                fmt_signed_pct(d.delta_pct),
+                d.t,
+                d.p,
+                d.ci_lo,
+                d.ci_hi,
+                if d.significant { "**yes**" } else { "no" }
+            );
+        }
+        if let Some(classes) = &line.priority_classes {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "Per-priority-class starvation (dropped + shed):");
+            let _ = writeln!(out);
+            let _ = writeln!(out, "| class | baseline | candidate | delta |");
+            let _ = writeln!(out, "|---|---:|---:|---:|");
+            for c in classes {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.1} | {:.1} | {:+.1} |",
+                    c.class, c.baseline_mean, c.mean, c.delta
+                );
+            }
+        }
+    }
+    if let Some(cells) = concordance {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Backend concordance (sim vs rt)");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Kendall tau over strategy orderings; +1.00 = identical order."
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| cell | axes | metric | tau |");
+        let _ = writeln!(out, "|---|---|---|---:|");
+        for c in cells {
+            for (metric, tau) in &c.metrics {
+                let shown = tau
+                    .map(|t| format!("{t:+.2}"))
+                    .unwrap_or_else(|| "n/a".into());
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    c.cell,
+                    axes_label(&c.axes),
+                    metric,
+                    shown
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders a capacity analysis as markdown.
+pub fn render_capacity(report: &CapacityReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Capacity: {}", report.scenario);
+    let _ = writeln!(out);
+    let gates = match report.slo_p99_ms {
+        Some(slo) => format!(
+            "p99 SLO {slo} ms and delivered ratio within {}% of offered",
+            report.tolerance_pct
+        ),
+        None => format!(
+            "delivered ratio within {}% of offered (no p99 SLO)",
+            report.tolerance_pct
+        ),
+    };
+    let _ = writeln!(
+        out,
+        "Backend `{}`; seeds {:?}; loads {:?}. A load is safe while {gates}; \
+         the knee is the first unsafe load.",
+        report.backend, report.seeds, report.loads
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| strategy | knee | last safe load | headroom @ current |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---|");
+    for line in &report.lines {
+        let knee = line
+            .knee_load
+            .map(|k| format!("{k}"))
+            .unwrap_or_else(|| "none".into());
+        let safe = line
+            .last_safe_load
+            .map(|s| format!("{s}"))
+            .unwrap_or_else(|| "none".into());
+        let headroom = line
+            .headroom
+            .iter()
+            .map(|h| {
+                format!(
+                    "{} {}×→{}",
+                    if h.fits { "✓" } else { "✗" },
+                    h.multiplier,
+                    format_args!("{:.2}", h.projected_load)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            line.strategy, knee, safe, headroom
+        );
+    }
+    for line in &report.lines {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## {}", line.strategy);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| load | p99 (ms) | delivered | safe |");
+        let _ = writeln!(out, "|---:|---:|---:|:---:|");
+        for p in &line.per_load {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.4} | {} |",
+                p.load,
+                fmt_ms(p.p99_ms),
+                p.delivered_ratio,
+                if p.safe { "yes" } else { "**no**" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::compare::{compare_report, CompareOptions};
+    use crate::analysis::knee::{capacity_report, CapacityOptions};
+    use crate::builder::ScenarioBuilder;
+    use crate::runner::run_spec;
+    use brb_core::config::Strategy;
+
+    #[test]
+    fn renderers_emit_nonempty_tables() {
+        let spec = ScenarioBuilder::new("md-test")
+            .tasks(500)
+            .scale_catalog(true)
+            .strategies(vec![Strategy::c3(), Strategy::equal_max_model()])
+            .seeds(&[1, 2])
+            .sweep_load(&[0.4, 0.8])
+            .build()
+            .unwrap();
+        let results = run_spec(&spec).unwrap();
+        let cmp = compare_report(&spec, &results, "c3", &CompareOptions::default()).unwrap();
+        let md = render_compare(&cmp, None);
+        assert!(md.contains("# Compare: md-test"));
+        assert!(md.contains("| p99_ms |"));
+        let cap = capacity_report(&spec, &results, &CapacityOptions::default()).unwrap();
+        let md = render_capacity(&cap);
+        assert!(md.contains("# Capacity: md-test"));
+        assert!(md.contains("| load | p99 (ms) | delivered | safe |"));
+    }
+}

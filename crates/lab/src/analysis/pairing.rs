@@ -1,0 +1,243 @@
+//! Per-seed paired metric extraction.
+//!
+//! Every strategy under a given seed runs the *same* workload trace
+//! (common random numbers, shared by `run_strategies_multi_seed` since
+//! PR 1), so seed-indexed differences between two strategies cancel the
+//! workload's own variance. This module turns two `StrategySummary`s
+//! into aligned per-seed vectors — after verifying the alignment
+//! actually holds, because pairing mismatched seeds would silently
+//! compare different workloads.
+
+use super::AnalysisError;
+use brb_core::experiment::{RunResult, StrategySummary};
+
+/// The latency metrics every report carries, in report order.
+pub const LATENCY_METRICS: [&str; 4] = ["p50_ms", "p95_ms", "p99_ms", "mean_ms"];
+
+/// The goodput metric name (present only when the overload lane ran).
+pub const GOODPUT_METRIC: &str = "goodput";
+
+/// One metric's aligned per-seed observations for a (baseline,
+/// candidate) strategy pair. Index `i` of both vectors ran seed `i` of
+/// the spec's seed list — the same workload trace.
+#[derive(Debug, Clone)]
+pub struct PairedMetric {
+    /// Metric name (a `report-v1` summary key).
+    pub metric: &'static str,
+    /// Baseline per-seed values.
+    pub baseline: Vec<f64>,
+    /// Candidate per-seed values.
+    pub candidate: Vec<f64>,
+}
+
+impl PairedMetric {
+    /// Per-seed paired differences, candidate − baseline.
+    pub fn diffs(&self) -> Vec<f64> {
+        self.candidate
+            .iter()
+            .zip(&self.baseline)
+            .map(|(c, b)| c - b)
+            .collect()
+    }
+}
+
+/// One priority class's aligned per-seed terminal-failure counts
+/// (dropped + shed) for a strategy pair — the starvation signal.
+#[derive(Debug, Clone)]
+pub struct PairedClass {
+    /// log₂ bucket of the priority key (bit length).
+    pub class: u8,
+    /// Baseline per-seed dropped+shed counts.
+    pub baseline: Vec<f64>,
+    /// Candidate per-seed dropped+shed counts.
+    pub candidate: Vec<f64>,
+}
+
+/// Verifies a summary's runs line up with the seed list one-to-one.
+fn check_alignment(
+    summary: &StrategySummary,
+    seeds: &[u64],
+    cell: usize,
+) -> Result<(), AnalysisError> {
+    let aligned = summary.runs.len() == seeds.len()
+        && summary.runs.iter().zip(seeds).all(|(r, &s)| r.seed == s);
+    if aligned {
+        Ok(())
+    } else {
+        Err(AnalysisError::SeedMismatch {
+            strategy: summary.strategy.clone(),
+            cell,
+        })
+    }
+}
+
+/// Extracts every comparable metric as aligned per-seed vectors.
+/// Latency metrics always; goodput when **both** strategies ran the
+/// overload lane on every seed (the lane is spec-global, so a mixed
+/// pair would be a report inconsistency, not a feature).
+pub fn paired_metrics(
+    baseline: &StrategySummary,
+    candidate: &StrategySummary,
+    seeds: &[u64],
+    cell: usize,
+) -> Result<Vec<PairedMetric>, AnalysisError> {
+    check_alignment(baseline, seeds, cell)?;
+    check_alignment(candidate, seeds, cell)?;
+    let latency = |r: &RunResult, metric: &str| match metric {
+        "p50_ms" => r.task_latency_ms.p50,
+        "p95_ms" => r.task_latency_ms.p95,
+        "p99_ms" => r.task_latency_ms.p99,
+        "mean_ms" => r.task_latency_ms.mean,
+        other => unreachable!("unknown latency metric {other}"),
+    };
+    let mut out: Vec<PairedMetric> = LATENCY_METRICS
+        .iter()
+        .map(|&metric| PairedMetric {
+            metric,
+            baseline: baseline.runs.iter().map(|r| latency(r, metric)).collect(),
+            candidate: candidate.runs.iter().map(|r| latency(r, metric)).collect(),
+        })
+        .collect();
+    let has_goodput = |s: &StrategySummary| s.runs.iter().all(|r| r.overload.is_some());
+    if has_goodput(baseline) && has_goodput(candidate) {
+        let goodput = |s: &StrategySummary| {
+            s.runs
+                .iter()
+                .map(|r| r.overload.as_ref().expect("checked above").goodput)
+                .collect()
+        };
+        out.push(PairedMetric {
+            metric: GOODPUT_METRIC,
+            baseline: goodput(baseline),
+            candidate: goodput(candidate),
+        });
+    }
+    Ok(out)
+}
+
+/// Per-class dropped+shed pairing, present only when both strategies
+/// carry the `priority_classes` split on every run. Classes are the
+/// union of both sides; a class absent from a run counts 0 (nothing of
+/// that class failed there).
+pub fn paired_priority_classes(
+    baseline: &StrategySummary,
+    candidate: &StrategySummary,
+) -> Option<Vec<PairedClass>> {
+    let has = |s: &StrategySummary| s.runs.iter().all(|r| r.priority_classes.is_some());
+    if !has(baseline) || !has(candidate) {
+        return None;
+    }
+    let mut classes: Vec<u8> = baseline
+        .runs
+        .iter()
+        .chain(&candidate.runs)
+        .flat_map(|r| r.priority_classes.as_ref().expect("checked above"))
+        .map(|c| c.class)
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let count_for = |r: &RunResult, class: u8| {
+        r.priority_classes
+            .as_ref()
+            .expect("checked above")
+            .iter()
+            .find(|c| c.class == class)
+            .map(|c| (c.dropped + c.shed) as f64)
+            .unwrap_or(0.0)
+    };
+    Some(
+        classes
+            .into_iter()
+            .map(|class| PairedClass {
+                class,
+                baseline: baseline.runs.iter().map(|r| count_for(r, class)).collect(),
+                candidate: candidate.runs.iter().map(|r| count_for(r, class)).collect(),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use brb_core::config::{ExperimentConfig, Strategy};
+    use brb_core::experiment::run_strategies_multi_seed;
+
+    fn small(tasks: usize) -> ExperimentConfig {
+        ScenarioBuilder::new("pairing")
+            .tasks(tasks)
+            .scale_catalog(true)
+            .build_config(Strategy::c3(), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn latency_metrics_pair_in_seed_order() {
+        let base = small(800);
+        let out = run_strategies_multi_seed(
+            &base,
+            &[Strategy::c3(), Strategy::equal_max_model()],
+            &[1, 2],
+        );
+        let metrics = paired_metrics(&out[0], &out[1], &[1, 2], 0).unwrap();
+        assert_eq!(metrics.len(), 4, "no overload lane ⇒ latency only");
+        for m in &metrics {
+            assert_eq!(m.baseline.len(), 2);
+            assert_eq!(m.candidate.len(), 2);
+        }
+        // Self-pairing under CRN: identical vectors, all-zero diffs.
+        let self_pair = paired_metrics(&out[0], &out[0], &[1, 2], 0).unwrap();
+        for m in &self_pair {
+            assert!(
+                m.diffs().iter().all(|&d| d == 0.0),
+                "{}: {:?}",
+                m.metric,
+                m.diffs()
+            );
+        }
+    }
+
+    #[test]
+    fn seed_misalignment_is_a_typed_error() {
+        let base = small(800);
+        let out = run_strategies_multi_seed(&base, &[Strategy::c3()], &[1, 2]);
+        match paired_metrics(&out[0], &out[0], &[2, 1], 3) {
+            Err(AnalysisError::SeedMismatch { strategy, cell }) => {
+                assert_eq!(strategy, "C3");
+                assert_eq!(cell, 3);
+            }
+            other => panic!("expected SeedMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn goodput_pairs_only_when_the_lane_ran() {
+        let mut cfg = small(800);
+        cfg.workload.load = 1.2;
+        cfg.overload.queue = Some(brb_core::config::QueueConfig {
+            capacity: 64,
+            shed_above: Some(48),
+            codel: None,
+            priority_stats: true,
+        });
+        let out = run_strategies_multi_seed(
+            &cfg,
+            &[Strategy::c3(), Strategy::equal_max_credits()],
+            &[1, 2],
+        );
+        let metrics = paired_metrics(&out[0], &out[1], &[1, 2], 0).unwrap();
+        assert_eq!(metrics.len(), 5);
+        assert_eq!(metrics[4].metric, GOODPUT_METRIC);
+        let classes = paired_priority_classes(&out[0], &out[1]).expect("split requested");
+        assert!(!classes.is_empty());
+        for c in &classes {
+            assert_eq!(c.baseline.len(), 2);
+            assert_eq!(c.candidate.len(), 2);
+        }
+        assert!(
+            classes.windows(2).all(|w| w[0].class < w[1].class),
+            "classes ascend"
+        );
+    }
+}

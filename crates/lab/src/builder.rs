@@ -250,6 +250,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sweeps the admission-control shed watermark over `values`,
+    /// overriding the queue spec's `shed_above` per cell (requires a
+    /// queue spec — the starvation-curve sweep).
+    pub fn sweep_shed_above(mut self, values: &[usize]) -> Self {
+        self.spec.sweep.shed_above = values.to_vec();
+        self
+    }
+
     // -- harness ----------------------------------------------------------
 
     /// Sets the warm-up fraction excluded from statistics.

@@ -100,6 +100,9 @@ pub enum ScenarioError {
     /// A `hedge_delay_us` axis needs at least one `Hedged` strategy to
     /// apply to.
     HedgeAxisWithoutHedgedStrategy,
+    /// A `shed_above` axis needs the `queue` table to override — without
+    /// bounded queues there is no admission control to sweep.
+    ShedAxisWithoutQueue,
     /// The overload lane's bounded-queue spec is structurally invalid
     /// (carries the core validation message, e.g. a shed watermark
     /// above capacity).
@@ -208,6 +211,9 @@ impl fmt::Display for ScenarioError {
                 f,
                 "hedge_delay_us sweep axis needs at least one Hedged strategy"
             ),
+            ShedAxisWithoutQueue => {
+                write!(f, "shed_above sweep axis needs a queue spec to override")
+            }
             BadQueueSpec(msg) => write!(f, "queue spec: {msg}"),
             CoDelKnobsIncomplete => write!(
                 f,

@@ -21,6 +21,9 @@
 //! * The `brb-lab` binary wires it together:
 //!   `brb-lab run figure2-small`, `brb-lab run my-spec.toml`,
 //!   `brb-lab list`, `brb-lab show <name>`.
+//! * [`analysis`] turns reports into decisions: paired A/B comparison
+//!   against a baseline with significance (`brb-lab compare`), and
+//!   capacity-knee reports over a load sweep (`brb-lab capacity`).
 //!
 //! ```no_run
 //! use brb_lab::{registry, runner, report};
@@ -32,6 +35,7 @@
 //! println!("{}", report::to_jsonl_string(&spec, &results));
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod error;
 pub mod registry;
@@ -40,6 +44,10 @@ pub mod rt_backend;
 pub mod runner;
 pub mod spec;
 
+pub use analysis::{
+    capacity_report, compare_report, parse_jsonl, AnalysisError, CapacityOptions, CapacityReport,
+    CompareOptions, CompareReport, CAPACITY_SCHEMA, COMPARE_SCHEMA,
+};
 pub use builder::ScenarioBuilder;
 pub use error::ScenarioError;
 pub use report::REPORT_SCHEMA;

@@ -2,16 +2,28 @@
 //!
 //! ```text
 //! brb-lab list
-//! brb-lab show <name|spec.toml|spec.json> [--json]
-//! brb-lab run  <name|spec.toml|spec.json> [--tasks N] [--seeds a,b,..]
-//!              [--out report.jsonl] [--quiet]
+//! brb-lab show     <name|spec.toml|spec.json> [--json]
+//! brb-lab run      <name|spec.toml|spec.json> [--tasks N] [--seeds a,b,..]
+//!                  [--out report.jsonl] [--quiet]
+//! brb-lab compare  <scenario> --baseline <strategy> [--backend sim|rt|both]
+//!                  [--from report.jsonl] [--resamples N] [--confidence C]
+//!                  [--out compare.jsonl] [--md compare.md]
+//! brb-lab capacity <scenario> [--slo-p99-ms X] [--goodput-tolerance-pct X]
+//!                  [--at LOAD] [--from report.jsonl]
+//!                  [--out capacity.jsonl] [--md capacity.md]
 //! ```
 //!
 //! `run` resolves its argument against the preset registry first, then
 //! as a spec file path. The JSON-lines report goes to stdout (or
-//! `--out`); a human-readable table goes to stderr.
+//! `--out`); a human-readable table goes to stderr. `compare` and
+//! `capacity` analyze a run (fresh, or ingested with `--from`) into
+//! `brb-lab/compare-v1` / `brb-lab/capacity-v1` JSONL plus markdown.
 
-use brb_lab::{registry, report, rt_backend, runner, ScenarioError, ScenarioSpec};
+use brb_lab::analysis::{
+    self, capacity_report, compare_report, ordering_concordance, parse_jsonl, AnalysisError,
+    CapacityOptions, CompareOptions,
+};
+use brb_lab::{registry, report, rt_backend, runner, CellResult, ScenarioError, ScenarioSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,6 +39,8 @@ fn main() -> ExitCode {
         "list" => cmd_list(rest),
         "show" => cmd_show(rest),
         "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "capacity" => cmd_capacity(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -44,6 +58,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+        Err(CliError::Analysis(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
         Err(CliError::Io(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -55,9 +73,14 @@ const USAGE: &str = "\
 brb-lab — declarative BRB experiment scenarios
 
 usage:
-  brb-lab list                         list registry presets
-  brb-lab show <scenario> [--json]     print a spec as TOML (or JSON)
-  brb-lab run  <scenario> [options]    run and emit a JSON-lines report
+  brb-lab list                           list registry presets
+  brb-lab show     <scenario> [--json]   print a spec as TOML (or JSON)
+  brb-lab run      <scenario> [options]  run and emit a JSON-lines report
+  brb-lab compare  <scenario> --baseline S [options]
+                                         paired A/B deltas vs a baseline
+                                         strategy, with significance
+  brb-lab capacity <scenario> [options]  per-strategy saturation knee over
+                                         a load sweep, with headroom
 
 <scenario> is a registry preset name (see `brb-lab list`) or a path to
 a .toml / .json spec file.
@@ -69,6 +92,21 @@ run options:
   --seeds a,b,..   override the seed set
   --out FILE       write the report to FILE instead of stdout
   --quiet          suppress the human-readable table on stderr
+
+compare options (plus --tasks/--seeds/--out/--quiet as above):
+  --baseline S     baseline strategy (required; matching is forgiving:
+                   random_fifo finds \"random+FIFO\")
+  --backend B      sim (default), rt, or both (sim deltas + sim-vs-rt
+                   strategy-ordering concordance)
+  --from FILE      analyze an existing report-v1 JSONL instead of running
+  --resamples N    bootstrap resamples per metric (default 2000)
+  --confidence C   bootstrap confidence level (default 0.95)
+  --md FILE        also write the markdown report to FILE
+
+capacity options (plus --backend/--tasks/--seeds/--out/--md/--from/--quiet):
+  --slo-p99-ms X             declare loads with mean p99 above X unsafe
+  --goodput-tolerance-pct X  max delivered-ratio shortfall (default 5)
+  --at LOAD                  judge headroom at LOAD (default: lowest swept)
 ";
 
 /// Which engine executes the lowered scenario.
@@ -83,12 +121,19 @@ enum Backend {
 enum CliError {
     Usage(String),
     Scenario(ScenarioError),
+    Analysis(AnalysisError),
     Io(String),
 }
 
 impl From<ScenarioError> for CliError {
     fn from(e: ScenarioError) -> Self {
         CliError::Scenario(e)
+    }
+}
+
+impl From<AnalysisError> for CliError {
+    fn from(e: AnalysisError) -> Self {
+        CliError::Analysis(e)
     }
 }
 
@@ -259,4 +304,298 @@ fn cmd_run(rest: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+// -- analysis verbs ---------------------------------------------------------
+
+/// Arguments shared by `compare` and `capacity`.
+#[derive(Default)]
+struct AnalysisArgs {
+    target: Option<String>,
+    from: Option<String>,
+    backend: Option<String>,
+    tasks: Option<usize>,
+    seeds: Option<Vec<u64>>,
+    out: Option<String>,
+    md: Option<String>,
+    quiet: bool,
+}
+
+impl AnalysisArgs {
+    /// Consumes one flag (plus its value) from `iter`; `Ok(false)` when
+    /// the flag is not one of the shared set.
+    fn consume(
+        &mut self,
+        arg: &str,
+        iter: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, CliError> {
+        let value = |iter: &mut std::slice::Iter<'_, String>, flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg {
+            "--from" => self.from = Some(value(iter, "--from")?),
+            "--backend" => self.backend = Some(value(iter, "--backend")?),
+            "--tasks" => {
+                let v = value(iter, "--tasks")?;
+                self.tasks = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --tasks value {v:?}")))?,
+                );
+            }
+            "--seeds" => {
+                let v = value(iter, "--seeds")?;
+                let parsed: Result<Vec<u64>, _> = v.split(',').map(str::parse).collect();
+                self.seeds =
+                    Some(parsed.map_err(|_| CliError::Usage(format!("bad --seeds value {v:?}")))?);
+            }
+            "--out" => self.out = Some(value(iter, "--out")?),
+            "--md" => self.md = Some(value(iter, "--md")?),
+            "--quiet" => self.quiet = true,
+            other if self.target.is_none() && !other.starts_with('-') => {
+                self.target = Some(other.to_string());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Resolves the input to analyze: an ingested report (`--from`) or a
+    /// fresh run of the scenario. Returns the backend label for headers.
+    fn resolve_input(
+        &self,
+        backend: Backend,
+    ) -> Result<(ScenarioSpec, Vec<CellResult>, String), CliError> {
+        if let Some(path) = &self.from {
+            if self.tasks.is_some() || self.seeds.is_some() {
+                return Err(CliError::Usage(
+                    "--tasks/--seeds override a fresh run; they cannot rewrite --from".into(),
+                ));
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            let parsed = parse_jsonl(&text)?;
+            return Ok((parsed.spec, parsed.results, "file".into()));
+        }
+        let target = self
+            .target
+            .clone()
+            .ok_or_else(|| CliError::Usage("need a scenario (or --from report.jsonl)".into()))?;
+        let spec = self.prepared_spec(&target)?;
+        let results = run_backend(&spec, backend, self.quiet)?;
+        Ok((
+            spec,
+            results,
+            match backend {
+                Backend::Sim => "sim".into(),
+                Backend::Rt => "rt".into(),
+            },
+        ))
+    }
+
+    /// Resolves the scenario and applies the --tasks/--seeds overrides.
+    fn prepared_spec(&self, target: &str) -> Result<ScenarioSpec, CliError> {
+        let mut spec = resolve(target)?;
+        if let Some(n) = self.tasks {
+            spec.workload.num_tasks = n;
+        }
+        if let Some(s) = &self.seeds {
+            spec.seeds = s.clone();
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Writes the JSONL to --out (or stdout) and the markdown to --md
+    /// (or, unless quiet, stderr).
+    fn emit(&self, jsonl: &str, markdown: &str) -> Result<(), CliError> {
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, jsonl).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                if !self.quiet {
+                    eprintln!("wrote {path}");
+                }
+            }
+            None => print!("{jsonl}"),
+        }
+        match &self.md {
+            Some(path) => {
+                std::fs::write(path, markdown).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                if !self.quiet {
+                    eprintln!("wrote {path}");
+                }
+            }
+            None => {
+                if !self.quiet {
+                    eprint!("{markdown}");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn run_backend(
+    spec: &ScenarioSpec,
+    backend: Backend,
+    quiet: bool,
+) -> Result<Vec<CellResult>, CliError> {
+    let progress = |i: usize, n: usize| {
+        if !quiet && n > 1 {
+            eprintln!("  cell {}/{n} ...", i + 1);
+        }
+    };
+    Ok(match backend {
+        Backend::Sim => runner::run_spec_with_progress(spec, progress)?,
+        Backend::Rt => rt_backend::run_spec_rt_with_progress(spec, progress)?,
+    })
+}
+
+fn cmd_compare(rest: &[String]) -> Result<(), CliError> {
+    let mut args = AnalysisArgs::default();
+    let mut baseline: Option<String> = None;
+    let mut resamples: u32 = 2_000;
+    let mut confidence: f64 = 0.95;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--baseline needs a value".into()))?,
+                );
+            }
+            "--resamples" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--resamples needs a value".into()))?;
+                resamples = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --resamples value {v:?}")))?;
+            }
+            "--confidence" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--confidence needs a value".into()))?;
+                confidence = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --confidence value {v:?}")))?;
+            }
+            other => {
+                if !args.consume(other, &mut iter)? {
+                    return Err(CliError::Usage(format!("unexpected argument {other:?}")));
+                }
+            }
+        }
+    }
+    let baseline =
+        baseline.ok_or_else(|| CliError::Usage("compare needs --baseline <strategy>".into()))?;
+    let both = args.backend.as_deref() == Some("both");
+    let backend = match args.backend.as_deref() {
+        None | Some("sim") | Some("both") => Backend::Sim,
+        Some("rt") => Backend::Rt,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "bad --backend value {other:?} (expected sim, rt, or both)"
+            )))
+        }
+    };
+    if both && args.from.is_some() {
+        return Err(CliError::Usage(
+            "--backend both needs fresh runs; it cannot ingest --from".into(),
+        ));
+    }
+    let (spec, results, mut backend_label) = args.resolve_input(backend)?;
+    if both {
+        backend_label = "both".into();
+    }
+    let opts = CompareOptions {
+        backend: backend_label,
+        resamples,
+        confidence,
+    };
+    let report = compare_report(&spec, &results, &baseline, &opts)?;
+    let mut jsonl = report.to_jsonl_string();
+    // --backend both: append the sim-vs-rt strategy-ordering agreement
+    // as additive JSONL lines after the compare records.
+    let concordance = if both {
+        if !args.quiet {
+            eprintln!("re-running on the rt backend for concordance ...");
+        }
+        let rt_results = run_backend(&spec, Backend::Rt, args.quiet)?;
+        let cells = ordering_concordance(&results, &rt_results)?;
+        for cell in &cells {
+            jsonl.push_str(&serde_json::to_string(cell).map_err(|e| CliError::Io(e.to_string()))?);
+            jsonl.push('\n');
+        }
+        Some(cells)
+    } else {
+        None
+    };
+    let markdown = analysis::markdown::render_compare(&report, concordance.as_deref());
+    args.emit(&jsonl, &markdown)
+}
+
+fn cmd_capacity(rest: &[String]) -> Result<(), CliError> {
+    let mut args = AnalysisArgs::default();
+    let mut slo_p99_ms: Option<f64> = None;
+    let mut tolerance_pct: f64 = 5.0;
+    let mut at_load: Option<f64> = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--slo-p99-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--slo-p99-ms needs a value".into()))?;
+                slo_p99_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --slo-p99-ms value {v:?}")))?,
+                );
+            }
+            "--goodput-tolerance-pct" => {
+                let v = iter.next().ok_or_else(|| {
+                    CliError::Usage("--goodput-tolerance-pct needs a value".into())
+                })?;
+                tolerance_pct = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --goodput-tolerance-pct value {v:?}"))
+                })?;
+            }
+            "--at" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--at needs a value".into()))?;
+                at_load = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --at value {v:?}")))?,
+                );
+            }
+            other => {
+                if !args.consume(other, &mut iter)? {
+                    return Err(CliError::Usage(format!("unexpected argument {other:?}")));
+                }
+            }
+        }
+    }
+    let backend = match args.backend.as_deref() {
+        None | Some("sim") => Backend::Sim,
+        Some("rt") => Backend::Rt,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "bad --backend value {other:?} (expected sim or rt)"
+            )))
+        }
+    };
+    let (spec, results, backend_label) = args.resolve_input(backend)?;
+    let opts = CapacityOptions {
+        backend: backend_label,
+        slo_p99_ms,
+        tolerance_pct,
+        at_load,
+    };
+    let report = capacity_report(&spec, &results, &opts)?;
+    let markdown = analysis::markdown::render_capacity(&report);
+    args.emit(&report.to_jsonl_string(), &markdown)
 }

@@ -74,6 +74,12 @@ const PRESETS: &[Preset] = &[
         description: "admission-control watermark sheds early so accepted work still finishes fast",
         build: load_shedding,
     },
+    Preset {
+        name: "priority-starvation",
+        description:
+            "shed-watermark sweep with per-class stats: who starves when admission tightens",
+        build: priority_starvation,
+    },
 ];
 
 /// Every preset name, in display order.
@@ -312,6 +318,41 @@ fn load_shedding() -> ScenarioBuilder {
         .seeds(&[1, 2])
 }
 
+fn priority_starvation() -> ScenarioBuilder {
+    // ROADMAP item 4c: sweep the admission watermark at sustained
+    // overload and split terminal failures by priority class. As the
+    // watermark tightens (32 of 128), shedding moves from "rare" to
+    // "routine", and the per-class split shows whether priority-blind
+    // FIFO starves the high-priority classes a priority-queue policy
+    // protects. Feed the report through `brb-lab compare` for the
+    // per-class starvation curves.
+    ScenarioBuilder::new("priority-starvation")
+        .tasks(8_000)
+        .scale_catalog(true)
+        .load(1.2)
+        .bounded_queue(QueueSpec {
+            capacity: 128,
+            shed_above: None, // each cell's watermark comes from the axis
+            codel_target_us: None,
+            codel_interval_us: None,
+            priority_stats: true,
+        })
+        .sweep_shed_above(&[32, 64, 96])
+        .strategies(vec![
+            Strategy::Direct {
+                selector: SelectorKind::Random,
+                policy: PolicyKind::Fifo,
+                priority_queues: false,
+            },
+            Strategy::Direct {
+                selector: SelectorKind::LeastOutstanding,
+                policy: PolicyKind::EqualMax,
+                priority_queues: true,
+            },
+        ])
+        .seeds(&[1, 2])
+}
+
 fn trace_replay() -> ScenarioBuilder {
     ScenarioBuilder::new("trace-replay")
         .tasks(5_000)
@@ -349,6 +390,7 @@ mod tests {
             "sustained-overload",
             "retry-storm",
             "load-shedding",
+            "priority-starvation",
         ] {
             assert!(names().contains(&required), "missing preset {required}");
         }
@@ -387,6 +429,24 @@ mod tests {
         let q = shedding.queue.unwrap();
         assert!(q.shed_above.unwrap() < q.capacity);
         assert!(shedding.timeout.is_none());
+    }
+
+    #[test]
+    fn priority_starvation_sweeps_the_watermark_with_class_stats() {
+        let spec = spec("priority-starvation").unwrap();
+        assert_eq!(spec.sweep.shed_above, vec![32, 64, 96]);
+        assert!(spec.queue.unwrap().priority_stats);
+        assert!(spec.workload.load > 1.0, "starvation needs overload");
+        // Each cell's lowered queue carries that cell's watermark.
+        let cells = spec.lower().unwrap();
+        assert_eq!(cells.len(), 3);
+        for (cell, want) in cells.iter().zip([32usize, 64, 96]) {
+            assert_eq!(cell.axes.shed_above, Some(want));
+            assert_eq!(
+                cell.base.overload.queue.as_ref().unwrap().shed_above,
+                Some(want)
+            );
+        }
     }
 
     #[test]

@@ -212,6 +212,9 @@ pub fn axes_label(axes: &CellAxes) -> String {
     if let Some(d) = axes.hedge_delay_us {
         parts.push(format!("hedge={d}us"));
     }
+    if let Some(w) = axes.shed_above {
+        parts.push(format!("shed={w}"));
+    }
     if parts.is_empty() {
         "-".into()
     } else {

@@ -63,32 +63,69 @@ impl FaultSpec {
 /// Sweep axes. Each non-empty axis contributes one grid dimension; the
 /// grid is the cartesian product, and an all-empty sweep is a single
 /// cell at the spec's base values.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+///
+/// Serde is hand-written (additive schema): the three original axes
+/// always serialize, `shed_above` only when non-empty, so spec echoes
+/// in pre-existing reports stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepSpec {
     /// Offered load as a fraction of aggregate capacity.
-    #[serde(default)]
     pub load: Vec<f64>,
     /// Mean task fan-out (lowered to a shifted-geometric synthetic
     /// workload, the shape the fan-out ablation uses — heterogeneity is
     /// what makes task-awareness matter).
-    #[serde(default)]
     pub mean_fanout: Vec<u32>,
     /// Hedge trigger delay in microseconds, applied to every `Hedged`
     /// strategy in the set.
-    #[serde(default)]
     pub hedge_delay_us: Vec<u64>,
+    /// Admission-control shed watermark, overriding the queue spec's
+    /// `shed_above` per cell (requires the `queue` table — the
+    /// starvation-curve sweep).
+    pub shed_above: Vec<usize>,
+}
+
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("load".to_string(), self.load.to_value()),
+            ("mean_fanout".to_string(), self.mean_fanout.to_value()),
+            ("hedge_delay_us".to_string(), self.hedge_delay_us.to_value()),
+        ];
+        if !self.shed_above.is_empty() {
+            entries.push(("shed_above".to_string(), self.shed_above.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::__private::as_object(v, "SweepSpec")?;
+        Ok(SweepSpec {
+            load: serde::__private::field_default(obj, "load")?,
+            mean_fanout: serde::__private::field_default(obj, "mean_fanout")?,
+            hedge_delay_us: serde::__private::field_default(obj, "hedge_delay_us")?,
+            shed_above: serde::__private::field_default(obj, "shed_above")?,
+        })
+    }
 }
 
 impl SweepSpec {
     /// Whether no axis is configured (single-cell scenario).
     pub fn is_empty(&self) -> bool {
-        self.load.is_empty() && self.mean_fanout.is_empty() && self.hedge_delay_us.is_empty()
+        self.load.is_empty()
+            && self.mean_fanout.is_empty()
+            && self.hedge_delay_us.is_empty()
+            && self.shed_above.is_empty()
     }
 
     /// Number of grid cells this sweep expands to.
     pub fn num_cells(&self) -> usize {
         let dim = |n: usize| if n == 0 { 1 } else { n };
-        dim(self.load.len()) * dim(self.mean_fanout.len()) * dim(self.hedge_delay_us.len())
+        dim(self.load.len())
+            * dim(self.mean_fanout.len())
+            * dim(self.hedge_delay_us.len())
+            * dim(self.shed_above.len())
     }
 }
 
@@ -252,17 +289,46 @@ pub struct ScenarioSpec {
 }
 
 /// The axis values one grid cell was lowered at (`None` = axis unused).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq)]
+///
+/// Serde is hand-written (additive schema): the three original keys
+/// always serialize (`null` when inactive, the shape every pinned
+/// report carries), `shed_above` only when that axis is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellAxes {
     /// Offered load, when the `load` axis is active.
-    #[serde(default)]
     pub load: Option<f64>,
     /// Mean fan-out, when the `mean_fanout` axis is active.
-    #[serde(default)]
     pub mean_fanout: Option<u32>,
     /// Hedge delay (µs), when the `hedge_delay_us` axis is active.
-    #[serde(default)]
     pub hedge_delay_us: Option<u64>,
+    /// Shed watermark, when the `shed_above` axis is active.
+    pub shed_above: Option<usize>,
+}
+
+impl Serialize for CellAxes {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("load".to_string(), self.load.to_value()),
+            ("mean_fanout".to_string(), self.mean_fanout.to_value()),
+            ("hedge_delay_us".to_string(), self.hedge_delay_us.to_value()),
+        ];
+        if self.shed_above.is_some() {
+            entries.push(("shed_above".to_string(), self.shed_above.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for CellAxes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::__private::as_object(v, "CellAxes")?;
+        Ok(CellAxes {
+            load: serde::__private::field_default(obj, "load")?,
+            mean_fanout: serde::__private::field_default(obj, "mean_fanout")?,
+            hedge_delay_us: serde::__private::field_default(obj, "hedge_delay_us")?,
+            shed_above: serde::__private::field_default(obj, "shed_above")?,
+        })
+    }
 }
 
 /// One lowered grid cell: a concrete base config plus the strategy and
@@ -334,9 +400,9 @@ impl ScenarioSpec {
         self.lower().map(|_| ())
     }
 
-    /// The cartesian axis grid, in row-major order
-    /// (`load` outermost, then `mean_fanout`, then `hedge_delay_us`).
-    /// An empty sweep yields one all-`None` cell.
+    /// The cartesian axis grid, in row-major order (`load` outermost,
+    /// then `mean_fanout`, then `hedge_delay_us`, then `shed_above`
+    /// innermost). An empty sweep yields one all-`None` cell.
     pub fn axis_grid(&self) -> Vec<CellAxes> {
         fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
             if values.is_empty() {
@@ -349,11 +415,14 @@ impl ScenarioSpec {
         for &load in &axis(&self.sweep.load) {
             for &mean_fanout in &axis(&self.sweep.mean_fanout) {
                 for &hedge_delay_us in &axis(&self.sweep.hedge_delay_us) {
-                    grid.push(CellAxes {
-                        load,
-                        mean_fanout,
-                        hedge_delay_us,
-                    });
+                    for &shed_above in &axis(&self.sweep.shed_above) {
+                        grid.push(CellAxes {
+                            load,
+                            mean_fanout,
+                            hedge_delay_us,
+                            shed_above,
+                        });
+                    }
                 }
             }
         }
@@ -380,7 +449,7 @@ impl ScenarioSpec {
                 congestion_queue_threshold: self.run.congestion_queue_threshold,
                 telemetry_interval_ns: self.run.telemetry_interval_ns,
                 net: self.run.net,
-                overload: self.lower_overload(),
+                overload: self.lower_overload(&axes),
             };
             // Everything the typed checks above did not cover (service
             // rates, latency parameters, credits tuning, ...) still goes
@@ -555,6 +624,35 @@ impl ScenarioSpec {
                 });
             }
         }
+        if !self.sweep.shed_above.is_empty() {
+            let queue = self
+                .queue
+                .as_ref()
+                .ok_or(ScenarioError::ShedAxisWithoutQueue)?;
+            for (i, &w) in self.sweep.shed_above.iter().enumerate() {
+                if w == 0 {
+                    return Err(ScenarioError::AxisValue {
+                        axis: "shed_above",
+                        value: 0.0,
+                    });
+                }
+                if self.sweep.shed_above[..i].contains(&w) {
+                    return Err(ScenarioError::DuplicateAxisValue {
+                        axis: "shed_above",
+                        value: w as f64,
+                    });
+                }
+                // Each swept watermark must produce a valid queue (e.g.
+                // not exceed the capacity) — same check the base value
+                // gets below.
+                let mut swept = *queue;
+                swept.shed_above = Some(w);
+                swept
+                    .lower()
+                    .validate()
+                    .map_err(ScenarioError::BadQueueSpec)?;
+            }
+        }
         // Overload lane.
         if let Some(q) = &self.queue {
             if q.codel_target_us.is_some() != q.codel_interval_us.is_some() {
@@ -571,10 +669,17 @@ impl ScenarioSpec {
     }
 
     /// Lowers the overload-lane specs (µs-denominated) to the core
-    /// config's ns-denominated knobs.
-    fn lower_overload(&self) -> OverloadConfig {
+    /// config's ns-denominated knobs. A `shed_above` axis value
+    /// overrides the queue spec's watermark in that cell.
+    fn lower_overload(&self, axes: &CellAxes) -> OverloadConfig {
         OverloadConfig {
-            queue: self.queue.as_ref().map(QueueSpec::lower),
+            queue: self.queue.as_ref().map(|q| {
+                let mut queue = *q;
+                if let Some(w) = axes.shed_above {
+                    queue.shed_above = Some(w);
+                }
+                queue.lower()
+            }),
             timeout: self.timeout.as_ref().map(TimeoutSpec::lower),
         }
     }

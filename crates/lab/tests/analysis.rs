@@ -1,0 +1,330 @@
+//! Golden pins and acceptance tests for the analysis subsystem.
+//!
+//! * The `brb-lab/compare-v1` and `brb-lab/capacity-v1` JSONL schemas
+//!   are pinned as exact key lists, the same way `golden.rs` pins
+//!   `report-v1` — key order *is* the schema.
+//! * The report reader round-trips every registry preset byte-exactly
+//!   (legacy, overload, and `priority_classes` shapes included), the
+//!   property that lets `compare --from report.jsonl` trust a file.
+//! * The paper-level acceptance claims: C3 shows a significant goodput
+//!   win over random+FIFO past saturation on `retry-storm`, and every
+//!   strategy has a capacity knee on `load-shedding` — both
+//!   deterministic across reruns.
+
+use brb_lab::analysis::{
+    capacity_report, compare_report, markdown, parse_jsonl, CapacityOptions, CompareOptions,
+    CAPACITY_SCHEMA, COMPARE_SCHEMA,
+};
+use brb_lab::{registry, report, runner, ScenarioBuilder};
+use serde::Value;
+
+/// Collects an object's keys in order; panics on non-objects.
+fn keys(v: &Value) -> Vec<&str> {
+    match v {
+        Value::Object(entries) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn compare_jsonl_schema_is_pinned() {
+    // priority-starvation exercises every compare-v1 feature at once:
+    // a sweep axis, the goodput metric, and the priority_classes block.
+    let spec = ScenarioBuilder::from_spec(registry::spec("priority-starvation").unwrap())
+        .tasks(400)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let compared =
+        compare_report(&spec, &results, "random_fifo", &CompareOptions::default()).unwrap();
+    let text = compared.to_jsonl_string();
+    let mut lines = text.lines();
+
+    let header: Value = serde_json::from_str(lines.next().expect("header line")).unwrap();
+    assert_eq!(
+        keys(&header),
+        [
+            "schema",
+            "scenario",
+            "baseline",
+            "backend",
+            "cells",
+            "strategies",
+            "seeds",
+            "metrics",
+            "resamples",
+            "confidence",
+            "spec"
+        ]
+    );
+    assert_eq!(
+        header.get("schema"),
+        Some(&Value::Str(COMPARE_SCHEMA.into()))
+    );
+    assert_eq!(COMPARE_SCHEMA, "brb-lab/compare-v1");
+
+    let records: Vec<Value> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert_eq!(records.len(), 3, "3 cells x 1 candidate strategy");
+    for record in &records {
+        assert_eq!(
+            keys(record),
+            ["cell", "axes", "strategy", "deltas", "priority_classes"]
+        );
+        assert_eq!(
+            keys(record.get("axes").unwrap()),
+            ["load", "mean_fanout", "hedge_delay_us", "shed_above"]
+        );
+        let deltas = record.get("deltas").unwrap();
+        assert_eq!(
+            keys(deltas),
+            ["p50_ms", "p95_ms", "p99_ms", "mean_ms", "goodput"]
+        );
+        for metric in keys(deltas) {
+            assert_eq!(
+                keys(deltas.get(metric).unwrap()),
+                [
+                    "baseline_mean",
+                    "mean",
+                    "delta",
+                    "delta_pct",
+                    "t",
+                    "df",
+                    "p",
+                    "ci_lo",
+                    "ci_hi",
+                    "significant"
+                ],
+                "{metric}"
+            );
+        }
+        let classes = match record.get("priority_classes").unwrap() {
+            Value::Array(classes) => classes,
+            other => panic!("priority_classes should be an array, got {other:?}"),
+        };
+        assert!(!classes.is_empty());
+        for class in classes {
+            assert_eq!(keys(class), ["class", "baseline_mean", "mean", "delta"]);
+        }
+    }
+    // Without the split, the line stops at "deltas" and the latency-only
+    // metric set drops goodput (the legacy shape).
+    let legacy_spec = ScenarioBuilder::from_spec(registry::spec("figure2-small").unwrap())
+        .tasks(300)
+        .build()
+        .unwrap();
+    let legacy_results = runner::run_spec(&legacy_spec).unwrap();
+    let legacy = compare_report(
+        &legacy_spec,
+        &legacy_results,
+        "c3",
+        &CompareOptions::default(),
+    )
+    .unwrap();
+    let line: Value =
+        serde_json::from_str(legacy.to_jsonl_string().lines().nth(1).unwrap()).unwrap();
+    assert_eq!(keys(&line), ["cell", "axes", "strategy", "deltas"]);
+    assert_eq!(
+        keys(line.get("axes").unwrap()),
+        ["load", "mean_fanout", "hedge_delay_us"]
+    );
+    assert_eq!(
+        keys(line.get("deltas").unwrap()),
+        ["p50_ms", "p95_ms", "p99_ms", "mean_ms"]
+    );
+}
+
+#[test]
+fn capacity_jsonl_schema_is_pinned() {
+    let spec = ScenarioBuilder::from_spec(registry::spec("load-shedding").unwrap())
+        .tasks(400)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let capacity = capacity_report(&spec, &results, &CapacityOptions::default()).unwrap();
+    let text = capacity.to_jsonl_string();
+    let mut lines = text.lines();
+
+    let header: Value = serde_json::from_str(lines.next().expect("header line")).unwrap();
+    assert_eq!(
+        keys(&header),
+        [
+            "schema",
+            "scenario",
+            "backend",
+            "slo_p99_ms",
+            "tolerance_pct",
+            "loads",
+            "strategies",
+            "seeds",
+            "spec"
+        ]
+    );
+    assert_eq!(
+        header.get("schema"),
+        Some(&Value::Str(CAPACITY_SCHEMA.into()))
+    );
+    assert_eq!(CAPACITY_SCHEMA, "brb-lab/capacity-v1");
+
+    let records: Vec<Value> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert_eq!(records.len(), 2, "one line per strategy");
+    for record in &records {
+        assert_eq!(
+            keys(record),
+            [
+                "strategy",
+                "knee_load",
+                "last_safe_load",
+                "current_load",
+                "per_load",
+                "headroom"
+            ]
+        );
+        let per_load = match record.get("per_load").unwrap() {
+            Value::Array(points) => points,
+            other => panic!("per_load should be an array, got {other:?}"),
+        };
+        assert_eq!(per_load.len(), 3);
+        for point in per_load {
+            assert_eq!(keys(point), ["load", "p99_ms", "delivered_ratio", "safe"]);
+        }
+        let headroom = match record.get("headroom").unwrap() {
+            Value::Array(rows) => rows,
+            other => panic!("headroom should be an array, got {other:?}"),
+        };
+        assert_eq!(headroom.len(), 3);
+        for row in headroom {
+            assert_eq!(keys(row), ["name", "multiplier", "projected_load", "fits"]);
+        }
+    }
+}
+
+/// The reader is the writer's inverse on every shape the registry can
+/// produce: legacy latency-only records, the additive overload block,
+/// and the `priority_classes` split. Byte-exact, preset by preset.
+#[test]
+fn report_reader_round_trips_every_registry_preset() {
+    for preset in registry::names() {
+        let spec = ScenarioBuilder::from_spec(registry::spec(preset).unwrap())
+            .tasks(300)
+            .scale_catalog(true)
+            .seeds(&[1, 2, 3])
+            .build()
+            .unwrap_or_else(|e| panic!("{preset}: {e}"));
+        let results = runner::run_spec(&spec).unwrap_or_else(|e| panic!("{preset}: {e}"));
+        let text = report::to_jsonl_string(&spec, &results);
+        let parsed = parse_jsonl(&text).unwrap_or_else(|e| panic!("{preset}: {e}"));
+        assert_eq!(
+            report::to_jsonl_string(&parsed.spec, &parsed.results),
+            text,
+            "{preset}: reader is not the writer's inverse"
+        );
+    }
+}
+
+/// The PR's headline claim, end to end: past saturation (load 1.2x) on
+/// the retry-storm scenario, C3's goodput win over random+FIFO is
+/// significant — the bootstrap CI excludes zero — and the whole
+/// analysis is deterministic across reruns.
+#[test]
+fn retry_storm_c3_goodput_win_is_significant_past_saturation() {
+    let spec = ScenarioBuilder::from_spec(registry::spec("retry-storm").unwrap())
+        .tasks(2_000)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let opts = CompareOptions::default();
+    let compared = compare_report(&spec, &results, "random_fifo", &opts).unwrap();
+
+    let past_saturation: Vec<_> = compared
+        .lines
+        .iter()
+        .filter(|l| l.axes.load.is_some_and(|load| load > 1.0))
+        .collect();
+    assert!(!past_saturation.is_empty(), "retry-storm sweeps past 1.0x");
+    for line in &past_saturation {
+        assert_eq!(line.strategy, "C3");
+        let goodput = line
+            .deltas
+            .iter()
+            .find(|d| d.metric == "goodput")
+            .expect("retry-storm has the overload lane");
+        assert!(
+            goodput.delta > 0.0,
+            "C3 should win goodput at load {:?}, delta {}",
+            line.axes.load,
+            goodput.delta
+        );
+        assert!(
+            goodput.significant && goodput.ci_lo > 0.0,
+            "the win should be significant: CI [{}, {}]",
+            goodput.ci_lo,
+            goodput.ci_hi
+        );
+    }
+
+    // Determinism: same inputs, byte-identical JSONL and markdown.
+    let again = compare_report(&spec, &results, "random_fifo", &opts).unwrap();
+    assert_eq!(again.to_jsonl_string(), compared.to_jsonl_string());
+    assert_eq!(
+        markdown::render_compare(&again, None),
+        markdown::render_compare(&compared, None)
+    );
+}
+
+/// Capacity analysis locates a knee for every strategy on the
+/// load-shedding preset: the sweep runs to 1.3x, where the shed
+/// watermark costs more than 5% of offered work.
+#[test]
+fn load_shedding_capacity_finds_a_knee_per_strategy() {
+    let spec = ScenarioBuilder::from_spec(registry::spec("load-shedding").unwrap())
+        .tasks(2_000)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let opts = CapacityOptions::default();
+    let capacity = capacity_report(&spec, &results, &opts).unwrap();
+    assert_eq!(capacity.lines.len(), 2);
+    for line in &capacity.lines {
+        assert!(
+            line.knee_load.is_some(),
+            "{}: expected a knee across loads {:?}",
+            line.strategy,
+            capacity.loads
+        );
+        assert!(
+            line.last_safe_load.is_some(),
+            "{}: 0.9x should be deliverable",
+            line.strategy
+        );
+    }
+    // Determinism across reruns.
+    let again = capacity_report(&spec, &results, &opts).unwrap();
+    assert_eq!(again.to_jsonl_string(), capacity.to_jsonl_string());
+}
+
+/// ROADMAP 4c end to end: the priority-starvation preset's per-class
+/// split flows through compare into per-class starvation deltas on
+/// every swept watermark.
+#[test]
+fn priority_starvation_produces_per_class_curves() {
+    let spec = ScenarioBuilder::from_spec(registry::spec("priority-starvation").unwrap())
+        .tasks(1_000)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let compared =
+        compare_report(&spec, &results, "random_fifo", &CompareOptions::default()).unwrap();
+    assert_eq!(compared.lines.len(), 3, "one candidate per watermark");
+    for line in &compared.lines {
+        assert!(line.axes.shed_above.is_some());
+        let classes = line
+            .priority_classes
+            .as_ref()
+            .expect("priority_stats is on");
+        assert!(!classes.is_empty());
+        // Tighter watermarks shed at the door; something terminal must
+        // have been counted somewhere for the curve to mean anything.
+        let total: f64 = classes.iter().map(|c| c.baseline_mean + c.mean).sum();
+        assert!(total > 0.0, "no terminal failures recorded at overload");
+    }
+}

@@ -18,15 +18,20 @@
 //!   utilization accounting and the credits controller's demand estimates.
 //! * [`reservoir::Reservoir`] — uniform reservoir sampling for cheap exact
 //!   quantiles over huge streams.
+//! * [`stats`] — significance statistics for paired A/B comparison:
+//!   Welch's t, deterministic paired-bootstrap CIs, order-statistic
+//!   quantile CIs, and Kendall tau for cross-backend ordering checks.
 
 pub mod histogram;
 pub mod percentile;
 pub mod reservoir;
+pub mod stats;
 pub mod summary;
 pub mod timeseries;
 
 pub use histogram::Histogram;
 pub use percentile::{exact_percentile, Percentiles};
 pub use reservoir::Reservoir;
+pub use stats::{kendall_tau, paired_bootstrap_ci, quantile_ci, welch_t, BootstrapCi, WelchT};
 pub use summary::{RunningStats, SeedSummary};
 pub use timeseries::{BusyTime, WindowedRate};

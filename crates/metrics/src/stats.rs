@@ -1,0 +1,495 @@
+//! Significance statistics for paired experiment comparison.
+//!
+//! The lab's `compare` verb reports per-seed paired differences between
+//! strategies (common random numbers make the pairing free variance
+//! reduction). This module supplies the inference machinery it needs,
+//! all deterministic and dependency-free:
+//!
+//! * [`welch_t`] — Welch's unequal-variance t statistic with
+//!   Welch–Satterthwaite degrees of freedom and a two-sided p-value
+//!   computed through the regularized incomplete beta function (no
+//!   lookup tables, no approximation past f64 round-off).
+//! * [`paired_bootstrap_ci`] — a percentile bootstrap confidence
+//!   interval over the mean paired difference, driven by a SplitMix64
+//!   stream seeded by the caller — reruns are byte-identical.
+//! * [`quantile_ci`] — a distribution-free order-statistic confidence
+//!   interval for a quantile (exact binomial ranks, log-space pmf so
+//!   large samples don't underflow).
+//! * [`kendall_tau`] — rank-order agreement between two metric vectors,
+//!   used to check strategy-ordering concordance across backends.
+
+use serde::{Deserialize, Serialize};
+
+/// Welch's t test outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchT {
+    /// The t statistic (mean(a) − mean(b) over the pooled standard
+    /// error). `±∞` when both samples are degenerate with distinct
+    /// means.
+    pub t: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value under the Student t distribution.
+    pub p: f64,
+}
+
+/// Welch's unequal-variance t statistic for `mean(a) - mean(b)`.
+///
+/// Returns `None` unless both samples have at least two observations —
+/// a variance estimate needs n ≥ 2, and refusing is better than
+/// emitting NaN garbage. Two zero-variance samples are handled exactly:
+/// equal means give `t = 0, p = 1`; distinct means give `t = ±∞,
+/// p = 0` (the difference is certain under the observed data).
+pub fn welch_t(a: &[f64], b: &[f64]) -> Option<WelchT> {
+    let (na, nb) = (a.len(), b.len());
+    if na < 2 || nb < 2 {
+        return None;
+    }
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let sea = va / na as f64;
+    let seb = vb / nb as f64;
+    let se2 = sea + seb;
+    if se2 == 0.0 {
+        let diff = ma - mb;
+        return Some(if diff == 0.0 {
+            WelchT {
+                t: 0.0,
+                df: (na + nb - 2) as f64,
+                p: 1.0,
+            }
+        } else {
+            WelchT {
+                t: diff.signum() * f64::INFINITY,
+                df: (na + nb - 2) as f64,
+                p: 0.0,
+            }
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / (sea * sea / (na as f64 - 1.0) + seb * seb / (nb as f64 - 1.0));
+    Some(WelchT {
+        t,
+        df,
+        p: student_t_two_sided_p(t, df),
+    })
+}
+
+/// Two-sided p-value of a Student t statistic with `df` degrees of
+/// freedom: `P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t.is_nan() { f64::NAN } else { 0.0 };
+    }
+    if df <= 0.0 {
+        return f64::NAN;
+    }
+    reg_inc_beta(df / 2.0, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+/// A percentile-bootstrap confidence interval over a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// The sample mean of the input differences.
+    pub mean: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl BootstrapCi {
+    /// Whether the interval excludes zero — the "significant" verdict
+    /// the compare report prints.
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+/// Percentile bootstrap CI for the mean of `diffs` at the given
+/// confidence level (e.g. `0.95`).
+///
+/// The resampling stream is SplitMix64 seeded with `seed`, so the same
+/// `(diffs, resamples, confidence, seed)` always produces bit-identical
+/// bounds — the compare report derives the seed from the scenario's
+/// seed list, never from wall-clock state. Returns `None` on an empty
+/// sample, zero resamples, or a confidence outside `(0, 1)`.
+pub fn paired_bootstrap_ci(
+    diffs: &[f64],
+    resamples: u32,
+    confidence: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if diffs.is_empty() || resamples == 0 || !(confidence > 0.0 && confidence < 1.0) {
+        return None;
+    }
+    let n = diffs.len();
+    let mut rng = SplitMix64::new(seed);
+    let mut means = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += diffs[(rng.next_u64() % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let alpha = 1.0 - confidence;
+    let rank = |p: f64| {
+        // Nearest-rank on the sorted resample means.
+        let r = (p * means.len() as f64).ceil() as usize;
+        means[r.clamp(1, means.len()) - 1]
+    };
+    Some(BootstrapCi {
+        mean: diffs.iter().sum::<f64>() / n as f64,
+        lo: rank(alpha / 2.0),
+        hi: rank(1.0 - alpha / 2.0),
+    })
+}
+
+/// Distribution-free order-statistic confidence interval for the `q`-th
+/// quantile (`q ∈ (0, 1)`) of `sorted` at the given confidence level.
+///
+/// The bracketing ranks come from the exact Binomial(n, q) tails
+/// (computed in log space, so n in the tens of thousands is fine);
+/// the interval always contains the nearest-rank sample quantile.
+/// Returns `None` on an empty slice or out-of-domain `q`/`confidence`.
+pub fn quantile_ci(sorted: &[f64], q: f64, confidence: f64) -> Option<(f64, f64)> {
+    let n = sorted.len();
+    if n == 0 || !(q > 0.0 && q < 1.0) || !(confidence > 0.0 && confidence < 1.0) {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let alpha = 1.0 - confidence;
+    let ln_q = q.ln();
+    let ln_1q = (1.0 - q).ln();
+    let nf = n as f64;
+    let ln_pmf = |k: usize| {
+        let kf = k as f64;
+        ln_gamma(nf + 1.0) - ln_gamma(kf + 1.0) - ln_gamma(nf - kf + 1.0)
+            + kf * ln_q
+            + (nf - kf) * ln_1q
+    };
+    // lo = the largest rank whose strictly-below probability stays
+    // within the lower tail budget; hi symmetric from the upper tail.
+    let mut cum = 0.0;
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    let mut hi_set = false;
+    for k in 0..n {
+        // P(X < k) so far; X ~ Binomial(n, q) counts samples below Q(q).
+        if cum <= alpha / 2.0 {
+            lo = k;
+        }
+        cum += ln_pmf(k).exp();
+        if !hi_set && cum >= 1.0 - alpha / 2.0 {
+            hi = k;
+            hi_set = true;
+        }
+    }
+    // Keep the nearest-rank point estimate inside the interval even at
+    // extreme q where a one-sided tail collapses.
+    let point = ((q * nf).ceil() as usize).clamp(1, n) - 1;
+    Some((sorted[lo.min(point)], sorted[hi.max(point)]))
+}
+
+/// Kendall rank correlation (tau-a) between two equally-long vectors:
+/// `+1` for identical orderings, `−1` for exactly reversed, with tied
+/// pairs contributing zero. Returns `None` unless both have the same
+/// length ≥ 2.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 || ys.len() != n {
+        return None;
+    }
+    let mut score = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[j] - xs[i];
+            let dy = ys[j] - ys[i];
+            let s = (dx * dy).partial_cmp(&0.0)?;
+            score += match s {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+        }
+    }
+    Some(score as f64 / (n * (n - 1) / 2) as f64)
+}
+
+/// Mean and unbiased sample variance (variance 0 when n < 2).
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// A SplitMix64 stream: tiny, fast, and deterministic across platforms
+/// (Vigna's reference constants — the same finalizer `brb-sim`'s
+/// `RngFactory` uses for seed derivation).
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Special functions: ln Γ and the regularized incomplete beta.
+// ---------------------------------------------------------------------------
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, 9 terms —
+/// ~15 significant digits over the range the t test exercises).
+// The coefficients are the canonical published values; keep them
+// verbatim even where they exceed f64 precision.
+#[allow(clippy::excessive_precision)]
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma needs a positive argument");
+    let x = x - 1.0;
+    let mut acc = 0.99999999999980993;
+    for (i, &c) in COEF.iter().enumerate() {
+        acc += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via the Lentz continued
+/// fraction (converges for every `x ∈ [0, 1]` after the symmetry
+/// split).
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction kernel for [`reg_inc_beta`] (Numerical Recipes'
+/// `betacf`, modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 3.0e-14;
+    const TINY: f64 = 1.0e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=200 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
+            assert!((ln_gamma(n) - f64::ln(fact)).abs() < 1e-12, "ln_gamma({n})");
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_p_value_has_closed_forms_at_small_df() {
+        // df = 1 is Cauchy: two-sided p = 1 − (2/π)·atan(t).
+        for t in [0.0f64, 0.5, 1.0, 2.0, 10.0] {
+            let want = 1.0 - 2.0 / std::f64::consts::PI * t.atan();
+            let got = student_t_two_sided_p(t, 1.0);
+            assert!((got - want).abs() < 1e-10, "df=1 t={t}: {got} vs {want}");
+        }
+        // df = 2: two-sided p = 1 − t/√(t² + 2).
+        for t in [0.0f64, 0.5, 1.0, 2.0, 10.0] {
+            let want = 1.0 - t / (t * t + 2.0).sqrt();
+            let got = student_t_two_sided_p(t, 2.0);
+            assert!((got - want).abs() < 1e-10, "df=2 t={t}: {got} vs {want}");
+        }
+        // A tabulated reference value: t = 2.0, df = 10 → p ≈ 0.07338803.
+        assert!((student_t_two_sided_p(2.0, 10.0) - 0.073_388_03).abs() < 1e-7);
+        // Symmetric in the sign of t.
+        assert_eq!(
+            student_t_two_sided_p(-2.5, 7.0),
+            student_t_two_sided_p(2.5, 7.0)
+        );
+    }
+
+    #[test]
+    fn welch_on_a_known_case() {
+        // Equal variances, equal sizes: collapses to the pooled t test
+        // with df = 2n − 2 exactly.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let w = welch_t(&a, &b).unwrap();
+        // t = −1 / √(2·(5/3)/4) = −√(6/5).
+        assert!((w.t - -(6.0f64 / 5.0).sqrt()).abs() < 1e-12, "{}", w.t);
+        assert!((w.df - 6.0).abs() < 1e-9, "{}", w.df);
+        assert!(w.p > 0.3 && w.p < 0.4, "{}", w.p);
+    }
+
+    #[test]
+    fn welch_refuses_tiny_samples_and_handles_degenerate_variance() {
+        assert!(welch_t(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t(&[1.0, 2.0], &[]).is_none());
+        let same = welch_t(&[3.0, 3.0], &[3.0, 3.0]).unwrap();
+        assert_eq!((same.t, same.p), (0.0, 1.0));
+        let apart = welch_t(&[3.0, 3.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(apart.t, f64::NEG_INFINITY);
+        assert_eq!(apart.p, 0.0);
+    }
+
+    #[test]
+    fn welch_is_antisymmetric() {
+        let a = [10.0, 12.0, 9.0, 11.0];
+        let b = [13.0, 15.0, 14.0];
+        let ab = welch_t(&a, &b).unwrap();
+        let ba = welch_t(&b, &a).unwrap();
+        assert!((ab.t + ba.t).abs() < 1e-12);
+        assert!((ab.p - ba.p).abs() < 1e-12);
+        assert!((ab.df - ba.df).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_degenerate_on_constant_diffs() {
+        let diffs = [2.5, 2.5, 2.5];
+        let ci = paired_bootstrap_ci(&diffs, 1000, 0.95, 42).unwrap();
+        assert_eq!((ci.mean, ci.lo, ci.hi), (2.5, 2.5, 2.5));
+        assert!(ci.excludes_zero());
+
+        let diffs = [1.0, -0.5, 2.0, 0.25, -1.0];
+        let a = paired_bootstrap_ci(&diffs, 4000, 0.95, 7).unwrap();
+        let b = paired_bootstrap_ci(&diffs, 4000, 0.95, 7).unwrap();
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        assert!(a.lo <= a.mean && a.mean <= a.hi);
+        assert!(!a.excludes_zero(), "mixed-sign diffs straddle zero: {a:?}");
+    }
+
+    #[test]
+    fn bootstrap_rejects_bad_inputs() {
+        assert!(paired_bootstrap_ci(&[], 100, 0.95, 1).is_none());
+        assert!(paired_bootstrap_ci(&[1.0], 0, 0.95, 1).is_none());
+        assert!(paired_bootstrap_ci(&[1.0], 100, 1.0, 1).is_none());
+        assert!(paired_bootstrap_ci(&[1.0], 100, 0.0, 1).is_none());
+    }
+
+    #[test]
+    fn bootstrap_detects_a_consistent_win() {
+        // All diffs the same sign: the 95% CI must exclude zero.
+        let diffs = [3.0, 4.5, 2.0, 5.0, 3.5, 4.0];
+        let ci = paired_bootstrap_ci(&diffs, 5000, 0.95, 99).unwrap();
+        assert!(ci.lo > 0.0, "{ci:?}");
+        assert!(ci.excludes_zero());
+    }
+
+    #[test]
+    fn quantile_ci_brackets_the_sample_quantile() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (lo, hi) = quantile_ci(&sorted, 0.5, 0.95).unwrap();
+        assert!(lo <= 50.0 && 50.0 <= hi, "({lo}, {hi})");
+        assert!(lo >= 35.0 && hi <= 65.0, "95% CI too loose: ({lo}, {hi})");
+        // Extreme quantiles stay in range and keep the point inside.
+        let (lo, hi) = quantile_ci(&sorted, 0.99, 0.95).unwrap();
+        assert!(lo <= 99.0 && 99.0 <= hi, "({lo}, {hi})");
+        assert!(quantile_ci(&[], 0.5, 0.95).is_none());
+        assert!(quantile_ci(&sorted, 0.0, 0.95).is_none());
+    }
+
+    #[test]
+    fn quantile_ci_survives_large_samples() {
+        // (1-q)^n underflows past n ≈ 1074 at q = 0.5; log-space pmf
+        // must not.
+        let sorted: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        let (lo, hi) = quantile_ci(&sorted, 0.5, 0.95).unwrap();
+        assert!(lo > 24_000.0 && hi < 26_000.0, "({lo}, {hi})");
+        assert!(lo <= 25_000.0 && 25_000.0 <= hi);
+    }
+
+    #[test]
+    fn kendall_tau_endpoints() {
+        let up = [1.0, 2.0, 3.0, 4.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&up, &up), Some(1.0));
+        assert_eq!(kendall_tau(&up, &down), Some(-1.0));
+        assert_eq!(kendall_tau(&up, &[1.0, 1.0, 1.0, 1.0]), Some(0.0));
+        assert_eq!(kendall_tau(&up, &down[..3]), None);
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+    }
+}

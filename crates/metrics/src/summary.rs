@@ -186,6 +186,21 @@ mod tests {
     }
 
     #[test]
+    fn single_seed_stddev_is_zero_not_nan() {
+        // Regression pin: a one-seed cell must report stddev 0.0 — a
+        // NaN here would poison every downstream report and serialize
+        // as null in the JSONL.
+        let one = SeedSummary::new(vec![42.0]);
+        assert_eq!(one.stddev(), 0.0);
+        assert!(one.stddev().is_finite());
+        assert_eq!(one.cv(), 0.0);
+        assert_eq!(one.ci95_half_width(), 0.0);
+        let mut rs = RunningStats::new();
+        rs.push(42.0);
+        assert_eq!(rs.stddev(), 0.0);
+    }
+
+    #[test]
     fn merge_matches_sequential() {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let mut all = RunningStats::new();
