@@ -214,11 +214,48 @@ pub mod channel {
     pub use crate::select;
 }
 
-/// Two-arm `select!` over receivers, implemented by polling. The arm
+/// Two-arm `select!` over receivers, implemented by polling, plus an
+/// optional `default(timeout)` arm that fires if neither receiver
+/// yields within the timeout — the subset the workspace uses. The arm
 /// bodies run *outside* the polling loop so `break`/`continue` inside
 /// them bind to the caller's own loops, as with the real macro.
 #[macro_export]
 macro_rules! select {
+    (recv($rx1:expr) -> $msg1:pat => $body1:expr,
+     recv($rx2:expr) -> $msg2:pat => $body2:expr,
+     default($timeout:expr) => $body3:expr $(,)?) => {{
+        enum __Sel<A, B> {
+            A(A),
+            B(B),
+            Default,
+        }
+        let __deadline = std::time::Instant::now() + $timeout;
+        let __fired = loop {
+            match $rx1.try_recv() {
+                Ok(v) => break __Sel::A(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Sel::A(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx2.try_recv() {
+                Ok(v) => break __Sel::B(Ok(v)),
+                Err($crate::channel::TryRecvError::Disconnected) => {
+                    break __Sel::B(Err($crate::channel::RecvError))
+                }
+                Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if std::time::Instant::now() >= __deadline {
+                break __Sel::Default;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        };
+        match __fired {
+            __Sel::A($msg1) => $body1,
+            __Sel::B($msg2) => $body2,
+            __Sel::Default => $body3,
+        }
+    }};
     (recv($rx1:expr) -> $msg1:pat => $body1:expr,
      recv($rx2:expr) -> $msg2:pat => $body2:expr $(,)?) => {{
         enum __Sel<A, B> {
@@ -300,5 +337,29 @@ mod tests {
             recv(stop_rx) -> _ => unreachable!("stop not signalled"),
         };
         assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn select_default_fires_on_timeout_and_yields_to_messages() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = unbounded::<u32>();
+        let (_stop_tx, stop_rx) = unbounded::<()>();
+        // Nothing ready: the default arm fires after the timeout.
+        let t0 = Instant::now();
+        let got = select! {
+            recv(rx) -> _ => unreachable!("channel is empty"),
+            recv(stop_rx) -> _ => unreachable!("stop not signalled"),
+            default(Duration::from_millis(5)) => 42u32,
+        };
+        assert_eq!(got, 42);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        // A ready message beats the default.
+        tx.send(9).unwrap();
+        let got = select! {
+            recv(rx) -> msg => msg.unwrap(),
+            recv(stop_rx) -> _ => unreachable!("stop not signalled"),
+            default(Duration::from_secs(5)) => unreachable!("message was ready"),
+        };
+        assert_eq!(got, 9);
     }
 }

@@ -35,6 +35,13 @@ pub struct CompareOptions {
     pub resamples: u32,
     /// Confidence level for the bootstrap interval.
     pub confidence: f64,
+    /// Attach order-statistic error bars (`quantile_ci`) on the
+    /// per-seed quantile metrics of both sides. Additive: off keeps the
+    /// output byte-identical to the legacy shape.
+    pub quantile_ci: bool,
+    /// Attach Benjamini–Hochberg `adjusted_p` over every p-value the
+    /// report emits. Additive, like `quantile_ci`.
+    pub adjust_p: bool,
 }
 
 impl Default for CompareOptions {
@@ -43,8 +50,26 @@ impl Default for CompareOptions {
             backend: "sim".into(),
             resamples: 2_000,
             confidence: 0.95,
+            quantile_ci: false,
+            adjust_p: false,
         }
     }
+}
+
+/// Order-statistic error bars on one metric, both sides: the
+/// distribution-free CI over the per-seed values
+/// ([`brb_metrics::quantile_ci`] at q = 0.5 — the across-seed central
+/// value of the per-seed quantile estimates).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileBands {
+    /// Baseline per-seed CI, low bound.
+    pub baseline_ci_lo: f64,
+    /// Baseline per-seed CI, high bound.
+    pub baseline_ci_hi: f64,
+    /// Candidate per-seed CI, low bound.
+    pub ci_lo: f64,
+    /// Candidate per-seed CI, high bound.
+    pub ci_hi: f64,
 }
 
 /// One metric's delta vs the baseline.
@@ -72,6 +97,13 @@ pub struct MetricDelta {
     pub ci_hi: f64,
     /// Whether the CI excludes zero.
     pub significant: bool,
+    /// Benjamini–Hochberg FDR-adjusted p over the whole report's family
+    /// of tests. `Some` only under `--adjust-p` (additive key).
+    pub adjusted_p: Option<f64>,
+    /// Per-strategy error bars on the quantile metrics. `Some` only
+    /// under `--quantile-ci` (additive key) and only for metrics that
+    /// are quantiles (p50/p95/p99).
+    pub quantile_ci: Option<QuantileBands>,
 }
 
 /// One priority class's starvation delta vs the baseline
@@ -209,6 +241,22 @@ pub fn compare_report(
             });
         }
     }
+    if opts.adjust_p {
+        // One family per report: every (cell × strategy × metric) test
+        // the reader sees is one multiple-comparison opportunity, so
+        // they are adjusted together, in emission order (deterministic).
+        let family: Vec<f64> = lines
+            .iter()
+            .flat_map(|l| l.deltas.iter().map(|d| d.p))
+            .collect();
+        let adjusted = brb_metrics::benjamini_hochberg(&family);
+        let mut it = adjusted.into_iter();
+        for line in &mut lines {
+            for d in &mut line.deltas {
+                d.adjusted_p = it.next();
+            }
+        }
+    }
     Ok(CompareReport {
         scenario: spec.name.clone(),
         baseline,
@@ -260,7 +308,35 @@ fn metric_delta(
         ci_lo: ci.lo,
         ci_hi: ci.hi,
         significant: ci.excludes_zero(),
+        // Filled by the family-wide Benjamini–Hochberg pass (if enabled)
+        // once every line's raw p is known.
+        adjusted_p: None,
+        quantile_ci: quantile_bands(m, opts),
     }
+}
+
+/// Order-statistic CI on the per-seed quantile values themselves — the
+/// error bar a reader should draw around each side's mean before trusting
+/// a delta. Only the quantile metrics get bands; the seed-level values
+/// for `mean_ms`/`goodput` are not order statistics, so a median band
+/// over them would answer a different question.
+fn quantile_bands(m: &PairedMetric, opts: &CompareOptions) -> Option<QuantileBands> {
+    if !opts.quantile_ci || !matches!(m.metric, "p50_ms" | "p95_ms" | "p99_ms") {
+        return None;
+    }
+    let band = |values: &[f64]| {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        brb_metrics::quantile_ci(&sorted, 0.5, opts.confidence)
+    };
+    let (b_lo, b_hi) = band(&m.baseline)?;
+    let (c_lo, c_hi) = band(&m.candidate)?;
+    Some(QuantileBands {
+        baseline_ci_lo: b_lo,
+        baseline_ci_hi: b_hi,
+        ci_lo: c_lo,
+        ci_hi: c_hi,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -293,7 +369,7 @@ impl Serialize for CompareHeader<'_> {
 
 impl Serialize for MetricDelta {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             ("baseline_mean".into(), self.baseline_mean.to_value()),
             ("mean".into(), self.mean.to_value()),
             ("delta".into(), self.delta.to_value()),
@@ -304,7 +380,24 @@ impl Serialize for MetricDelta {
             ("ci_lo".into(), self.ci_lo.to_value()),
             ("ci_hi".into(), self.ci_hi.to_value()),
             ("significant".into(), self.significant.to_value()),
-        ])
+        ];
+        // Opt-in keys append *after* the pinned compare-v1 set so
+        // knobs-off output stays byte-identical.
+        if let Some(p) = self.adjusted_p {
+            entries.push(("adjusted_p".into(), p.to_value()));
+        }
+        if let Some(q) = &self.quantile_ci {
+            entries.push((
+                "quantile_ci".into(),
+                Value::Object(vec![
+                    ("baseline_ci_lo".into(), q.baseline_ci_lo.to_value()),
+                    ("baseline_ci_hi".into(), q.baseline_ci_hi.to_value()),
+                    ("ci_lo".into(), q.ci_lo.to_value()),
+                    ("ci_hi".into(), q.ci_hi.to_value()),
+                ]),
+            ));
+        }
+        Value::Object(entries)
     }
 }
 

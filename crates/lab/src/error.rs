@@ -6,6 +6,7 @@
 //! they replace surfaced the same mistakes as panics deep inside the
 //! engine (or not at all).
 
+use crate::spec::MAX_OFFERED_LOAD;
 use std::fmt;
 
 /// Everything that can be wrong with a scenario description.
@@ -35,7 +36,7 @@ pub enum ScenarioError {
     },
     /// The partition ring cannot be empty.
     NoPartitions,
-    /// Offered load outside the sane `(0, 1.5)` band.
+    /// Offered load outside the sane `(0, MAX_OFFERED_LOAD)` band.
     Load(f64),
     /// Offered load is infeasible once degraded-server capacity is
     /// accounted for: `load / effective_capacity_fraction` leaves the
@@ -169,13 +170,14 @@ impl fmt::Display for ScenarioError {
                 "replication {replication} invalid for {num_servers} servers"
             ),
             NoPartitions => write!(f, "need at least one partition"),
-            Load(l) => write!(f, "offered load {l} outside (0, 1.5)"),
+            Load(l) => write!(f, "offered load {l} outside (0, {MAX_OFFERED_LOAD})"),
             LoadInfeasible {
                 load,
                 effective_load,
             } => write!(
                 f,
-                "load {load} is {effective_load:.2} of the degraded cluster's capacity — infeasible"
+                "load {load} is {effective_load:.2} of the degraded cluster's capacity — \
+                 at or above the {MAX_OFFERED_LOAD} bound, infeasible"
             ),
             ServerIndexOutOfRange {
                 server,
@@ -201,6 +203,15 @@ impl fmt::Display for ScenarioError {
                 write!(f, "the spike fault requires a Constant base latency model")
             }
             Warmup(w) => write!(f, "warm-up fraction {w} outside [0, 0.9)"),
+            AxisValue {
+                axis: "load",
+                value,
+            } => {
+                write!(
+                    f,
+                    "sweep axis load: value {value} outside (0, {MAX_OFFERED_LOAD})"
+                )
+            }
             AxisValue { axis, value } => {
                 write!(f, "sweep axis {axis}: value {value} out of domain")
             }

@@ -7,6 +7,7 @@
 //!                  [--out report.jsonl] [--quiet]
 //! brb-lab compare  <scenario> --baseline <strategy> [--backend sim|rt|both]
 //!                  [--from report.jsonl] [--resamples N] [--confidence C]
+//!                  [--quantile-ci] [--adjust-p]
 //!                  [--out compare.jsonl] [--md compare.md]
 //! brb-lab capacity <scenario> [--slo-p99-ms X] [--goodput-tolerance-pct X]
 //!                  [--at LOAD] [--from report.jsonl]
@@ -101,6 +102,10 @@ compare options (plus --tasks/--seeds/--out/--quiet as above):
   --from FILE      analyze an existing report-v1 JSONL instead of running
   --resamples N    bootstrap resamples per metric (default 2000)
   --confidence C   bootstrap confidence level (default 0.95)
+  --quantile-ci    add order-statistic error bars (additive quantile_ci
+                   key) on p50/p95/p99 for both sides of each delta
+  --adjust-p       add Benjamini-Hochberg FDR-adjusted p values
+                   (additive adjusted_p key) across the whole report
   --md FILE        also write the markdown report to FILE
 
 capacity options (plus --backend/--tasks/--seeds/--out/--md/--from/--quiet):
@@ -457,9 +462,13 @@ fn cmd_compare(rest: &[String]) -> Result<(), CliError> {
     let mut baseline: Option<String> = None;
     let mut resamples: u32 = 2_000;
     let mut confidence: f64 = 0.95;
+    let mut quantile_ci = false;
+    let mut adjust_p = false;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--quantile-ci" => quantile_ci = true,
+            "--adjust-p" => adjust_p = true,
             "--baseline" => {
                 baseline = Some(
                     iter.next()
@@ -515,6 +524,8 @@ fn cmd_compare(rest: &[String]) -> Result<(), CliError> {
         backend: backend_label,
         resamples,
         confidence,
+        quantile_ci,
+        adjust_p,
     };
     let report = compare_report(&spec, &results, &baseline, &opts)?;
     let mut jsonl = report.to_jsonl_string();

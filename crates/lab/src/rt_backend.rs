@@ -24,26 +24,33 @@
 //! checked against the conservation contract
 //! `completed + dropped + timed_out + shed == issued`. Degraded-server
 //! speed factors divide live service times exactly like the simulator's.
+//!
+//! The complete figure-2 strategy set now lowers **natively**:
+//! `Credits` spawns the runtime's controller thread (the *same*
+//! `brb-sched` allocation math the simulator calls, fed by real demand
+//! reports and router congestion signals) with per-client token-bucket
+//! admission; `Model` runs the single cross-server queue as the
+//! runtime's work-pull global queue; and `Hedged` arms real hedge
+//! timers with first-response-wins and duplicate-aware cancellation
+//! (the loser is de-queued at the router or discarded on completion,
+//! with its selector accounting released either way).
+//!
 //! Everything else fails with a typed [`ScenarioError::RtUnsupported`]
 //! instead of a panic or a silent approximation:
 //!
-//! * hedged strategies (no engine-side duplicate cancellation),
 //! * the oracle selector (needs instantaneous global queue state),
 //! * non-constant latency models, telemetry snapshots, replay mode,
 //! * per-priority drop/shed accounting (`priority_stats` — the live
 //!   transport does not tag failures with engine priority classes).
 //!
-//! Three mappings are deliberate approximations and are documented in
-//! the report semantics (`crates/rt/README.md`): `Credits`/`Model`
-//! strategies run as priority-queue scheduling under the same policy
-//! with least-outstanding selection (the runtime has no credits
-//! controller or global queue), playlist workloads flatten to the
-//! SoundCloud fan-out mixture over a uniform key universe (synthetic
-//! workloads keep their Zipf key popularity and service noise is
-//! sampled live from the same model the simulator draws), and transient
-//! latency spikes become extra *service* time held by the worker — the
-//! in-process transport has no wire to delay, so a spike occupies the
-//! server instead of only the message.
+//! Two mappings remain deliberate approximations and are documented in
+//! the report semantics (`crates/rt/README.md`): playlist workloads
+//! flatten to the SoundCloud fan-out mixture over a uniform key
+//! universe (synthetic workloads keep their Zipf key popularity and
+//! service noise is sampled live from the same model the simulator
+//! draws), and transient latency spikes become extra *service* time
+//! held by the worker — the in-process transport has no wire to delay,
+//! so a spike occupies the server instead of only the message.
 //!
 //! A live run that dies mid-flight — a worker or router thread panics,
 //! or the cluster shuts down under a waiting task — surfaces as
@@ -57,10 +64,10 @@ use brb_core::config::{ExperimentConfig, SelectorKind, Strategy, WorkloadKind};
 use brb_core::experiment::{OverloadStats, RunResult, StrategySummary};
 use brb_net::LatencyModel;
 use brb_rt::{
-    try_run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, RtQueueConfig,
-    RtTimeoutConfig, SpikeModel, WorkModel,
+    try_run_load, LoadGenConfig, LoadMode, RtCluster, RtClusterConfig, RtCreditsConfig,
+    RtQueueConfig, RtQueueMode, RtTimeoutConfig, SpikeModel, WorkModel,
 };
-use brb_sched::PolicyKind;
+use brb_sched::{CreditsConfig, PolicyKind};
 use brb_select::SelectorSpec;
 use brb_workload::FanoutDist;
 
@@ -79,6 +86,13 @@ fn rt_failed(e: brb_rt::RtError) -> ScenarioError {
 struct RtStrategy {
     policy: PolicyKind,
     selector: SelectorSpec,
+    /// `Some` spawns the credits controller thread; the per-client
+    /// token-bucket admission then replaces `selector`.
+    credits: Option<CreditsConfig>,
+    /// Run the model realization's single cross-server work-pull queue.
+    global_queue: bool,
+    /// Arm live hedge timers at this delay.
+    hedge_delay_ns: Option<u64>,
 }
 
 fn lower_selector(kind: SelectorKind) -> Result<SelectorSpec, ScenarioError> {
@@ -95,6 +109,13 @@ fn lower_selector(kind: SelectorKind) -> Result<SelectorSpec, ScenarioError> {
 }
 
 fn lower_strategy(strategy: &Strategy) -> Result<RtStrategy, ScenarioError> {
+    let direct = |policy: PolicyKind, selector: SelectorSpec| RtStrategy {
+        policy,
+        selector,
+        credits: None,
+        global_queue: false,
+        hedge_delay_ns: None,
+    };
     match strategy {
         Strategy::Direct {
             selector,
@@ -111,23 +132,27 @@ fn lower_strategy(strategy: &Strategy) -> Result<RtStrategy, ScenarioError> {
                      (live servers always honor priorities)"
                 )));
             }
-            Ok(RtStrategy {
-                policy: *policy,
-                selector: lower_selector(*selector)?,
-            })
+            Ok(direct(*policy, lower_selector(*selector)?))
         }
-        // The runtime has no credits controller or global queue; both
-        // BRB realizations run as their priority policy over per-server
-        // priority queues with least-outstanding selection. The report
-        // keeps the original strategy name, so this approximation is
-        // visible in the rt README's field notes, not hidden in a rename.
-        Strategy::Credits { policy, .. } | Strategy::Model { policy } => Ok(RtStrategy {
-            policy: *policy,
-            selector: SelectorSpec::LeastOutstanding,
+        // Native credits: the controller thread runs the same brb-sched
+        // allocation math the simulator calls; the configured selector
+        // is irrelevant because per-client token-bucket admission
+        // replaces it at client construction.
+        Strategy::Credits { policy, credits } => Ok(RtStrategy {
+            credits: Some(*credits),
+            ..direct(*policy, SelectorSpec::LeastOutstanding)
         }),
-        Strategy::Hedged { .. } => Err(unsupported(
-            "hedged dispatch (speculative duplicates need engine-side cancellation)",
-        )),
+        // Native model realization: one cross-server work-pull queue.
+        // Round-robin selection only spreads the *entry point*; service
+        // order is owned by the shared queue, as in the simulator.
+        Strategy::Model { policy } => Ok(RtStrategy {
+            global_queue: true,
+            ..direct(*policy, SelectorSpec::RoundRobin)
+        }),
+        Strategy::Hedged { selector, delay_us } => Ok(RtStrategy {
+            hedge_delay_ns: Some(delay_us * 1_000),
+            ..direct(PolicyKind::Fifo, lower_selector(*selector)?)
+        }),
     }
 }
 
@@ -220,6 +245,9 @@ fn lower_cluster(base: &ExperimentConfig) -> Result<RtClusterConfig, ScenarioErr
         forecast: cluster.forecast,
         num_clients: cluster.num_clients,
         network_rtt_ns,
+        queue_mode: RtQueueMode::PerServer, // overridden per strategy
+        credits: None,                      // overridden per strategy
+        hedge_delay_ns: None,               // overridden per strategy
         queue,
         timeout,
         speed_factors,
@@ -239,6 +267,27 @@ fn run_one(
     let mut config = cluster_template.clone();
     config.policy = rt.policy;
     config.selector = rt.selector;
+    config.queue_mode = if rt.global_queue {
+        RtQueueMode::Global
+    } else {
+        RtQueueMode::PerServer
+    };
+    config.credits = rt.credits.map(|cc| RtCreditsConfig {
+        config: cc,
+        server_capacity_rps: cell.base.cluster.server_capacity_rps(),
+        congestion_queue_threshold: cell.base.congestion_queue_threshold,
+    });
+    if config.credits.is_some() {
+        // The load generator drives ONE aggregate client carrying the
+        // whole offered load, so the credits lane's fair-share seeding
+        // and outstanding weighting must describe that real population
+        // of one — seeding buckets at `capacity / sim_num_clients`
+        // would starve the only client N-fold until the controller
+        // adapts. The sim's logical client count still shapes the
+        // workload itself (task rate, fanout).
+        config.num_clients = 1;
+    }
+    config.hedge_delay_ns = rt.hedge_delay_ns;
     let overload_lane = config.queue.is_some() || config.timeout.is_some();
 
     let (fanout, key_range, key_zipf) = lower_workload_kind(&cell.base.workload.kind);
@@ -261,12 +310,14 @@ fn run_one(
     .map_err(rt_failed)?;
     cluster.shutdown_checked().map_err(rt_failed)?;
 
-    // The live lane fills the fields it actually measures and zeroes the
-    // simulator-only counters — the mapping is documented next to the
-    // report-v1 schema (crates/rt/README.md). With the overload knobs
-    // off the loadgen guarantees `completed == tasks` and all-zero
-    // failure counters, so the report stays byte-identical to the
-    // legacy shape (`overload: None` omits the additive keys).
+    // The live lane fills every counter it actually measures — including
+    // the credits lane (demand reports, congestion signals) and the
+    // hedging lane (hedges issued, duplicate responses), which are now
+    // native — the mapping is documented next to the report-v1 schema
+    // (crates/rt/README.md). With the overload knobs off the loadgen
+    // guarantees `completed == tasks` and all-zero failure counters, so
+    // the report stays byte-identical to the legacy shape
+    // (`overload: None` omits the additive keys).
     let overload = overload_lane.then_some(OverloadStats {
         goodput: report.goodput,
         dropped: report.dropped,
@@ -286,10 +337,10 @@ fn run_one(
         sim_secs: report.wall.as_secs_f64(),
         events: 0,
         dispatched: report.requests,
-        congestion_signals: 0,
-        demand_reports: 0,
-        hedges_issued: 0,
-        duplicate_responses: 0,
+        congestion_signals: report.congestion_signals,
+        demand_reports: report.demand_reports,
+        hedges_issued: report.hedges_issued,
+        duplicate_responses: report.duplicate_responses,
         overload,
         priority_classes: None,
     })
@@ -446,16 +497,66 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_features_fail_typed() {
-        let hedged = tiny()
-            .strategies(vec![Strategy::hedged_default()])
+    fn credits_strategy_runs_live_with_native_controller() {
+        // Demand reports ride the 100ms measurement tick, so the run
+        // must span several ticks to observe one regardless of machine
+        // load — 2000 tasks at this arrival rate is a few hundred ms.
+        let spec = tiny()
+            .tasks(2_000)
+            .strategies(vec![Strategy::equal_max_credits()])
             .build()
             .unwrap();
-        match run_spec_rt(&hedged) {
-            Err(ScenarioError::RtUnsupported { what }) => assert!(what.contains("hedged")),
-            other => panic!("expected RtUnsupported, got {other:?}"),
-        }
+        let results = run_spec_rt(&spec).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.completed_tasks, 2_000);
+        assert!(
+            run.demand_reports > 0,
+            "native credits lane must count real demand reports, got 0"
+        );
+    }
 
+    #[test]
+    fn model_strategy_runs_live_on_global_queue() {
+        let spec = tiny()
+            .strategies(vec![Strategy::equal_max_model()])
+            .build()
+            .unwrap();
+        let results = run_spec_rt(&spec).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.completed_tasks, 150);
+        assert_eq!(run.measured_tasks, 150);
+    }
+
+    #[test]
+    fn hedged_strategy_runs_live_and_conserves() {
+        // Spikes give hedging something to duplicate: p_spike = 1 adds
+        // 2ms of worker-held time the 50µs forecast can't see, so the
+        // 500µs hedge timer fires on every un-settled straggler (capped
+        // by the 5% budget). Conservation must hold even with losing
+        // duplicates discarded mid-run.
+        let spec = tiny()
+            .load(0.3)
+            .spike(1.0, 2_000, 2_000)
+            .strategies(vec![Strategy::Hedged {
+                selector: SelectorKind::LeastOutstanding,
+                delay_us: 500,
+            }])
+            .build()
+            .unwrap();
+        let results = run_spec_rt(&spec).unwrap();
+        let run = &results[0].summaries[0].runs[0];
+        assert_eq!(run.strategy, "hedged(least-outstanding, 500us)");
+        assert_eq!(run.completed_tasks, 150);
+        assert!(
+            run.hedges_issued > 0,
+            "deterministic spikes must trigger at least one hedge"
+        );
+        assert!(run.duplicate_responses <= run.hedges_issued);
+        assert!(run.overload.is_none(), "hedging alone keeps legacy shape");
+    }
+
+    #[test]
+    fn unsupported_features_fail_typed() {
         let oracle = tiny()
             .strategies(vec![Strategy::Direct {
                 selector: SelectorKind::Oracle,

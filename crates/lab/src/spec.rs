@@ -18,6 +18,15 @@ use brb_workload::FanoutDist;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Exclusive upper bound on offered load, as a fraction of cluster
+/// capacity. Overload experiments deliberately go past 1.0× — that is
+/// the whole point of the overload lane — but an open-loop run much
+/// past saturation only grows an unbounded backlog and tells the same
+/// story at 10× the wall-clock cost, so validation rejects anything at
+/// or above this bound. One constant guards the base load, the load
+/// sweep axis, and the degraded-capacity feasibility check.
+pub const MAX_OFFERED_LOAD: f64 = 1.5;
+
 /// One degraded storage server: `server` runs at `speed` × nominal.
 /// Clients and the credits controller are *not* told; adapting is the
 /// strategies' job.
@@ -516,7 +525,7 @@ impl ScenarioSpec {
         if c.num_partitions == 0 {
             return Err(ScenarioError::NoPartitions);
         }
-        if !(self.workload.load > 0.0 && self.workload.load < 1.5) {
+        if !(self.workload.load > 0.0 && self.workload.load < MAX_OFFERED_LOAD) {
             return Err(ScenarioError::Load(self.workload.load));
         }
         if !(0.0..0.9).contains(&self.run.warmup_fraction) {
@@ -575,7 +584,7 @@ impl ScenarioSpec {
         }
         // Sweep axes.
         for (i, &l) in self.sweep.load.iter().enumerate() {
-            if !(l > 0.0 && l < 1.5) {
+            if !(l > 0.0 && l < MAX_OFFERED_LOAD) {
                 return Err(ScenarioError::AxisValue {
                     axis: "load",
                     value: l,
@@ -724,7 +733,7 @@ impl ScenarioSpec {
         loads.extend_from_slice(&self.sweep.load);
         for load in loads {
             let effective_load = load / effective_fraction;
-            if effective_load >= 1.5 {
+            if effective_load >= MAX_OFFERED_LOAD {
                 return Err(ScenarioError::LoadInfeasible {
                     load,
                     effective_load,
@@ -917,6 +926,49 @@ mod tests {
                 value: 0.5
             })
         );
+    }
+
+    #[test]
+    fn offered_load_bound_is_one_constant_at_every_gate() {
+        // All three validation gates — base load, sweep axis, degraded
+        // feasibility — must reject exactly at MAX_OFFERED_LOAD, and
+        // every rejection message must cite the bound so the constant
+        // cannot silently drift apart from its documentation.
+        let mut spec = minimal();
+        spec.workload.load = MAX_OFFERED_LOAD;
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err, ScenarioError::Load(MAX_OFFERED_LOAD));
+        assert!(err.to_string().contains("1.5"), "{err}");
+        // Just inside the bound is accepted.
+        spec.workload.load = MAX_OFFERED_LOAD - 0.01;
+        assert!(spec.validate().is_ok());
+
+        let mut spec = minimal();
+        spec.sweep.load = vec![MAX_OFFERED_LOAD];
+        let err = spec.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::AxisValue {
+                axis: "load",
+                value: MAX_OFFERED_LOAD
+            }
+        );
+        assert!(err.to_string().contains("1.5"), "{err}");
+
+        let mut spec = minimal();
+        // Half-speed cluster: nominal 0.8 is an effective 1.6 ≥ bound.
+        spec.workload.load = 0.8;
+        for server in 0..spec.cluster.num_servers {
+            spec.faults
+                .degraded
+                .push(DegradedServer { server, speed: 0.5 });
+        }
+        let err = spec.validate().unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::LoadInfeasible { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("1.5"), "{err}");
     }
 
     #[test]

@@ -133,6 +133,91 @@ fn compare_jsonl_schema_is_pinned() {
     );
 }
 
+/// `--quantile-ci` and `--adjust-p` append keys *after* the pinned
+/// compare-v1 delta set — readers keyed to the v1 schema keep working,
+/// and knobs-off output never mentions the new keys at all.
+#[test]
+fn compare_knobs_append_additive_keys_only() {
+    let spec = ScenarioBuilder::from_spec(registry::spec("figure2-small").unwrap())
+        .tasks(300)
+        .build()
+        .unwrap();
+    let results = runner::run_spec(&spec).unwrap();
+    let opts = CompareOptions {
+        quantile_ci: true,
+        adjust_p: true,
+        ..CompareOptions::default()
+    };
+    let compared = compare_report(&spec, &results, "c3", &opts).unwrap();
+    let text = compared.to_jsonl_string();
+
+    let mut raw_ps = Vec::new();
+    let mut adjusted_ps = Vec::new();
+    for line in text.lines().skip(1) {
+        let record: Value = serde_json::from_str(line).unwrap();
+        let deltas = record.get("deltas").unwrap();
+        for metric in keys(deltas) {
+            let d = deltas.get(metric).unwrap();
+            let mut expected = vec![
+                "baseline_mean",
+                "mean",
+                "delta",
+                "delta_pct",
+                "t",
+                "df",
+                "p",
+                "ci_lo",
+                "ci_hi",
+                "significant",
+                "adjusted_p",
+            ];
+            // Only the quantile metrics carry error bars; the per-seed
+            // values behind mean_ms are not order statistics.
+            if matches!(metric, "p50_ms" | "p95_ms" | "p99_ms") {
+                expected.push("quantile_ci");
+                let q = d.get("quantile_ci").unwrap();
+                assert_eq!(
+                    keys(q),
+                    ["baseline_ci_lo", "baseline_ci_hi", "ci_lo", "ci_hi"],
+                    "{metric}"
+                );
+                let band = |k: &str| match q.get(k) {
+                    Some(Value::F64(n)) => *n,
+                    Some(Value::U64(n)) => *n as f64,
+                    other => panic!("{metric}.{k} should be a number, got {other:?}"),
+                };
+                assert!(band("baseline_ci_lo") <= band("baseline_ci_hi"), "{metric}");
+                assert!(band("ci_lo") <= band("ci_hi"), "{metric}");
+            }
+            assert_eq!(keys(d), expected, "{metric}");
+            let num = |k: &str| match d.get(k) {
+                Some(Value::F64(n)) => *n,
+                Some(Value::U64(n)) => *n as f64,
+                other => panic!("{metric}.{k} should be a number, got {other:?}"),
+            };
+            raw_ps.push(num("p"));
+            adjusted_ps.push(num("adjusted_p"));
+        }
+    }
+    assert!(!raw_ps.is_empty());
+    // BH never shrinks a p value and never exceeds 1.
+    for (raw, adj) in raw_ps.iter().zip(&adjusted_ps) {
+        assert!(adj >= raw && *adj <= 1.0, "raw {raw} adjusted {adj}");
+    }
+    // With any spread in the raw ps, the smallest one must move up
+    // (its rank multiplier is strictly above 1).
+    if raw_ps.iter().any(|p| p != &raw_ps[0]) {
+        assert_ne!(raw_ps, adjusted_ps, "adjustment should change something");
+    }
+
+    // Knobs off on the same results: not a single new key appears.
+    let plain = compare_report(&spec, &results, "c3", &CompareOptions::default())
+        .unwrap()
+        .to_jsonl_string();
+    assert!(!plain.contains("adjusted_p"));
+    assert!(!plain.contains("quantile_ci"));
+}
+
 #[test]
 fn capacity_jsonl_schema_is_pinned() {
     let spec = ScenarioBuilder::from_spec(registry::spec("load-shedding").unwrap())

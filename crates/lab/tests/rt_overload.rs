@@ -77,6 +77,50 @@ fn rt_retry_storm_concords_with_sim() {
     );
 }
 
+/// The hedging lane composes with the overload lane: duplicated
+/// requests flow through bounded queues and deadline timers, losers are
+/// cancelled or discarded, and the task conservation contract still
+/// holds on both backends — a duplicate must never double-complete or
+/// double-fail its task.
+#[test]
+fn rt_overload_conserves_with_hedging() {
+    use brb_core::config::SelectorKind;
+    let spec = registry::builder("retry-storm")
+        .expect("registry preset")
+        .servers(3)
+        .cores(2)
+        .partitions(3)
+        .replication(2)
+        .service_rate(800.0)
+        .tasks(800)
+        .scale_catalog(true)
+        .sweep_load(&[1.1])
+        .strategies(vec![Strategy::Hedged {
+            selector: SelectorKind::LeastOutstanding,
+            delay_us: 8_000,
+        }])
+        .seeds(&[1])
+        .build()
+        .expect("valid scenario");
+    let live = rt_backend::run_spec_rt(&spec).expect("live run");
+    let sim = runner::run_spec(&spec).expect("sim run");
+    for (backend, results) in [("rt", &live), ("sim", &sim)] {
+        let run = &results[0].summaries[0].runs[0];
+        let o = run.overload.expect("overload lane on ⇒ stats present");
+        assert_eq!(
+            run.completed_tasks as u64 + o.dropped + o.timed_out + o.shed,
+            800,
+            "{backend}: conservation must hold with duplicates in flight"
+        );
+    }
+    // Past saturation the queues sit above the hedge trigger, so the
+    // live lane must have hedged for real — and every duplicate response
+    // is accounted, never double-counted.
+    let run = &live[0].summaries[0].runs[0];
+    assert!(run.hedges_issued > 0, "storm must trigger live hedges");
+    assert!(run.duplicate_responses <= run.hedges_issued);
+}
+
 /// Collects an object's keys in order; panics on non-objects.
 fn keys(v: &Value) -> Vec<&str> {
     match v {

@@ -32,6 +32,8 @@ pub mod timeseries;
 pub use histogram::Histogram;
 pub use percentile::{exact_percentile, Percentiles};
 pub use reservoir::Reservoir;
-pub use stats::{kendall_tau, paired_bootstrap_ci, quantile_ci, welch_t, BootstrapCi, WelchT};
+pub use stats::{
+    benjamini_hochberg, kendall_tau, paired_bootstrap_ci, quantile_ci, welch_t, BootstrapCi, WelchT,
+};
 pub use summary::{RunningStats, SeedSummary};
 pub use timeseries::{BusyTime, WindowedRate};

@@ -17,6 +17,9 @@
 //!   large samples don't underflow).
 //! * [`kendall_tau`] — rank-order agreement between two metric vectors,
 //!   used to check strategy-ordering concordance across backends.
+//! * [`benjamini_hochberg`] — step-up false-discovery-rate adjustment
+//!   over a family of p-values, for reports that test many
+//!   (cell × strategy × metric) hypotheses at once.
 
 use serde::{Deserialize, Serialize};
 
@@ -219,6 +222,34 @@ pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
         }
     }
     Some(score as f64 / (n * (n - 1) / 2) as f64)
+}
+
+/// Benjamini–Hochberg step-up adjustment: maps a family of p-values to
+/// FDR-adjusted values, positionally (`out[i]` adjusts `ps[i]`).
+///
+/// With the p-values ranked ascending as `p_(1) ≤ … ≤ p_(m)`, the
+/// adjusted value at rank `k` is `min over j ≥ k of p_(j) · m / j`,
+/// clamped to 1 — the smallest FDR level at which that hypothesis would
+/// still be rejected. Deterministic; ties share their adjusted value
+/// (stable sort by value, then the running minimum from the top makes
+/// tied raw p-values indistinguishable). An empty family yields an
+/// empty vector.
+pub fn benjamini_hochberg(ps: &[f64]) -> Vec<f64> {
+    let m = ps.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        ps[a]
+            .partial_cmp(&ps[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    for (rank, &i) in order.iter().enumerate().rev() {
+        let raw = ps[i] * m as f64 / (rank + 1) as f64;
+        running_min = running_min.min(raw).min(1.0);
+        adjusted[i] = running_min;
+    }
+    adjusted
 }
 
 /// Mean and unbiased sample variance (variance 0 when n < 2).
@@ -491,5 +522,29 @@ mod tests {
         assert_eq!(kendall_tau(&up, &[1.0, 1.0, 1.0, 1.0]), Some(0.0));
         assert_eq!(kendall_tau(&up, &down[..3]), None);
         assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn benjamini_hochberg_matches_hand_computation() {
+        // m = 4, sorted: 0.005, 0.01, 0.03, 0.04. Raw step-up values
+        // p·m/rank: 0.005·4/1 = 0.02, 0.01·4/2 = 0.02, 0.03·4/3 = 0.04,
+        // 0.04·4/4 = 0.04; the running minimum from the top changes
+        // nothing here, so mapped back to input order:
+        let ps = [0.01, 0.04, 0.03, 0.005];
+        assert_eq!(benjamini_hochberg(&ps), vec![0.02, 0.04, 0.04, 0.02]);
+
+        // The monotonicity repair: sorted 0.01, 0.02, 0.022 gives raw
+        // 0.03, 0.03, 0.022 — rank 3's smaller value caps the earlier
+        // ranks, so every hypothesis adjusts to 0.022.
+        let ps = [0.02, 0.01, 0.022];
+        for adj in benjamini_hochberg(&ps) {
+            assert!((adj - 0.022).abs() < 1e-12, "{adj}");
+        }
+
+        // Clamped to 1 (0.6·2/1 = 1.2 caps), empty stays empty,
+        // singleton is identity.
+        assert_eq!(benjamini_hochberg(&[0.6, 1.0]), vec![1.0, 1.0]);
+        assert!(benjamini_hochberg(&[]).is_empty());
+        assert_eq!(benjamini_hochberg(&[0.37]), vec![0.37]);
     }
 }

@@ -16,11 +16,22 @@
 //! retry counting, backoff shifts, the budget inequality, late-original
 //! wins — mirror the simulator's engine so sim-vs-rt goodput numbers
 //! compare like for like.
+//!
+//! The hedging lane (safe duplication): when the cluster carries a
+//! hedge delay, each request arms a hedge timer at dispatch; if no
+//! response arrived by then, the client duplicates the request to a
+//! selector-chosen replica under the sim's gates (no hedging of
+//! requests forecast longer than the delay, ≤5% of dispatches). The
+//! first response wins; the loser is *purged* — its selector slot is
+//! released (`on_abandon`, the PR 5 contract) and an `RtCancel` chases
+//! it to the router, which de-queues it if still queued. An in-service
+//! loser completes and its reply is discarded here, counted as a
+//! duplicate response.
 
 use crate::error::RtError;
 use crate::server::RtTimeoutConfig;
 use crate::timing;
-use crate::transport::{RtNack, RtReply, RtRequest, RtResponse};
+use crate::transport::{RtCancel, RtMessage, RtNack, RtReply, RtRequest, RtResponse};
 use brb_sched::overload::DropReason;
 use brb_sched::{PolicyKind, Priority, PriorityPolicy, TaskView};
 use brb_select::{ReplicaSelector, ResponseFeedback, Selection, SelectionCtx};
@@ -132,7 +143,7 @@ pub(crate) struct ClientInner {
     ring: Ring,
     cost: CostModel,
     sizes: SizeModel,
-    senders: Vec<Sender<RtRequest>>,
+    senders: Vec<Sender<RtMessage>>,
     selector: SharedSelector,
     epoch: Instant,
     /// Accounted network round trip per request (see
@@ -140,11 +151,20 @@ pub(crate) struct ClientInner {
     rtt_ns: u64,
     /// Deadline/retry knobs (`None` = wait forever, the legacy path).
     timeout: Option<RtTimeoutConfig>,
-    /// Requests this client dispatched (originals and retries) — the
-    /// denominator of the retry budget, as in the sim's `ClientState`.
+    /// Hedge delay (`None` = hedging off): a request unanswered this
+    /// long after dispatch is duplicated to a second replica.
+    hedge_ns: Option<u64>,
+    /// Requests this client dispatched (originals, retries and hedges)
+    /// — the denominator of the retry and hedge budgets, as in the
+    /// sim's `ClientState`.
     dispatched_total: AtomicU64,
     /// Retries this client issued — the budget numerator.
     retried_total: AtomicU64,
+    /// Hedge duplicates this client issued — the hedge-budget numerator.
+    hedged_total: AtomicU64,
+    /// Replies from purged hedge losers that completed anyway and were
+    /// discarded here (the duplicate-work cost of hedging).
+    duplicate_responses: AtomicU64,
     /// The cluster's sticky panic flag; waits poll it so a dead worker
     /// thread fails runs typed instead of hanging them.
     panicked: Arc<AtomicBool>,
@@ -223,6 +243,12 @@ struct OpenDispatch {
 /// How often a blocked wait wakes to poll the cluster's panic flag.
 const WATCHDOG: Duration = Duration::from_millis(10);
 
+/// The attempt id hedge duplicates dispatch under. Retries count up from
+/// 0, so `u32::MAX` can never collide with a slot's current attempt —
+/// which is exactly what keeps a hedge NACK from driving the slot's
+/// retry/failure state machine (it is accounting-only by construction).
+const HEDGE_ATTEMPT: u32 = u32::MAX;
+
 /// A pending asynchronous task.
 ///
 /// Dropping a ticket without waiting abandons the task: responses that
@@ -245,6 +271,10 @@ pub struct TaskTicket {
     groups: Vec<GroupId>,
     priorities: Vec<Priority>,
     slots: Vec<SlotState>,
+    /// Per-request hedge timer: `Some(at)` = a hedge fires at `at` if
+    /// the slot is still unanswered then; disarmed (`None`) once fired
+    /// or settled. All `None` when the cluster has no hedge delay.
+    hedge_at: Vec<Option<Instant>>,
     open: Vec<OpenDispatch>,
     values: Vec<Option<Bytes>>,
     servers: Vec<u32>,
@@ -370,8 +400,8 @@ impl TaskTicket {
             if !block {
                 return Ok(());
             }
-            // Sleep until the next deadline/backoff, a reply, or the
-            // watchdog tick — whichever is first.
+            // Sleep until the next deadline/backoff/hedge, a reply, or
+            // the watchdog tick — whichever is first.
             let mut wake = now + WATCHDOG;
             for slot in &self.slots {
                 match slot {
@@ -381,6 +411,9 @@ impl TaskTicket {
                     SlotState::Backoff { at, .. } => wake = wake.min(*at),
                     _ => {}
                 }
+            }
+            for at in self.hedge_at.iter().flatten() {
+                wake = wake.min(*at);
             }
             match self.rx.recv_deadline(wake) {
                 Ok(reply) => self.handle_reply(reply)?,
@@ -415,6 +448,14 @@ impl TaskTicket {
                 now_ns,
                 &feedback_of(&resp, self.inner.rtt_ns),
             );
+        } else if self.inner.hedge_ns.is_some() {
+            // No open entry: the hedged twin won and this attempt was
+            // already purged (its selector slot released at purge time).
+            // The server did the work anyway; count and discard.
+            self.inner
+                .duplicate_responses
+                .fetch_add(1, Ordering::Relaxed);
+            return;
         }
         let i = resp.req_idx as usize;
         // Any served reply resolves an unresolved slot — a late original
@@ -430,6 +471,37 @@ impl TaskTicket {
         let done_at = resp.completed + Duration::from_nanos(self.inner.rtt_ns);
         if self.latest_completed.is_none_or(|c| done_at > c) {
             self.latest_completed = Some(done_at);
+        }
+        // First response wins: purge the losing twin(s) of this request
+        // — release their selector slots now and send cancels chasing
+        // them, so a still-queued duplicate never occupies a server.
+        self.hedge_at[i] = None;
+        if self.inner.hedge_ns.is_some() {
+            self.purge_losers(i, resp.attempt);
+        }
+    }
+
+    /// Removes every other open attempt of request `i` after `winner`'s
+    /// response settled it: each loser's dispatch is balanced with
+    /// `on_abandon` here (never again — `on_served`/`on_nack` find no
+    /// open entry for it afterwards), and a cancel chases it to the
+    /// router. A send error means the cluster is shutting down; the
+    /// cancel is then moot, so it is ignored.
+    fn purge_losers(&mut self, i: usize, winner: u32) {
+        let mut k = 0;
+        while k < self.open.len() {
+            let o = self.open[k];
+            if o.req_idx != i || o.attempt == winner {
+                k += 1;
+                continue;
+            }
+            self.open.swap_remove(k);
+            self.inner.selector.lock().on_abandon(o.server);
+            let _ = self.inner.senders[o.server.index()].send(RtMessage::Cancel(RtCancel {
+                task_id: self.task_id,
+                req_idx: i as u32,
+                attempt: o.attempt,
+            }));
         }
     }
 
@@ -471,6 +543,9 @@ impl TaskTicket {
             if self.failure.is_some() {
                 return Ok(());
             }
+            if self.hedge_at[i].is_some_and(|at| at <= now) {
+                self.fire_hedge(i)?;
+            }
             match self.slots[i] {
                 SlotState::Pending {
                     attempt,
@@ -482,6 +557,69 @@ impl TaskTicket {
                 _ => {}
             }
         }
+        Ok(())
+    }
+
+    /// The hedge timer for request `i` expired with no response yet.
+    /// Duplicate it to a second replica under the sim's gates: skip
+    /// requests *forecast* slower than the delay (their silence is not
+    /// evidence of trouble — Dean & Barroso's "don't hedge the big
+    /// ones"), keep duplicates under the 5% budget, and skip rather
+    /// than block when the selector rate-limits. The timer disarms
+    /// either way: one hedge per request, never re-armed.
+    fn fire_hedge(&mut self, i: usize) -> Result<(), RtError> {
+        self.hedge_at[i] = None;
+        let hedge_ns = self.inner.hedge_ns.expect("hedge fired without config");
+        if matches!(self.slots[i], SlotState::Settled) {
+            return Ok(());
+        }
+        let key = self.keys[i];
+        let size = self.inner.sizes.size_of(key);
+        if self.inner.cost.forecast_ns(size) >= hedge_ns {
+            return Ok(());
+        }
+        let hedged = self.inner.hedged_total.load(Ordering::Relaxed);
+        let dispatched = self.inner.dispatched_total.load(Ordering::Relaxed);
+        if hedged * 20 >= dispatched {
+            return Ok(());
+        }
+        let replicas = self.inner.ring.replicas_of_group(self.groups[i]);
+        let ctx = SelectionCtx {
+            now_ns: self.inner.epoch.elapsed().as_nanos() as u64,
+            candidates: &replicas,
+            value_bytes: size,
+            oracle_queue_depths: None,
+        };
+        let server = match self.inner.selector.lock().select(&ctx) {
+            Selection::Dispatch(server) => server,
+            Selection::RateLimited { .. } => return Ok(()),
+        };
+        let tx = self.reply_tx.as_ref().expect("hedge without reply sender");
+        self.inner.dispatched_total.fetch_add(1, Ordering::Relaxed);
+        self.inner.hedged_total.fetch_add(1, Ordering::Relaxed);
+        // No deadline: the original attempt's timer still owns the
+        // slot's timeout; the hedge only races it to a response.
+        let sent = self.inner.senders[server.index()].send(RtMessage::Request(RtRequest {
+            key,
+            priority: self.priorities[i],
+            req_idx: i as u32,
+            task_id: self.task_id,
+            attempt: HEDGE_ATTEMPT,
+            submitted: Instant::now(),
+            reply: tx.clone(),
+        }));
+        if sent.is_err() {
+            return Err(if self.inner.panicked.load(Ordering::SeqCst) {
+                RtError::WorkerPanicked
+            } else {
+                RtError::ClusterDown
+            });
+        }
+        self.open.push(OpenDispatch {
+            req_idx: i,
+            attempt: HEDGE_ATTEMPT,
+            server,
+        });
         Ok(())
     }
 
@@ -537,7 +675,7 @@ impl TaskTicket {
             .expect("redispatch without reply sender");
         let now = Instant::now();
         self.inner.dispatched_total.fetch_add(1, Ordering::Relaxed);
-        let sent = self.inner.senders[server.index()].send(RtRequest {
+        let sent = self.inner.senders[server.index()].send(RtMessage::Request(RtRequest {
             key,
             priority: self.priorities[i],
             req_idx: i as u32,
@@ -545,7 +683,7 @@ impl TaskTicket {
             attempt,
             submitted: now,
             reply: tx.clone(),
-        });
+        }));
         if sent.is_err() {
             return Err(if self.inner.panicked.load(Ordering::SeqCst) {
                 RtError::WorkerPanicked
@@ -589,7 +727,10 @@ impl TaskTicket {
 
 impl Drop for TaskTicket {
     fn drop(&mut self) {
-        if self.open.is_empty() {
+        // With hedging on, the drain must run even with nothing open:
+        // a purged loser's reply may be sitting in the channel, and it
+        // is counted (as duplicate work) rather than silently dropped.
+        if self.open.is_empty() && self.inner.hedge_ns.is_none() {
             return;
         }
         // Balance every still-open dispatch exactly once: replies that
@@ -608,6 +749,14 @@ impl Drop for TaskTicket {
                 .iter()
                 .position(|o| o.req_idx == req_idx && o.attempt == attempt)
             else {
+                // Already balanced — under hedging this is a purged
+                // loser's reply arriving after its slot was released;
+                // count the wasted work like the live path does.
+                if matches!(reply, RtReply::Served(_)) && self.inner.hedge_ns.is_some() {
+                    self.inner
+                        .duplicate_responses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 continue;
             };
             let o = self.open.swap_remove(pos);
@@ -643,11 +792,12 @@ impl RtClient {
         cost: CostModel,
         policy: PolicyKind,
         sizes: SizeModel,
-        senders: Vec<Sender<RtRequest>>,
+        senders: Vec<Sender<RtMessage>>,
         task_counter: Arc<AtomicU64>,
         selector: Box<dyn ReplicaSelector + Send>,
         rtt_ns: u64,
         timeout: Option<RtTimeoutConfig>,
+        hedge_ns: Option<u64>,
         panicked: Arc<AtomicBool>,
     ) -> RtClient {
         RtClient {
@@ -660,8 +810,11 @@ impl RtClient {
                 epoch: Instant::now(),
                 rtt_ns,
                 timeout,
+                hedge_ns,
                 dispatched_total: AtomicU64::new(0),
                 retried_total: AtomicU64::new(0),
+                hedged_total: AtomicU64::new(0),
+                duplicate_responses: AtomicU64::new(0),
                 panicked,
             }),
             policy,
@@ -727,6 +880,7 @@ impl RtClient {
             .timeout
             .map(|tc| started + Duration::from_nanos(tc.timeout_ns));
         let mut open = Vec::with_capacity(n);
+        let mut hedge_at = vec![None; n];
         for (i, &key) in keys.iter().enumerate() {
             let replicas = self.inner.ring.replicas_of_group(groups[i]);
             let server = self
@@ -734,7 +888,7 @@ impl RtClient {
                 .select_replica(&replicas, self.inner.sizes.size_of(key));
             self.inner.dispatched_total.fetch_add(1, Ordering::Relaxed);
             self.inner.senders[server.index()]
-                .send(RtRequest {
+                .send(RtMessage::Request(RtRequest {
                     key,
                     priority: priorities[i],
                     req_idx: i as u32,
@@ -742,21 +896,29 @@ impl RtClient {
                     attempt: 0,
                     submitted: started,
                     reply: tx.clone(),
-                })
+                }))
                 .expect("cluster has shut down");
             open.push(OpenDispatch {
                 req_idx: i,
                 attempt: 0,
                 server,
             });
+            // Arm the hedge timer from the actual dispatch instant (a
+            // rate-limited selector may have stalled the loop above).
+            if let Some(ns) = self.inner.hedge_ns {
+                hedge_at[i] = Some(Instant::now() + Duration::from_nanos(ns));
+            }
         }
+        // The reply channel is retained whenever later dispatches are
+        // possible: retries (timeout config) or hedges.
+        let keep_tx = self.inner.timeout.is_some() || self.inner.hedge_ns.is_some();
         TaskTicket {
             inner: Arc::clone(&self.inner),
             task_id,
             n,
             started,
             rx,
-            reply_tx: self.inner.timeout.map(|_| tx),
+            reply_tx: keep_tx.then_some(tx),
             keys: keys.to_vec(),
             groups,
             priorities,
@@ -767,6 +929,7 @@ impl RtClient {
                 };
                 n
             ],
+            hedge_at,
             open,
             values: (0..n).map(|_| None).collect(),
             servers: vec![0; n],
@@ -794,12 +957,25 @@ impl RtClient {
     pub fn retried_total(&self) -> u64 {
         self.inner.retried_total.load(Ordering::Relaxed)
     }
+
+    /// Hedge duplicates this client has issued.
+    pub fn hedged_total(&self) -> u64 {
+        self.inner.hedged_total.load(Ordering::Relaxed)
+    }
+
+    /// Purged hedge losers whose replies completed anyway and were
+    /// discarded (hedging's duplicate-work cost).
+    pub fn duplicate_responses(&self) -> u64 {
+        self.inner.duplicate_responses.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{RtCluster, RtClusterConfig, RtQueueConfig, RtTimeoutConfig, WorkModel};
+    use crate::server::{
+        RtCluster, RtClusterConfig, RtQueueConfig, RtTimeoutConfig, SpikeModel, WorkModel,
+    };
     use brb_sched::overload::QueueBound;
     use brb_sched::PolicyKind;
     use brb_select::SelectorSpec;
@@ -1179,6 +1355,104 @@ mod tests {
         // One retry doubles the dispatch count to 2; 1·100 ≥ 2·1 dries
         // the 1% budget immediately after.
         assert_eq!(res.retries, 1, "budget did not bind");
+        c.shutdown();
+    }
+
+    /// A hedged cluster where every request spikes ~20ms while the
+    /// forecast stays ~0.1ms: the original goes silent past the hedge
+    /// delay, so exactly one duplicate fires (first check always passes
+    /// the 5% budget), the first response wins, and the losing twin —
+    /// purged mid-service — completes into a counted, discarded
+    /// duplicate instead of phantom selector state.
+    fn hedging_cluster() -> RtCluster {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 2,
+            workers_per_server: 1,
+            replication: 2,
+            work: WorkModel::SimulateService(slow_service(100.0)), // ~0.1ms
+            store_shards: 4,
+            hedge_delay_ns: Some(2_000_000), // 2ms
+            spike: Some(SpikeModel {
+                p_spike: 1.0,
+                extra_lo_ns: 20_000_000,
+                extra_hi_ns: 20_000_000,
+            }),
+            ..Default::default()
+        });
+        c.populate(16, |_| 64);
+        c
+    }
+
+    #[test]
+    fn hedges_duplicate_stragglers_and_discard_the_loser() {
+        let c = hedging_cluster();
+        let client = c.client();
+        let origin = Instant::now();
+        let mut t = client.fetch_async(&[3]);
+        let res = loop {
+            match t.poll_outcome(origin).expect("live run failed") {
+                Some(r) => break r,
+                None => std::thread::sleep(Duration::from_micros(200)),
+            }
+        };
+        let TaskOutcome::Completed(resp) = res.outcome else {
+            panic!("hedged task failed");
+        };
+        assert!(resp.values[0].is_some());
+        assert_eq!(client.hedged_total(), 1, "20ms straggler must hedge once");
+        // The losing twin is mid-service; let it finish and reply, then
+        // drop the ticket — the drain must discard and count the reply.
+        std::thread::sleep(Duration::from_millis(45));
+        drop(t);
+        assert_eq!(
+            client.duplicate_responses(),
+            1,
+            "the purged loser's completion must be counted as duplicate work"
+        );
+        for s in 0..2u64 {
+            assert_eq!(
+                client.outstanding(brb_store::ids::ServerId::new(s)),
+                0,
+                "server {s} kept phantom outstanding requests"
+            );
+        }
+        c.shutdown();
+    }
+
+    /// PR 5's leak contract extended to hedging: abandoning a ticket
+    /// with a losing duplicate still mid-service balances every
+    /// dispatch — selector outstanding returns to zero and the client
+    /// keeps working.
+    #[test]
+    fn hedged_dropped_tickets_release_selector_accounting() {
+        let c = hedging_cluster();
+        let client = c.client();
+        let mut t = client.fetch_async(&[3]);
+        // Let the hedge delay pass, then poll once to fire the duplicate
+        // (both twins are then held mid-service by the ~20ms spike).
+        std::thread::sleep(Duration::from_millis(3));
+        let _ = t.poll_outcome(Instant::now()).expect("live run failed");
+        assert_eq!(
+            client.hedged_total(),
+            1,
+            "hedge did not fire before abandon"
+        );
+        drop(t);
+        for s in 0..2u64 {
+            assert_eq!(
+                client.outstanding(brb_store::ids::ServerId::new(s)),
+                0,
+                "abandoned hedged ticket leaked outstanding on server {s}"
+            );
+        }
+        // Replies landing after the abandon go to a closed channel; the
+        // client must still work and stay balanced.
+        std::thread::sleep(Duration::from_millis(45));
+        let resp = client.fetch(&[5]);
+        assert_eq!(resp.values.len(), 1);
+        for s in 0..2u64 {
+            assert_eq!(client.outstanding(brb_store::ids::ServerId::new(s)), 0);
+        }
         c.shutdown();
     }
 

@@ -32,6 +32,17 @@
 //! trips a sticky flag and every wait fails fast with a typed
 //! [`RtError`] instead of hanging the harness.
 //!
+//! The **credits and duplication lanes** close the last strategy gaps
+//! with the simulator: a controller thread ([`RtCreditsConfig`]) runs
+//! `brb-sched`'s demand-driven credit allocation over real demand
+//! reports and congestion signals, clients enforce the published grants
+//! through per-client token buckets; the model realization's single
+//! cross-server queue runs live as a work-pull global queue
+//! ([`RtQueueMode::Global`]); and hedged requests
+//! ([`RtClusterConfig::hedge_delay_ns`]) duplicate stragglers with
+//! first-response-wins and duplicate-aware cancellation over
+//! [`RtCancel`] control messages.
+//!
 //! ```
 //! use brb_rt::{RtClusterConfig, RtCluster, WorkModel};
 //! use brb_sched::PolicyKind;
@@ -52,6 +63,7 @@
 //! ```
 
 pub mod client;
+pub mod credits;
 pub mod error;
 pub mod loadgen;
 pub mod server;
@@ -61,9 +73,10 @@ pub mod transport;
 pub use client::{
     RtClient, TaskFailureKind, TaskOutcome, TaskResolution, TaskResponse, TaskTicket,
 };
+pub use credits::RtCreditsConfig;
 pub use error::RtError;
 pub use loadgen::{run_load, try_run_load, LoadGenConfig, LoadMode, LoadReport};
 pub use server::{
-    RtCluster, RtClusterConfig, RtQueueConfig, RtTimeoutConfig, SpikeModel, WorkModel,
+    RtCluster, RtClusterConfig, RtQueueConfig, RtQueueMode, RtTimeoutConfig, SpikeModel, WorkModel,
 };
-pub use transport::{RtNack, RtReply, RtRequest, RtResponse};
+pub use transport::{RtCancel, RtMessage, RtNack, RtReply, RtRequest, RtResponse};

@@ -122,6 +122,18 @@ pub struct LoadReport {
     pub retries: u64,
     /// Completed tasks per second of wall time — the run's goodput.
     pub goodput: f64,
+    /// Hedge duplicates the client issued (0 unless the cluster has a
+    /// hedge delay).
+    pub hedges_issued: u64,
+    /// Purged hedge losers that completed anyway and were discarded —
+    /// hedging's duplicate-work cost.
+    pub duplicate_responses: u64,
+    /// Demand reports the credits controller consumed during the run (0
+    /// without a credits lane).
+    pub demand_reports: u64,
+    /// Congestion signals routers raised during the run (0 without a
+    /// credits lane).
+    pub congestion_signals: u64,
 }
 
 /// Accumulates task resolutions into histograms and overload counters.
@@ -228,11 +240,18 @@ pub fn try_run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> Result<LoadRepo
     // The run seed also seeds the client's selector stream, so seeded
     // runs differ in replica choice the way the simulator's do.
     let client: RtClient = cluster.client_seeded(cfg.seed);
-    let overload_lane = cluster.config().queue.is_some() || cluster.config().timeout.is_some();
+    // Hedging rides the overload lane's poll path too: its timers live
+    // inside ticket polls, and duplicate replies break the legacy
+    // `is_ready` reply-count shortcut.
+    let overload_lane = cluster.config().queue.is_some()
+        || cluster.config().timeout.is_some()
+        || cluster.config().hedge_delay_ns.is_some();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut col = Collector::new();
     let served_before = cluster.served_per_server();
     let busy_before = cluster.busy_ns_per_server();
+    let demand_before = cluster.demand_reports();
+    let congestion_before = cluster.congestion_signals();
     let started = Instant::now();
 
     // Alias-table Zipf ranks when popularity is skewed; plain uniform
@@ -364,6 +383,10 @@ pub fn try_run_load(cluster: &RtCluster, cfg: &LoadGenConfig) -> Result<LoadRepo
         shed: col.shed,
         retries: col.retries,
         goodput,
+        hedges_issued: client.hedged_total(),
+        duplicate_responses: client.duplicate_responses(),
+        demand_reports: cluster.demand_reports() - demand_before,
+        congestion_signals: cluster.congestion_signals() - congestion_before,
     })
 }
 
@@ -569,6 +592,68 @@ mod tests {
         assert!(report.completed > 0, "overload must not starve everything");
         assert_eq!(report.task_latency_ms.count as usize, report.completed);
         assert!(report.goodput > 0.0 && report.goodput == report.tasks_per_sec);
+        c.shutdown();
+    }
+
+    /// A hedged live run: spiked stragglers trigger duplicates, the
+    /// report surfaces the hedge counters, and the conservation
+    /// contract holds with duplicate replies in flight — losing twins
+    /// must never double-count a task or strand accounting.
+    #[test]
+    fn hedged_run_reports_hedges_and_conserves_tasks() {
+        use crate::server::SpikeModel;
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 2,
+            workers_per_server: 1,
+            replication: 2,
+            // ~50µs forecast, every request spiked ~4ms: all stragglers.
+            work: WorkModel::SimulateService(ServiceModel::calibrated_size_linear(
+                50_000.0,
+                64.0,
+                1.0,
+                ServiceNoise::None,
+            )),
+            store_shards: 4,
+            hedge_delay_ns: Some(1_000_000), // 1ms
+            spike: Some(SpikeModel {
+                p_spike: 1.0,
+                extra_lo_ns: 4_000_000,
+                extra_hi_ns: 4_000_000,
+            }),
+            ..Default::default()
+        });
+        c.populate(64, |_| 64);
+        let report = run_load(
+            &c,
+            &LoadGenConfig {
+                tasks: 60,
+                mode: LoadMode::Closed { concurrency: 4 },
+                fanout: FanoutDist::Fixed(1),
+                key_range: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            report.completed as u64 + report.dropped + report.timed_out + report.shed,
+            report.issued as u64,
+            "conservation under hedging"
+        );
+        assert_eq!(report.completed, 60, "hedging must not fail tasks");
+        assert!(
+            report.hedges_issued >= 1,
+            "60 spiked tasks under a 1ms hedge delay never hedged"
+        );
+        // The 5% budget binds: hedges·20 < dispatches (60 + hedges),
+        // so at most ~3 duplicates across 60 single-request tasks.
+        assert!(
+            report.hedges_issued <= 4,
+            "hedge budget failed to bind: {}",
+            report.hedges_issued
+        );
+        assert!(report.duplicate_responses <= report.hedges_issued);
+        // No credits lane: those counters stay zero.
+        assert_eq!(report.demand_reports, 0);
+        assert_eq!(report.congestion_signals, 0);
         c.shutdown();
     }
 

@@ -12,14 +12,32 @@
 //! dequeued request's *measured* sojourn time — drops and sheds NACK
 //! back over the transport as typed [`RtNack`] replies instead of
 //! silently growing the queue.
+//!
+//! Two further lanes complete the figure-2 strategy set natively:
+//!
+//! * **Credits** ([`crate::credits`]): a controller thread adapts grant
+//!   allocations from live demand reports and router-raised congestion
+//!   signals; clients gate dispatch through token buckets. The router
+//!   detects congestion exactly as the sim server does — queue depth at
+//!   arrival against the threshold, plus an arrival-rate window.
+//! * **Model** ([`RtQueueMode::Global`]): one [`GlobalQueue`] shared by
+//!   every server; idle workers pull the highest-priority request their
+//!   replica constraint allows — the paper's unrealizable ideal, made
+//!   "realizable" here only because the cluster is in-process.
+//!
+//! Routers also honor [`crate::transport::RtCancel`]: a hedged request
+//! whose twin already won is removed from the queue in place (O(n),
+//! cold path), so duplicate work is bounded by in-service requests.
 
 use crate::client::RtClient;
+use crate::credits::{self, CreditMsg, CreditSelector, CreditsHub, RtCreditsConfig};
 use crate::timing;
-use crate::transport::{RtNack, RtReply, RtRequest, RtResponse};
+use crate::transport::{RtMessage, RtNack, RtReply, RtRequest, RtResponse};
 use brb_sched::overload::{CoDel, CoDelConfig, DropReason, EnqueueOutcome, QueueBound};
-use brb_sched::{PolicyKind, PriorityQueue, RequestQueue};
-use brb_select::SelectorSpec;
+use brb_sched::{GlobalQueue, PolicyKind, PriorityQueue, RequestQueue};
+use brb_select::{ReplicaSelector, SelectorSpec};
 use brb_store::cost::{CostModel, ForecastQuality};
+use brb_store::ids::{ClientId, ServerId};
 use brb_store::partition::Ring;
 use brb_store::service::{ServiceModel, ServiceNoise};
 use brb_store::ShardedStore;
@@ -32,7 +50,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How servers spend service time.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +65,19 @@ pub enum WorkModel {
     /// `thread::sleep` overshoots tens-of-µs services by 50µs–1ms of OS
     /// timer slack, which would drown every strategy difference.
     SimulateService(ServiceModel),
+}
+
+/// Which queue topology the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RtQueueMode {
+    /// One priority queue per server (the realizable deployments:
+    /// direct dispatch, credits).
+    #[default]
+    PerServer,
+    /// One global priority queue shared by all servers; workers pull
+    /// the best request their replica constraint allows — the paper's
+    /// "model" realization.
+    Global,
 }
 
 /// Bounded-queue knobs for every live server queue (the overload lane).
@@ -134,6 +165,17 @@ pub struct RtClusterConfig {
     /// untouched, so the RTT is *added to the recorded latencies*
     /// (request, task completion, selector feedback) rather than slept.
     pub network_rtt_ns: u64,
+    /// Queue topology: per-server queues or the model realization's
+    /// single global work-pull queue.
+    pub queue_mode: RtQueueMode,
+    /// Credits lane (`None` = no controller): spawns the controller
+    /// thread and replaces each client's selector with the token-bucket
+    /// credits admission.
+    pub credits: Option<RtCreditsConfig>,
+    /// Hedged requests: after this many nanoseconds without a response,
+    /// a client duplicates the request to another replica; first
+    /// response wins, the loser is cancelled (`None` = no hedging).
+    pub hedge_delay_ns: Option<u64>,
     /// Bounded server queues + AQM (`None` = unbounded, the legacy
     /// behavior).
     pub queue: Option<RtQueueConfig>,
@@ -166,6 +208,9 @@ impl Default for RtClusterConfig {
             forecast: ForecastQuality::Exact,
             num_clients: 1,
             network_rtt_ns: 0,
+            queue_mode: RtQueueMode::PerServer,
+            credits: None,
+            hedge_delay_ns: None,
             queue: None,
             timeout: None,
             speed_factors: Vec::new(),
@@ -213,13 +258,92 @@ pub(crate) struct ServerShared {
     pub(crate) busy_ns: AtomicU64,
 }
 
+/// The model realization's single work-pull queue, shared by every
+/// server's workers.
+pub(crate) struct GlobalServerQueue {
+    pub(crate) gq: GlobalQueue<Queued>,
+    pub(crate) codel: Option<CoDel>,
+}
+
+/// Shared state of the global queue mode: one mutex + condvar for the
+/// whole cluster (the coordination cost the paper calls unrealizable —
+/// here it is one in-process lock).
+pub(crate) struct GlobalShared {
+    pub(crate) queue: Mutex<GlobalServerQueue>,
+    pub(crate) available: Condvar,
+    /// Cluster-wide queue length mirror (admission + piggyback).
+    pub(crate) queue_len: AtomicUsize,
+    /// Ring copy for the replica-constrained pull.
+    pub(crate) ring: Ring,
+    /// Time base for the shared CoDel controller.
+    pub(crate) epoch: Instant,
+}
+
+/// Router-side congestion detection for the credits lane, mirroring the
+/// sim server's two triggers: queue depth at arrival ≥ threshold, and a
+/// windowed arrival rate above capacity. Signals are rate-limited to
+/// one per measurement interval, as in the sim.
+struct CongestionMonitor {
+    tx: Sender<CreditMsg>,
+    threshold: usize,
+    capacity_rps: f64,
+    interval: Duration,
+    window_start: Instant,
+    arrivals: u64,
+    last_signal: Option<Instant>,
+}
+
+impl CongestionMonitor {
+    fn new(hub: &CreditsHub) -> Self {
+        CongestionMonitor {
+            tx: hub.tx.clone(),
+            threshold: hub.cfg.congestion_queue_threshold,
+            capacity_rps: hub.cfg.server_capacity_rps,
+            interval: Duration::from_nanos(hub.cfg.config.measurement_interval_ns),
+            window_start: Instant::now(),
+            arrivals: 0,
+            last_signal: None,
+        }
+    }
+
+    fn on_arrival(&mut self, server_id: u32, queue_len: usize) {
+        let now = Instant::now();
+        self.arrivals += 1;
+        let mut congested = queue_len >= self.threshold;
+        let elapsed = now.saturating_duration_since(self.window_start);
+        if elapsed >= self.interval {
+            let rate = self.arrivals as f64 / elapsed.as_secs_f64();
+            // The 5% margin keeps rate jitter at exactly-capacity from
+            // flapping the signal (sim semantics).
+            if rate > self.capacity_rps * 1.05 {
+                congested = true;
+            }
+            self.arrivals = 0;
+            self.window_start = now;
+        }
+        if congested
+            && self
+                .last_signal
+                .is_none_or(|t| now.saturating_duration_since(t) >= self.interval)
+        {
+            let _ = self.tx.send(CreditMsg::Congestion { server: server_id });
+            self.last_signal = Some(now);
+        }
+    }
+}
+
 /// A running in-process cluster.
 pub struct RtCluster {
     config: RtClusterConfig,
     ring: Ring,
     cost: CostModel,
     servers: Vec<Arc<ServerShared>>,
-    senders: Vec<Sender<RtRequest>>,
+    /// The global queue when `queue_mode == Global`, else `None`.
+    global: Option<Arc<GlobalShared>>,
+    /// Credits lane state when `credits` is configured, else `None`.
+    credits: Option<CreditsHub>,
+    credits_thread: Option<JoinHandle<()>>,
+    senders: Vec<Sender<RtMessage>>,
     workers: Vec<JoinHandle<()>>,
     routers: Vec<JoinHandle<()>>,
     /// Dropped on shutdown to stop routers even while clients still hold
@@ -290,6 +414,33 @@ impl RtCluster {
         let (stop_tx, stop_rx) = unbounded::<()>();
         let panicked = Arc::new(AtomicBool::new(false));
 
+        let global = match config.queue_mode {
+            RtQueueMode::PerServer => None,
+            RtQueueMode::Global => Some(Arc::new(GlobalShared {
+                queue: Mutex::new(GlobalServerQueue {
+                    gq: GlobalQueue::new(ring.num_groups()),
+                    codel: config.queue.and_then(|q| q.codel).map(CoDel::new),
+                }),
+                available: Condvar::new(),
+                queue_len: AtomicUsize::new(0),
+                ring: ring.clone(),
+                epoch: Instant::now(),
+            })),
+        };
+
+        let (credits_hub, credits_thread) = match config.credits {
+            Some(cfg) => {
+                let (hub, handle) = credits::spawn_controller(
+                    cfg,
+                    config.num_servers as usize,
+                    stop_rx.clone(),
+                    Arc::clone(&panicked),
+                );
+                (Some(hub), Some(handle))
+            }
+            None => (None, None),
+        };
+
         for s in 0..config.num_servers {
             let shared = Arc::new(ServerShared {
                 queue: Mutex::new(ServerQueue {
@@ -307,7 +458,7 @@ impl RtCluster {
                 shed: AtomicU64::new(0),
                 busy_ns: AtomicU64::new(0),
             });
-            let (tx, rx): (Sender<RtRequest>, Receiver<RtRequest>) = unbounded();
+            let (tx, rx): (Sender<RtMessage>, Receiver<RtMessage>) = unbounded();
 
             // Router: drains the channel into the priority queue so that
             // priorities take effect the moment requests arrive, not in
@@ -317,19 +468,31 @@ impl RtCluster {
             // (clients may still hold request senders then).
             {
                 let shared = Arc::clone(&shared);
+                let global = global.clone();
                 let stop_rx = stop_rx.clone();
                 let panicked = Arc::clone(&panicked);
+                let congestion = credits_hub.as_ref().map(CongestionMonitor::new);
                 routers.push(
                     std::thread::Builder::new()
                         .name(format!("brb-router-{s}"))
                         .spawn(move || {
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    router_loop(s, &shared, &rx, &stop_rx)
+                                    router_loop(
+                                        s,
+                                        &shared,
+                                        global.as_deref(),
+                                        &rx,
+                                        &stop_rx,
+                                        congestion,
+                                    )
                                 }));
                             // Wake workers so they observe the stop flag.
                             shared.stop.store(true, Ordering::SeqCst);
                             shared.available.notify_all();
+                            if let Some(g) = &global {
+                                g.available.notify_all();
+                            }
                             if result.is_err() {
                                 panicked.store(true, Ordering::SeqCst);
                             }
@@ -341,6 +504,7 @@ impl RtCluster {
             let speed = config.speed_factors.get(s as usize).copied().unwrap_or(1.0);
             for w in 0..config.workers_per_server {
                 let shared = Arc::clone(&shared);
+                let global = global.clone();
                 let work = config.work;
                 let spike = config.spike;
                 let panic_on_key = config.panic_on_key;
@@ -357,6 +521,7 @@ impl RtCluster {
                                     worker_loop(
                                         s,
                                         &shared,
+                                        global.as_deref(),
                                         work,
                                         noise_seed,
                                         speed,
@@ -370,6 +535,9 @@ impl RtCluster {
                                 // condvar so a fully-dead server cannot
                                 // strand them.
                                 shared.available.notify_all();
+                                if let Some(g) = &global {
+                                    g.available.notify_all();
+                                }
                             }
                         })
                         .expect("spawn worker"),
@@ -385,6 +553,9 @@ impl RtCluster {
             ring,
             cost,
             servers,
+            global,
+            credits: credits_hub,
+            credits_thread,
             senders,
             workers,
             routers,
@@ -421,7 +592,7 @@ impl RtCluster {
     /// creation index, so clusters behave reproducibly run to run.
     pub fn client(&self) -> RtClient {
         let client_idx = self.next_client_id.fetch_add(1, Ordering::Relaxed);
-        self.client_seeded(client_idx)
+        self.build_client(client_idx, client_idx)
     }
 
     /// [`Self::client`] with an explicit selector seed — the load
@@ -430,10 +601,27 @@ impl RtCluster {
     /// simulator's per-run selector seeding), not the same stream for
     /// every run of a fresh cluster.
     pub fn client_seeded(&self, selector_seed: u64) -> RtClient {
-        let selector = self
-            .config
-            .selector
-            .build(selector_seed, self.config.num_clients.max(1));
+        let client_idx = self.next_client_id.fetch_add(1, Ordering::Relaxed);
+        self.build_client(client_idx, selector_seed)
+    }
+
+    fn build_client(&self, client_idx: u64, selector_seed: u64) -> RtClient {
+        // With the credits lane on, every client runs the token-bucket
+        // credits admission (identified to the controller by its
+        // creation index); the configured selector only applies to the
+        // direct-dispatch realizations.
+        let selector: Box<dyn ReplicaSelector + Send> = match &self.credits {
+            Some(hub) => Box::new(CreditSelector::new(
+                ClientId::new(client_idx),
+                hub,
+                self.config.num_servers as usize,
+                self.config.num_clients.max(1) as usize,
+            )),
+            None => self
+                .config
+                .selector
+                .build(selector_seed, self.config.num_clients.max(1)),
+        };
         RtClient::new(
             self.ring.clone(),
             self.cost,
@@ -444,6 +632,7 @@ impl RtCluster {
             selector,
             self.config.network_rtt_ns,
             self.config.timeout,
+            self.config.hedge_delay_ns,
             Arc::clone(&self.panicked),
         )
     }
@@ -480,6 +669,22 @@ impl RtCluster {
             .collect()
     }
 
+    /// Demand reports the credits controller has received (0 when the
+    /// credits lane is off).
+    pub fn demand_reports(&self) -> u64 {
+        self.credits
+            .as_ref()
+            .map_or(0, |h| h.demand_reports.load(Ordering::Relaxed))
+    }
+
+    /// Congestion signals the credits controller has received (0 when
+    /// the credits lane is off).
+    pub fn congestion_signals(&self) -> u64 {
+        self.credits
+            .as_ref()
+            .map_or(0, |h| h.congestion_signals.load(Ordering::Relaxed))
+    }
+
     /// Whether any worker or router thread has panicked.
     pub fn panicked(&self) -> bool {
         self.panicked.load(Ordering::SeqCst)
@@ -505,8 +710,9 @@ impl RtCluster {
     /// their tasks first: requests still queued when shutdown starts are
     /// dropped.
     pub fn shutdown_checked(mut self) -> Result<(), crate::error::RtError> {
-        // Closing the stop channel ends the routers (even if clients
-        // still hold request senders); routers set stop and wake workers.
+        // Closing the stop channel ends the routers and the credits
+        // controller (even if clients still hold request senders);
+        // routers set stop and wake workers.
         drop(self.stop_tx.take());
         drop(self.senders);
         for r in self.routers {
@@ -516,9 +722,19 @@ impl RtCluster {
                 self.panicked.store(true, Ordering::SeqCst);
             }
         }
+        if let Some(h) = self.credits_thread.take() {
+            if h.join().is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+        }
         for s in &self.servers {
             s.stop.store(true, Ordering::SeqCst);
             s.available.notify_all();
+        }
+        // Global-mode workers park on the shared condvar, not their
+        // server's.
+        if let Some(g) = &self.global {
+            g.available.notify_all();
         }
         for w in self.workers {
             if w.join().is_err() {
@@ -555,18 +771,27 @@ fn send_nack(server_id: u32, req: &RtRequest, reason: DropReason) {
 fn router_loop(
     server_id: u32,
     shared: &Arc<ServerShared>,
-    rx: &Receiver<RtRequest>,
+    global: Option<&GlobalShared>,
+    rx: &Receiver<RtMessage>,
     stop_rx: &Receiver<()>,
+    mut congestion: Option<CongestionMonitor>,
 ) {
     loop {
         crossbeam::channel::select! {
             recv(rx) -> msg => match msg {
-                Ok(req) => {
+                Ok(RtMessage::Request(req)) => {
                     // Bounded admission against the mirror — the same
                     // length feedback responses piggyback, so admission
-                    // costs no queue lock.
+                    // costs no queue lock. Global mode admits against
+                    // the cluster-wide mirror.
+                    let len = match global {
+                        Some(g) => g.queue_len.load(Ordering::Relaxed),
+                        None => shared.queue_len.load(Ordering::Relaxed),
+                    };
+                    if let Some(monitor) = congestion.as_mut() {
+                        monitor.on_arrival(server_id, len);
+                    }
                     if let Some(bound) = shared.bound {
-                        let len = shared.queue_len.load(Ordering::Relaxed);
                         if let EnqueueOutcome::Dropped(reason) = bound.admit(len) {
                             match reason {
                                 DropReason::Shed => {
@@ -580,22 +805,64 @@ fn router_loop(
                             continue;
                         }
                     }
-                    // Increment the mirror *before* the push: a
-                    // worker may pop (and decrement) the instant
-                    // the lock drops, and the counter must never
-                    // underflow.
-                    shared.queue_len.fetch_add(1, Ordering::Relaxed);
-                    let mut q = shared.queue.lock();
-                    let priority = req.priority;
-                    q.pq.push(
-                        priority,
-                        Queued {
-                            req,
-                            enqueued: Instant::now(),
-                        },
-                    );
-                    drop(q);
-                    shared.available.notify_one();
+                    match global {
+                        None => {
+                            // Increment the mirror *before* the push: a
+                            // worker may pop (and decrement) the instant
+                            // the lock drops, and the counter must never
+                            // underflow.
+                            shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                            let mut q = shared.queue.lock();
+                            let priority = req.priority;
+                            q.pq.push(
+                                priority,
+                                Queued {
+                                    req,
+                                    enqueued: Instant::now(),
+                                },
+                            );
+                            drop(q);
+                            shared.available.notify_one();
+                        }
+                        Some(g) => {
+                            g.queue_len.fetch_add(1, Ordering::Relaxed);
+                            let group = g.ring.group_of_key(req.key);
+                            let priority = req.priority;
+                            let mut q = g.queue.lock();
+                            q.gq.push(
+                                group,
+                                priority,
+                                Queued {
+                                    req,
+                                    enqueued: Instant::now(),
+                                },
+                            );
+                            drop(q);
+                            // notify_all, not notify_one: a single wake
+                            // could land on a worker outside this
+                            // group's replica set, which would re-park
+                            // and strand the request.
+                            g.available.notify_all();
+                        }
+                    }
+                }
+                Ok(RtMessage::Cancel(cancel)) => {
+                    // Purge the still-queued loser of a hedged pair.
+                    // Per-channel FIFO means its request (if any)
+                    // already passed through; a miss just means a
+                    // worker got there first. Hedging never lowers to
+                    // global mode, where a cancel is a no-op.
+                    if global.is_none() {
+                        let mut q = shared.queue.lock();
+                        let removed = q.pq.retain(|queued| {
+                            !(queued.req.task_id == cancel.task_id
+                                && queued.req.req_idx == cancel.req_idx
+                                && queued.req.attempt == cancel.attempt)
+                        });
+                        if removed > 0 {
+                            shared.queue_len.fetch_sub(removed, Ordering::Relaxed);
+                        }
+                    }
                 }
                 Err(_) => break,
             },
@@ -604,9 +871,11 @@ fn router_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     server_id: u32,
     shared: &Arc<ServerShared>,
+    global: Option<&GlobalShared>,
     work: WorkModel,
     noise_seed: u64,
     speed: f64,
@@ -619,27 +888,56 @@ fn worker_loop(
     // critical section.
     let mut codel_rejects: Vec<RtRequest> = Vec::new();
     loop {
-        let popped = {
-            let mut q = shared.queue.lock();
-            loop {
-                if let Some((_, queued)) = q.pq.pop() {
-                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                    if let Some(codel) = q.codel.as_mut() {
-                        let now = Instant::now();
-                        let now_ns = now.saturating_duration_since(shared.epoch).as_nanos() as u64;
-                        let sojourn_ns =
-                            now.saturating_duration_since(queued.enqueued).as_nanos() as u64;
-                        if codel.on_dequeue(now_ns, sojourn_ns) {
-                            codel_rejects.push(queued.req);
-                            continue; // drop head-of-line, pop the next
+        let popped = match global {
+            None => {
+                let mut q = shared.queue.lock();
+                loop {
+                    if let Some((_, queued)) = q.pq.pop() {
+                        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(codel) = q.codel.as_mut() {
+                            let now = Instant::now();
+                            let now_ns =
+                                now.saturating_duration_since(shared.epoch).as_nanos() as u64;
+                            let sojourn_ns =
+                                now.saturating_duration_since(queued.enqueued).as_nanos() as u64;
+                            if codel.on_dequeue(now_ns, sojourn_ns) {
+                                codel_rejects.push(queued.req);
+                                continue; // drop head-of-line, pop the next
+                            }
                         }
+                        break Some(queued.req);
                     }
-                    break Some(queued.req);
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    shared.available.wait(&mut q);
                 }
-                if shared.stop.load(Ordering::SeqCst) {
-                    break None;
+            }
+            Some(g) => {
+                // Work-pulling against the global queue: take the best
+                // request this server's replica constraint allows.
+                let me = ServerId::new(server_id as u64);
+                let mut q = g.queue.lock();
+                loop {
+                    if let Some((_, _, queued)) = q.gq.pull_for(me, &g.ring) {
+                        g.queue_len.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(codel) = q.codel.as_mut() {
+                            let now = Instant::now();
+                            let now_ns = now.saturating_duration_since(g.epoch).as_nanos() as u64;
+                            let sojourn_ns =
+                                now.saturating_duration_since(queued.enqueued).as_nanos() as u64;
+                            if codel.on_dequeue(now_ns, sojourn_ns) {
+                                codel_rejects.push(queued.req);
+                                continue;
+                            }
+                        }
+                        break Some(queued.req);
+                    }
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    g.available.wait(&mut q);
                 }
-                shared.available.wait(&mut q);
             }
         };
         for rejected in codel_rejects.drain(..) {
@@ -682,8 +980,12 @@ fn worker_loop(
             .saturating_duration_since(req.submitted)
             .as_nanos() as u64;
         // Piggyback feedback from the atomic mirror — no second trip
-        // through the queue mutex per request.
-        let queue_len = shared.queue_len.load(Ordering::Relaxed);
+        // through the queue mutex per request. Global mode piggybacks
+        // the cluster-wide backlog (the only queue that exists there).
+        let queue_len = match global {
+            Some(g) => g.queue_len.load(Ordering::Relaxed),
+            None => shared.queue_len.load(Ordering::Relaxed),
+        };
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
         // The client may have given up (dropped receiver); ignore errors.
@@ -869,6 +1171,150 @@ mod tests {
             busy[0],
             busy[1]
         );
+    }
+
+    /// The model realization: one global work-pull queue. Every request
+    /// must still land on a replica of its key and be served exactly
+    /// once.
+    #[test]
+    fn global_queue_mode_serves_with_replica_constraint() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 3,
+            workers_per_server: 2,
+            replication: 2,
+            policy: PolicyKind::EqualMax,
+            selector: SelectorSpec::RoundRobin,
+            queue_mode: RtQueueMode::Global,
+            work: WorkModel::Instant,
+            store_shards: 8,
+            ..Default::default()
+        });
+        c.populate(300, |k| (k % 64) + 1);
+        let client = c.client();
+        for i in 0..60u64 {
+            let keys: Vec<u64> = (0..5).map(|j| (i * 5 + j) % 300).collect();
+            let resp = client.fetch(&keys);
+            assert!(resp.values.iter().all(|v| v.is_some()));
+        }
+        let served: u64 = c.served_per_server().iter().sum();
+        assert_eq!(served, 300);
+        c.shutdown();
+    }
+
+    /// The credits lane end to end: clients run the token-bucket
+    /// admission, demand reports reach the controller thread, and the
+    /// run completes without starving (grants adapt upward from the
+    /// fair-share seed).
+    #[test]
+    fn credits_cluster_serves_and_reports_demand() {
+        let c = RtCluster::start(RtClusterConfig {
+            num_servers: 3,
+            workers_per_server: 2,
+            replication: 2,
+            policy: PolicyKind::EqualMax,
+            work: WorkModel::Instant,
+            store_shards: 8,
+            num_clients: 2,
+            credits: Some(RtCreditsConfig {
+                config: brb_sched::CreditsConfig {
+                    measurement_interval_ns: 2_000_000, // 2 ms
+                    adaptation_interval_ns: 10_000_000, // 10 ms
+                    ..Default::default()
+                },
+                server_capacity_rps: 50_000.0,
+                congestion_queue_threshold: 96,
+            }),
+            ..Default::default()
+        });
+        c.populate(200, |_| 16);
+        let client = c.client();
+        let t0 = Instant::now();
+        while t0.elapsed() < std::time::Duration::from_millis(40) {
+            let resp = client.fetch(&[1, 2, 3, 4, 5]);
+            assert!(resp.values.iter().all(|v| v.is_some()));
+        }
+        assert!(
+            c.demand_reports() >= 1,
+            "no demand report reached the controller"
+        );
+        c.shutdown();
+    }
+
+    /// A cancel for a queued request must remove exactly that attempt
+    /// and fix the length mirror; a cancel that matches nothing (wrong
+    /// attempt) must be a no-op.
+    #[test]
+    fn router_cancel_dequeues_matching_attempt_only() {
+        use crate::transport::RtCancel;
+        let shared = Arc::new(ServerShared {
+            queue: Mutex::new(ServerQueue {
+                pq: PriorityQueue::new(),
+                codel: None,
+            }),
+            available: Condvar::new(),
+            queue_len: AtomicUsize::new(0),
+            bound: None,
+            epoch: Instant::now(),
+            store: ShardedStore::new(1),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        });
+        let (tx, rx) = unbounded();
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        let router = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || router_loop(0, &shared, None, &rx, &stop_rx, None))
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        let req = |req_idx: u32, attempt: u32| {
+            RtMessage::Request(RtRequest {
+                key: 1,
+                priority: brb_sched::Priority(1),
+                req_idx,
+                task_id: 7,
+                attempt,
+                submitted: Instant::now(),
+                reply: reply_tx.clone(),
+            })
+        };
+        tx.send(req(0, 0)).unwrap();
+        tx.send(req(1, 0)).unwrap();
+        // Wrong attempt: must remove nothing.
+        tx.send(RtMessage::Cancel(RtCancel {
+            task_id: 7,
+            req_idx: 0,
+            attempt: 9,
+        }))
+        .unwrap();
+        // Exact match: removes req_idx 0.
+        tx.send(RtMessage::Cancel(RtCancel {
+            task_id: 7,
+            req_idx: 0,
+            attempt: 0,
+        }))
+        .unwrap();
+        let t0 = Instant::now();
+        while shared.queue_len.load(Ordering::Relaxed) != 1 {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(5),
+                "cancel never drained: len {}",
+                shared.queue_len.load(Ordering::Relaxed)
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let q = shared.queue.lock();
+            assert_eq!(q.pq.len(), 1);
+            assert_eq!(q.pq.peek_item().unwrap().req.req_idx, 1);
+        }
+        drop(stop_tx);
+        router.join().unwrap();
+        // No reply was ever sent for the cancelled request.
+        drop(reply_tx);
+        assert!(reply_rx.try_recv().is_err());
     }
 
     /// A panicking worker must trip the cluster's sticky panic flag and

@@ -133,6 +133,18 @@ impl<T> PriorityQueue<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Removes every item for which `keep` returns `false`, preserving
+    /// the priority/FIFO order of the survivors (their sequence numbers
+    /// are untouched). Returns how many items were removed — callers
+    /// that mirror the queue length (the live router's atomic counter)
+    /// need the exact count. O(n); used by cold paths only (duplicate
+    /// cancellation), never per-request.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) -> usize {
+        let before = self.heap.len();
+        self.heap.retain(|e| keep(&e.item));
+        before - self.heap.len()
+    }
 }
 
 impl<T> std::fmt::Debug for PriorityQueue<T> {
@@ -235,6 +247,27 @@ mod tests {
         q.push(Priority(5), "after-b");
         assert_eq!(q.pop().unwrap().1, "after-a");
         assert_eq!(q.pop().unwrap().1, "after-b");
+    }
+
+    #[test]
+    fn retain_removes_and_keeps_stable_order() {
+        let mut q = PriorityQueue::new();
+        q.push(Priority(5), "a5");
+        q.push(Priority(5), "b5");
+        q.push(Priority(1), "c1");
+        q.push(Priority(5), "d5");
+        // Remove one tie from the middle; survivors keep priority order
+        // and FIFO stability among remaining ties.
+        assert_eq!(q.retain(|item| *item != "b5"), 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "c1");
+        assert_eq!(q.pop().unwrap().1, "a5");
+        assert_eq!(q.pop().unwrap().1, "d5");
+        // Retaining nothing reports the full count.
+        q.push(Priority(2), "x");
+        q.push(Priority(3), "y");
+        assert_eq!(q.retain(|_| false), 2);
+        assert!(q.is_empty());
     }
 
     #[test]
