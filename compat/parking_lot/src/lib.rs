@@ -1,29 +1,57 @@
 //! Minimal offline stand-in for `parking_lot`: std-backed `Mutex`,
 //! `RwLock` and `Condvar` with parking_lot's panic-free, guard-returning
 //! API (poisoning is swallowed, as parking_lot has none).
+//!
+//! Debug builds additionally run a **lock-order detector** (see
+//! [`order`]-module docs): every lock gets a site ID, each thread tracks
+//! the locks it holds, and a global order graph panics on the first
+//! cyclic acquisition order — naming both acquisition sites — instead of
+//! letting a rare interleaving deadlock a test run. Release builds
+//! compile all of it away; `BRB_LOCK_ORDER=0` disables it at runtime.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+#[cfg(debug_assertions)]
+use std::panic::Location;
+#[cfg(debug_assertions)]
+use std::sync::atomic::AtomicU32;
 use std::sync::{
     Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
 };
+
+#[cfg(debug_assertions)]
+mod order;
 
 /// A mutex whose `lock` returns the guard directly (no poisoning).
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(StdMutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: AtomicU32,
+    inner: StdMutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
-pub struct MutexGuard<'a, T: ?Sized>(Option<StdMutexGuard<'a, T>>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock_id: u32,
+    /// `Option` so `Condvar::wait` can temporarily take the std guard.
+    inner: Option<StdMutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(StdMutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            id: AtomicU32::new(0),
+            inner: StdMutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -32,24 +60,42 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(match self.0.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        }))
+        #[cfg(debug_assertions)]
+        let lock_id = {
+            let id = order::lock_id(&self.id);
+            order::acquire(id, Location::caller());
+            id
+        };
+        MutexGuard {
+            #[cfg(debug_assertions)]
+            lock_id,
+            inner: Some(match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }),
+        }
     }
 }
 
 impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard taken")
+        self.inner.as_ref().expect("guard taken")
     }
 }
 
 impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard taken")
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        order::release(self.lock_id);
     }
 }
 
@@ -71,13 +117,20 @@ impl Condvar {
 
     /// Atomically releases the guard's lock and waits; re-acquires before
     /// returning (parking_lot signature: mutates the guard in place).
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard taken");
+        let inner = guard.inner.take().expect("guard taken");
+        // The lock is genuinely released while parked; mirror that in the
+        // held-lock stack so cross-lock waits don't fabricate edges.
+        #[cfg(debug_assertions)]
+        order::release(guard.lock_id);
         let inner = match self.0.wait(inner) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        guard.0 = Some(inner);
+        #[cfg(debug_assertions)]
+        order::acquire(guard.lock_id, Location::caller());
+        guard.inner = Some(inner);
     }
 
     /// Wakes one waiter.
@@ -91,19 +144,47 @@ impl Condvar {
     }
 }
 
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
 /// A reader-writer lock whose guards come back without `Result`.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: AtomicU32,
+    inner: StdRwLock<T>,
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock_id: u32,
+    inner: StdRwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    lock_id: u32,
+    inner: StdRwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(StdRwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            id: AtomicU32::new(0),
+            inner: StdRwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -112,19 +193,75 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        match self.0.read() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let lock_id = {
+            let id = order::lock_id(&self.id);
+            order::acquire(id, Location::caller());
+            id
+        };
+        RwLockReadGuard {
+            #[cfg(debug_assertions)]
+            lock_id,
+            inner: match self.inner.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
         }
     }
 
     /// Acquires an exclusive write guard.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        match self.0.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let lock_id = {
+            let id = order::lock_id(&self.id);
+            order::acquire(id, Location::caller());
+            id
+        };
+        RwLockWriteGuard {
+            #[cfg(debug_assertions)]
+            lock_id,
+            inner: match self.inner.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            },
         }
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        order::release(self.lock_id);
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        order::release(self.lock_id);
     }
 }
 

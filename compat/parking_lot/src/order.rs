@@ -1,0 +1,140 @@
+//! Debug-build lock-order detector.
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] gets a lazily-assigned site
+//! ID; each thread keeps a stack of the locks it currently holds; every
+//! nested acquisition feeds a process-global order graph (`a → b` means
+//! "b was acquired while holding a", stamped with the acquisition site
+//! that first established the edge). Before a new edge `a → b` is
+//! recorded, the detector checks whether `b →* a` is already reachable —
+//! if so, the two orders form a cycle (a potential deadlock) and the
+//! detector panics naming **both** acquisition sites, turning every
+//! existing `brb-rt` test into a free deadlock check.
+//!
+//! Compiled only under `debug_assertions` (release builds carry zero
+//! overhead) and switchable off with `BRB_LOCK_ORDER=0`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// An acquisition site: where some `lock()`/`read()`/`write()` was called.
+pub(crate) type Site = &'static Location<'static>;
+
+static NEXT_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Assigns (once) and returns the lock's site ID. IDs are never reused,
+/// so edges from dropped locks can't alias a new lock.
+pub(crate) fn lock_id(slot: &AtomicU32) -> u32 {
+    let cur = slot.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => id,
+        Err(existing) => existing,
+    }
+}
+
+#[derive(Default)]
+struct OrderGraph {
+    /// `edges[a][b]` = site that first acquired `b` while holding `a`.
+    edges: BTreeMap<u32, BTreeMap<u32, Site>>,
+}
+
+impl OrderGraph {
+    /// If `from →* to`, returns the site of the final edge on one such
+    /// path (the acquisition that established the conflicting order).
+    fn find_path(&self, from: u32, to: u32) -> Option<Site> {
+        // Direct edge first: the clearest diagnostic.
+        if let Some(site) = self.edges.get(&from).and_then(|m| m.get(&to)) {
+            return Some(*site);
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if let Some(next) = self.edges.get(&n) {
+                for (&m, &site) in next {
+                    if m == to {
+                        return Some(site);
+                    }
+                    if !seen.contains(&m) {
+                        seen.push(m);
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static StdMutex<OrderGraph> {
+    static G: OnceLock<StdMutex<OrderGraph>> = OnceLock::new();
+    G.get_or_init(Default::default)
+}
+
+fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("BRB_LOCK_ORDER").map_or(true, |v| v != "0"))
+}
+
+thread_local! {
+    /// Locks currently held by this thread: `(id, acquisition site)`.
+    static HELD: RefCell<Vec<(u32, Site)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records an acquisition. Called *before* blocking on the real lock so
+/// a genuine A/B deadlock panics one of the two threads instead of
+/// hanging the test harness. Panics on a lock-order cycle.
+pub(crate) fn acquire(id: u32, site: Site) {
+    if !enabled() {
+        return;
+    }
+    // Decide outside the RefCell borrow so a detector panic can never
+    // collide with guard drops during unwinding.
+    let violation: Option<String> = HELD.with(|h| {
+        let held = h.borrow();
+        if held.is_empty() {
+            return None;
+        }
+        let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+        for &(hid, hsite) in held.iter() {
+            if hid == id {
+                continue; // reentrant reads of the same RwLock
+            }
+            if let Some(conflict) = g.find_path(id, hid) {
+                return Some(format!(
+                    "lock-order violation (potential deadlock):\n  \
+                     acquiring lock #{id} at {site}\n  \
+                     while holding lock #{hid} (acquired at {hsite}),\n  \
+                     but the reverse order lock #{id} -> lock #{hid} was \
+                     established at {conflict}\n  \
+                     (brb lock-order detector; set BRB_LOCK_ORDER=0 to disable)"
+                ));
+            }
+            g.edges.entry(hid).or_default().entry(id).or_insert(site);
+        }
+        None
+    });
+    if let Some(msg) = violation {
+        panic!("{msg}");
+    }
+    HELD.with(|h| h.borrow_mut().push((id, site)));
+}
+
+/// Records a release (guard drop, or a `Condvar::wait` letting go of the
+/// lock while parked). Removes the most recent entry for `id`.
+pub(crate) fn release(id: u32) {
+    if !enabled() {
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(hid, _)| hid == id) {
+            held.remove(pos);
+        }
+    });
+}

@@ -381,6 +381,15 @@ pub struct EngineWorld {
     oracle_scratch: Vec<u64>,
 }
 
+impl std::fmt::Debug for EngineWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineWorld")
+            .field("policy", &self.policy)
+            .field("hedge_ns", &self.hedge_ns)
+            .finish_non_exhaustive()
+    }
+}
+
 impl EngineWorld {
     /// Builds the world (generates the trace, calibrates the service
     /// model, seeds every stream) for the given configuration.

@@ -1,0 +1,400 @@
+//! A small hand-rolled Rust lexer: just enough to walk a source file as a
+//! stream of significant tokens with line numbers, while *correctly*
+//! skipping the three places rule text must never match — line/block
+//! comments (nested), string literals (plain, byte, raw with any hash
+//! count) and char literals. No `syn`, no proc-macro machinery: the
+//! build stays offline and the lexer stays auditable.
+//!
+//! Comments are not discarded entirely: `// brb-lint: allow(<rule>) — <reason>`
+//! directives are parsed out of them so the engine can suppress findings,
+//! and string literals are kept as tokens (the schema-stability rules need
+//! to see them) — their *contents* are opaque to every identifier rule.
+
+/// What a token is. Identifier text and string-literal contents are kept;
+/// everything else only needs its category and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `send`, ...).
+    Ident,
+    /// A string literal (`"..."`, `r#"..."#`, `b"..."`). `text` holds the
+    /// *contents* (delimiters and hashes stripped) so schema rules can
+    /// inspect it; identifier rules must never look at it.
+    Str,
+    /// A char literal (`'a'`, `'\n'`). Contents are irrelevant to rules.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any single punctuation character (`.`, `(`, `::` comes as two `:`).
+    Punct(char),
+}
+
+/// One significant token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A suppression directive parsed out of a comment:
+/// `// brb-lint: allow(<rule>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ID being suppressed (e.g. `D002`), upper-cased.
+    pub rule: String,
+    /// The human reason after the dash. Empty reasons are rejected by the
+    /// engine (suppression without a rationale is itself a finding).
+    pub reason: String,
+    /// Line the directive sits on. It suppresses findings on this line
+    /// and the next (so it can ride above the offending statement).
+    pub line: u32,
+}
+
+/// Lexer output: the significant tokens plus any allow directives.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<AllowDirective>,
+    /// Comments that look like brb-lint directives but failed to parse
+    /// (bad rule name, missing reason). `(line, what-was-wrong)`.
+    pub bad_directives: Vec<(u32, String)>,
+}
+
+/// Lexes `src` into significant tokens. Never fails: unrecognised bytes
+/// are skipped (they would be a compile error anyway, and the linter runs
+/// on code the compiler already accepted).
+pub fn lex(src: &str) -> LexOutput {
+    let mut out = LexOutput::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.bytes().filter(|&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: scan to end of line, check for a directive.
+                // Doc comments (`///`, `//!`) are prose, not directives —
+                // they legitimately *describe* the allow syntax.
+                let end = memchr_newline(bytes, i);
+                let is_doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
+                if !is_doc {
+                    parse_directive(&src[i..end], line, &mut out);
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(&src[start..i]);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let (contents, next) = scan_raw_string(src, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: contents.to_string(),
+                    line,
+                });
+                bump_lines!(&src[i..next]);
+                i = next;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let (contents, next) = scan_quoted(src, i + 1, '"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: contents.to_string(),
+                    line,
+                });
+                bump_lines!(&src[i..next]);
+                i = next;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let (_, next) = scan_quoted(src, i + 1, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = next;
+            }
+            b'"' => {
+                let (contents, next) = scan_quoted(src, i, '"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: contents.to_string(),
+                    line,
+                });
+                bump_lines!(&src[i..next]);
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` followed by another `'`
+                // is the char `'a'`; otherwise `'ident` is a lifetime.
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphabetic()) {
+                    let ident_start = j;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        // Char literal like 'a'.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Char,
+                            text: String::new(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text: src[ident_start..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '('.
+                    let (_, next) = scan_quoted(src, i, '\'');
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = next;
+                }
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                if bytes[start] == b'0'
+                    && matches!(bytes.get(i), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    // Fractional part — but not the `..` of a range.
+                    if bytes.get(i) == Some(&b'.')
+                        && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        i += 1;
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                    // Exponent.
+                    if matches!(bytes.get(i), Some(b'e' | b'E'))
+                        && (bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                            || (matches!(bytes.get(i + 1), Some(b'+' | b'-'))
+                                && bytes.get(i + 2).is_some_and(|c| c.is_ascii_digit())))
+                    {
+                        i += 1;
+                        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                            i += 1;
+                        }
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                    // Type suffix (`u64`, `f32`, `usize`).
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                if b.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(b as char),
+                        text: String::new(),
+                        line,
+                    });
+                    i += 1;
+                } else {
+                    // Non-ASCII (e.g. an em-dash in a doc string that
+                    // somehow reached code position): skip the char.
+                    let ch_len = src[i..].chars().next().map_or(1, |c| c.len_utf8());
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |p| from + p)
+}
+
+/// Is `r"`, `r#"`, `br"`, `br#"` ... starting at `i`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string starting at `i`; returns (contents, index past it).
+fn scan_raw_string(src: &str, i: usize) -> (&str, usize) {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let content_start = j;
+    loop {
+        match bytes.get(j) {
+            None => return (&src[content_start..j], j),
+            Some(b'"') => {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while h < hashes && bytes.get(k) == Some(&b'#') {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return (&src[content_start..j], k);
+                }
+                j += 1;
+            }
+            Some(_) => j += 1,
+        }
+    }
+}
+
+/// Scans a quoted literal (string or char) starting at the opening quote
+/// index; handles backslash escapes. Returns (contents, index past close).
+fn scan_quoted(src: &str, i: usize, quote: char) -> (&str, usize) {
+    let bytes = src.as_bytes();
+    let q = quote as u8;
+    let mut j = i + 1;
+    let content_start = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b if b == q => return (&src[content_start..j], j + 1),
+            _ => j += 1,
+        }
+    }
+    (&src[content_start..], j)
+}
+
+/// Parses a `brb-lint:` directive out of a line comment, if present.
+fn parse_directive(comment: &str, line: u32, out: &mut LexOutput) {
+    let Some(pos) = comment.find("brb-lint:") else {
+        return;
+    };
+    let rest = comment[pos + "brb-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        out.bad_directives.push((
+            line,
+            "directive must be `brb-lint: allow(<rule>) — <reason>`".to_string(),
+        ));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        out.bad_directives
+            .push((line, "unclosed `allow(` in brb-lint directive".to_string()));
+        return;
+    };
+    let rule = rest[..close].trim().to_ascii_uppercase();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        out.bad_directives
+            .push((line, format!("bad rule name {rule:?} in allow directive")));
+        return;
+    }
+    // Everything after the `)` is the reason, minus dash/em-dash/colon
+    // separators. An empty reason is rejected: suppressions must say why.
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ':', ' '])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        out.bad_directives.push((
+            line,
+            format!("allow({rule}) has no reason — write `allow({rule}) — <why this is safe>`"),
+        ));
+        return;
+    }
+    out.allows.push(AllowDirective { rule, reason, line });
+}

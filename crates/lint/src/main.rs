@@ -1,0 +1,129 @@
+//! The `brb-lint` binary.
+//!
+//! * `brb-lint` — lint the whole workspace (root found by walking up
+//!   from the current directory to a `Cargo.toml` with `[workspace]`).
+//! * `brb-lint <path>...` — lint specific files or directories; fixture
+//!   files named `<rule-prefix><nnn>_*.rs` (e.g. `d002_hashmap.rs`)
+//!   get their lane from the prefix, everything else from the crate
+//!   lane table.
+//!
+//! Exit status: 0 when clean, 1 on any unsuppressed finding, 2 on I/O
+//! or usage errors. The final summary line is grepped by CI — keep its
+//! shape (`brb-lint: scanned N files, M findings, K suppressed`).
+
+use brb_lint::{collect_workspace_files, load_file, run, SourceFile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: brb-lint [<file-or-dir>...]   (no args = whole workspace)");
+        return ExitCode::from(0);
+    }
+
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("brb-lint: no workspace root found (Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        };
+        match collect_workspace_files(&root) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("brb-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for a in &args {
+            let p = PathBuf::from(a);
+            if p.is_dir() {
+                match collect_files_unfiltered(&p) {
+                    Ok(mut v) => out.append(&mut v),
+                    Err(e) => {
+                        eprintln!("brb-lint: walking {}: {e}", p.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                out.push(p);
+            }
+        }
+        out
+    };
+
+    let mut files: Vec<SourceFile> = Vec::with_capacity(paths.len());
+    for p in &paths {
+        match load_file(p) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                eprintln!("brb-lint: reading {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = run(&files);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "brb-lint: scanned {} files, {} findings, {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.findings.is_empty() {
+        ExitCode::from(0)
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current dir to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Explicit-path walk: unlike the workspace walk this does NOT skip
+/// `fixtures/` — pointing the binary at the fixture corpus is exactly how
+/// the corpus is exercised.
+fn collect_files_unfiltered(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".rs"))
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

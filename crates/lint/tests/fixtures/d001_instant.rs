@@ -1,0 +1,7 @@
+//! Fixture: wall-clock read in a deterministic crate. Expect exactly one
+//! D001 finding (the `Instant::now` call).
+
+pub fn elapsed_hack() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,13 @@
+//! Fixture: hash collection in non-test code. Expect exactly one D002
+//! finding. The mention in this doc comment ("HashMap") and the one in
+//! the string below must NOT trigger — comments and strings are opaque.
+
+pub fn label() -> &'static str {
+    "HashMap HashSet Instant thread_rng"
+}
+
+pub fn index(keys: &[u64]) -> usize {
+    let m: std::collections::HashMap<u64, usize> =
+        keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+    m.len()
+}

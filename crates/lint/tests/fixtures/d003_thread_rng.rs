@@ -1,0 +1,6 @@
+//! Fixture: ambient entropy. Expect exactly one D003 finding.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

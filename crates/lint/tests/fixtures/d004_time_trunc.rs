@@ -1,0 +1,8 @@
+//! Fixture: event-time truncation. Expect exactly one D004 finding on
+//! the `arrival_ns as usize` cast; the index cast below is fine.
+
+pub fn bucket(arrival_ns: u64, slots: &[u64]) -> u64 {
+    let idx = arrival_ns as usize % slots.len();
+    let fine = (slots.len() - 1) as usize;
+    slots[idx.min(fine)]
+}

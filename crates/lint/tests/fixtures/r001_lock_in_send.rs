@@ -1,0 +1,6 @@
+//! Fixture: lock acquired inside a channel-send expression. Expect
+//! exactly one R001 finding on the `.lock()` call.
+
+pub fn forward(tx: &std::sync::mpsc::Sender<u64>, state: &parking_lot::Mutex<u64>) {
+    let _ = tx.send(*state.lock());
+}

@@ -1,0 +1,14 @@
+//! Fixture: `unwrap()` on a channel result outside tests. Expect exactly
+//! one R002 finding.
+
+pub fn drain(rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // In tests the same pattern is fine — must NOT add a second finding.
+    pub fn drain_test(rx: &std::sync::mpsc::Receiver<u64>) -> u64 {
+        rx.recv().unwrap()
+    }
+}

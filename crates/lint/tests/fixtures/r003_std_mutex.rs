@@ -1,0 +1,10 @@
+//! Fixture: std::sync lock in the live runtime. Expect exactly one R003
+//! finding — parking_lot locks feed the lock-order detector, std locks
+//! bypass it. (`Arc` via `std::sync` stays legal.)
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+pub fn shared() -> Arc<Mutex<u64>> {
+    Arc::new(Mutex::new(0))
+}

@@ -1,0 +1,10 @@
+//! Fixture: hash collection in a report-writing crate. Expect exactly
+//! one S001 finding — emitters must iterate in a stable order.
+
+pub fn emit(fields: &std::collections::HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in fields {
+        out.push_str(&format!("\"{k}\":{v},"));
+    }
+    out
+}

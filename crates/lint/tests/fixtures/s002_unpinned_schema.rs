@@ -1,0 +1,8 @@
+//! Fixture: a schema tag with no key-order pin test referencing it.
+//! Expect exactly one S002 finding on the literal's line.
+
+pub const SCHEMA: &str = "brb-lint/fixture-v1";
+
+pub fn header() -> String {
+    format!("{{\"schema\":{:?}}}", SCHEMA)
+}

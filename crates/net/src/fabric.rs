@@ -11,7 +11,7 @@ use crate::latency::LatencyModel;
 use brb_sim::{define_id, SimDuration};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 define_id!(
     /// Identifies a node attached to the fabric (clients, servers and the
@@ -46,7 +46,7 @@ impl Bandwidth {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     default_model: LatencyModel,
-    overrides: HashMap<(NetNodeId, NetNodeId), LatencyModel>,
+    overrides: BTreeMap<(NetNodeId, NetNodeId), LatencyModel>,
     bandwidth: Option<Bandwidth>,
 }
 
@@ -57,7 +57,7 @@ impl Fabric {
         default_model.validate().expect("invalid latency model");
         Fabric {
             default_model,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
             bandwidth: None,
         }
     }
@@ -83,7 +83,7 @@ impl Fabric {
 
     /// The latency model used for the directed pair.
     pub fn model_for(&self, from: NetNodeId, to: NetNodeId) -> &LatencyModel {
-        // Fast path for the (common) homogeneous fabric: skip the hash
+        // Fast path for the (common) homogeneous fabric: skip the tree
         // probe entirely — `delay` runs a few times per request, so the
         // lookup is hot even though the map is almost always empty.
         if self.overrides.is_empty() {

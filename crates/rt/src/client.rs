@@ -289,6 +289,15 @@ pub struct TaskTicket {
     taken: bool,
 }
 
+impl std::fmt::Debug for TaskTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskTicket")
+            .field("task_id", &self.task_id)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
 impl TaskTicket {
     /// Blocks until every response arrives; latency is measured from the
     /// submit instant.
@@ -783,6 +792,14 @@ pub struct RtClient {
     inner: Arc<ClientInner>,
     policy: PolicyKind,
     task_counter: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for RtClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtClient")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RtClient {

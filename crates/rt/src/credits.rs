@@ -30,9 +30,10 @@ use brb_sched::{CreditBucket, CreditController, CreditsConfig, GrantTable};
 use brb_select::{ReplicaSelector, ResponseFeedback, Selection, SelectionCtx};
 use brb_store::ids::{ClientId, ServerId};
 use crossbeam::channel::{select, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -190,7 +191,7 @@ fn controller_loop(
             default(next_epoch.saturating_duration_since(Instant::now())) => {
                 controller.allocate_into(&mut table);
                 {
-                    let mut published = board.grants.lock().unwrap();
+                    let mut published = board.grants.lock();
                     std::mem::swap(&mut *published, &mut table);
                 }
                 board.epoch.fetch_add(1, Ordering::Release);
@@ -268,7 +269,7 @@ impl CreditSelector {
         if epoch == self.seen_epoch {
             return;
         }
-        let table = self.board.grants.lock().unwrap();
+        let table = self.board.grants.lock();
         for (i, bucket) in self.buckets.iter_mut().enumerate() {
             if let Some(rate) = table.rate(ServerId::new(i as u64), self.client) {
                 bucket.set_rate(now_ns, rate, self.burst_secs);
@@ -459,7 +460,7 @@ mod tests {
             "controller never published an epoch"
         );
         {
-            let table = hub.board.grants.lock().unwrap();
+            let table = hub.board.grants.lock();
             let g0 = table.rate(ServerId::new(0), ClientId::new(0)).unwrap();
             // Uncontended: demand × headroom.
             assert!(
@@ -525,7 +526,7 @@ mod tests {
         // Controller grants this client 2000 rps; publish epoch 1.
         let mut controller = CreditController::new(vec![10_000.0], cfg.config);
         controller.report_demand(ClientId::new(7), ServerId::new(0), 2_000.0);
-        controller.allocate_into(&mut hub.board.grants.lock().unwrap());
+        controller.allocate_into(&mut hub.board.grants.lock());
         hub.board.epoch.fetch_add(1, Ordering::Release);
         // At 2600 rps (2000 × 1.3 headroom) the next token is ~0.4 ms
         // out where the old 10 rps rate needed ~100 ms; following the

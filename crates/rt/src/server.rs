@@ -356,6 +356,14 @@ pub struct RtCluster {
     next_client_id: AtomicU64,
 }
 
+impl std::fmt::Debug for RtCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtCluster")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RtCluster {
     /// Starts the cluster: spawns one router and `workers_per_server`
     /// worker threads per server.
@@ -488,9 +496,19 @@ impl RtCluster {
                                     )
                                 }));
                             // Wake workers so they observe the stop flag.
+                            // The queue lock MUST be taken between the
+                            // store and the notify: a worker that checked
+                            // `stop` and is about to park holds it, so
+                            // locking here blocks until the worker is
+                            // actually parked — otherwise the notify can
+                            // land in that window and be lost forever
+                            // (lost-wakeup deadlock; the stop flag is the
+                            // one predicate not written under the mutex).
                             shared.stop.store(true, Ordering::SeqCst);
+                            drop(shared.queue.lock());
                             shared.available.notify_all();
                             if let Some(g) = &global {
+                                drop(g.queue.lock());
                                 g.available.notify_all();
                             }
                             if result.is_err() {
@@ -533,9 +551,12 @@ impl RtCluster {
                                 panicked.store(true, Ordering::SeqCst);
                                 // Wake sibling workers parked on the
                                 // condvar so a fully-dead server cannot
-                                // strand them.
+                                // strand them (lock bracket for the same
+                                // lost-wakeup reason as the router exit).
+                                drop(shared.queue.lock());
                                 shared.available.notify_all();
                                 if let Some(g) = &global {
+                                    drop(g.queue.lock());
                                     g.available.notify_all();
                                 }
                             }
@@ -729,11 +750,18 @@ impl RtCluster {
         }
         for s in &self.servers {
             s.stop.store(true, Ordering::SeqCst);
+            // Lock bracket between store and notify: a worker between its
+            // `stop` check and the park holds the queue lock, so locking
+            // here waits until it is parked — without it the notify can
+            // be lost and the worker parks forever (observed as a hung
+            // join on a loaded single-CPU host).
+            drop(s.queue.lock());
             s.available.notify_all();
         }
         // Global-mode workers park on the shared condvar, not their
         // server's.
         if let Some(g) = &self.global {
+            drop(g.queue.lock());
             g.available.notify_all();
         }
         for w in self.workers {
@@ -1137,7 +1165,10 @@ mod tests {
         }
         let served: u64 = c.served_per_server().iter().sum();
         assert_eq!(served, 4 * 100 * 5);
-        Arc::try_unwrap(c).ok().expect("sole owner").shutdown();
+        match Arc::try_unwrap(c) {
+            Ok(cluster) => cluster.shutdown(),
+            Err(_) => panic!("sole owner"),
+        }
     }
 
     /// A degraded server (speed factor 0.25) must take ~4× the nominal

@@ -27,7 +27,7 @@
 use crate::priority::Priority;
 use brb_store::ids::{ClientId, ServerId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Grant rates for one adaptation epoch: per server, the granted
 /// requests/second of every reporting client, **sorted by client id**.
@@ -371,7 +371,7 @@ impl CreditBucket {
 /// highest-priority request dispatches first once tokens arrive.
 #[derive(Debug, Default)]
 pub struct HoldQueue<T> {
-    by_server: HashMap<ServerId, crate::queue::PriorityQueue<T>>,
+    by_server: BTreeMap<ServerId, crate::queue::PriorityQueue<T>>,
     len: usize,
 }
 
@@ -379,7 +379,7 @@ impl<T> HoldQueue<T> {
     /// Creates an empty hold queue.
     pub fn new() -> Self {
         HoldQueue {
-            by_server: HashMap::new(),
+            by_server: BTreeMap::new(),
             len: 0,
         }
     }

@@ -25,6 +25,16 @@ pub struct GlobalQueue<T> {
     len: usize,
 }
 
+impl<T> std::fmt::Debug for GlobalQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalQueue")
+            .field("groups", &self.per_group.len())
+            .field("next_seq", &self.next_seq)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> GlobalQueue<T> {
     /// Creates a queue for `num_groups` replica groups.
     pub fn new(num_groups: u32) -> Self {

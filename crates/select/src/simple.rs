@@ -5,7 +5,7 @@ use crate::ReplicaSelector;
 use brb_store::ids::ServerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Uniform-random replica choice — the naive Cassandra/Riak default
 /// before load-aware selection.
@@ -70,7 +70,7 @@ impl ReplicaSelector for RoundRobinSelector {
 /// cooperation).
 #[derive(Debug, Default)]
 pub struct LeastOutstandingSelector {
-    outstanding: HashMap<ServerId, u64>,
+    outstanding: BTreeMap<ServerId, u64>,
 }
 
 impl LeastOutstandingSelector {

@@ -27,6 +27,14 @@ pub struct Ctx<'a, E> {
     calendar: &'a mut Calendar<E>,
 }
 
+impl<'a, E> std::fmt::Debug for Ctx<'a, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, E> Ctx<'a, E> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {

@@ -23,6 +23,7 @@ use crate::trace::Trace;
 use crate::zipf::Zipf;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+// brb-lint: allow(D002) — membership-only dedup set below; never iterated
 use std::collections::HashSet;
 
 /// Configuration for the playlist-model trace builder.
@@ -80,6 +81,9 @@ impl SoundCloudModel {
             let want = lengths.sample(rng) as usize;
             let len = want.min(config.num_tracks as usize);
             let mut members = Vec::with_capacity(len);
+            // Insert/contains only: playlist membership dedup;
+            // iteration order is never observed.
+            // brb-lint: allow(D002) — membership-only dedup, never iterated
             let mut seen = HashSet::with_capacity(len);
             let mut attempts = 0usize;
             while members.len() < len {

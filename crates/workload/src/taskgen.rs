@@ -16,6 +16,7 @@ use crate::pareto::GeneralizedPareto;
 use crate::poisson::PoissonProcess;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+// brb-lint: allow(D002) — membership-only dedup set below; never iterated
 use std::collections::HashSet;
 
 /// One read request within a task.
@@ -139,6 +140,9 @@ impl<R: Rng> TaskGenerator<R> {
         let arrival_ns = self.arrivals.next_arrival_ns(&mut self.rng);
         let want = self.fanout.sample(&mut self.rng) as usize;
         let fanout = want.min(self.keyspace.num_keys() as usize);
+        // Insert/contains only: rejection-samples distinct keys;
+        // iteration order is never observed.
+        // brb-lint: allow(D002) — membership-only dedup, never iterated
         let mut seen = HashSet::with_capacity(fanout);
         let mut requests = Vec::with_capacity(fanout);
         let mut attempts = 0usize;
